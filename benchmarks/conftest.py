@@ -1,0 +1,23 @@
+"""Shared settings for the figure/table regeneration benchmarks.
+
+Each benchmark regenerates one table or figure of the paper on a scaled
+workload set and prints the resulting rows/series.  Set ``REPRO_FULL=1``
+to sweep all 28 benchmarks (slow); the default subset keeps a full
+``pytest benchmarks/ --benchmark-only`` run to a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Benchmarks used by default in the regeneration harnesses.
+BENCH_WORKLOADS = ["mcf", "swim", "em3d", "gzip"]
+
+#: Per-benchmark trace length used by the harnesses (long enough for the
+#: largest workloads to complete 2-3 outer-loop iterations).
+BENCH_ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "100000"))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,104 @@
+"""Ablation benches for LT-cords design choices called out in DESIGN.md.
+
+These exercise the sensitivity knobs the paper discusses qualitatively:
+fragment size (Section 5.4), signature-cache associativity (Section 5.4),
+confidence initialisation (Section 4.4) and streaming-fetch delay
+(Section 3.3).
+"""
+
+from repro.core.ltcords import LTCordsConfig, LTCordsPrefetcher
+from repro.core.sequence_storage import SequenceStorageConfig
+from repro.core.signature_cache import SignatureCacheConfig
+from repro.sim.trace_driven import TraceDrivenSimulator
+from repro.workloads.base import WorkloadConfig
+from repro.workloads.registry import get_workload
+
+from conftest import BENCH_ACCESSES, run_once
+
+WORKLOAD = "swim"
+
+
+def _coverage_with(config: LTCordsConfig, trace) -> float:
+    return TraceDrivenSimulator(prefetcher=LTCordsPrefetcher(config)).run(trace).coverage
+
+
+def _trace():
+    return get_workload(WORKLOAD, WorkloadConfig(num_accesses=BENCH_ACCESSES)).generate()
+
+
+def test_ablation_fragment_size(benchmark):
+    trace = _trace()
+
+    def sweep():
+        return {
+            size: _coverage_with(
+                LTCordsConfig(storage_config=SequenceStorageConfig(num_frames=4096, fragment_size=size)), trace
+            )
+            for size in (128, 512, 2048)
+        }
+
+    results = run_once(benchmark, sweep)
+    print("\n=== Ablation: fragment size ===")
+    for size, coverage in results.items():
+        print(f"  fragment={size:5d} signatures  coverage={coverage:.2f}")
+    # Section 5.4: coverage is largely insensitive to fragment size.
+    values = list(results.values())
+    assert max(values) - min(values) < 0.25
+
+
+def test_ablation_signature_cache_associativity(benchmark):
+    trace = _trace()
+
+    def sweep():
+        return {
+            ways: _coverage_with(
+                LTCordsConfig(signature_cache_config=SignatureCacheConfig(num_entries=8192, associativity=ways)),
+                trace,
+            )
+            for ways in (1, 2, 8)
+        }
+
+    results = run_once(benchmark, sweep)
+    print("\n=== Ablation: signature-cache associativity ===")
+    for ways, coverage in results.items():
+        print(f"  {ways}-way  coverage={coverage:.2f}")
+    # Section 5.4: 2-way associativity suffices at realistic sizes.
+    assert results[2] >= results[1] - 0.05
+    assert abs(results[8] - results[2]) < 0.15
+
+
+def test_ablation_confidence_initialisation(benchmark):
+    trace = _trace()
+
+    def sweep():
+        return {
+            initial: _coverage_with(LTCordsConfig(initial_confidence=initial, confidence_threshold=2), trace)
+            for initial in (0, 2)
+        }
+
+    results = run_once(benchmark, sweep)
+    print("\n=== Ablation: confidence-counter initialisation ===")
+    for initial, coverage in results.items():
+        print(f"  init={initial}  coverage={coverage:.2f}")
+    # Section 4.4: initialising counters to 2 expedites training; starting at
+    # 0 suppresses predictions (counters are only raised by correct
+    # predictions, which never happen) so coverage collapses.
+    assert results[2] >= results[0]
+
+
+def test_ablation_fetch_delay(benchmark):
+    trace = _trace()
+
+    def sweep():
+        return {
+            delay: _coverage_with(LTCordsConfig(fetch_delay_accesses=delay), trace)
+            for delay in (0, 256)
+        }
+
+    results = run_once(benchmark, sweep)
+    print("\n=== Ablation: off-chip signature fetch delay ===")
+    for delay, coverage in results.items():
+        print(f"  delay={delay:4d} accesses  coverage={coverage:.2f}")
+    # Streaming must tolerate retrieval latency (Section 3.3); a bounded
+    # delay costs little because the head signature precedes the fragment.
+    assert results[256] >= results[0] - 0.25

@@ -1,0 +1,25 @@
+"""Regenerates Figure 10: coverage versus off-chip sequence-storage size."""
+
+from repro.experiments import fig10_storage
+
+from conftest import BENCH_ACCESSES, run_once
+
+WORKLOADS = ["swim", "mcf", "applu"]
+CAPACITIES = (4096, 16384, 65536, 262144)
+
+
+def test_fig10_offchip_storage_sensitivity(benchmark):
+    sweep = run_once(
+        benchmark,
+        fig10_storage.run,
+        benchmarks=WORKLOADS,
+        capacities=CAPACITIES,
+        num_accesses=BENCH_ACCESSES,
+    )
+    print("\n=== Figure 10: coverage vs off-chip sequence storage ===")
+    print(fig10_storage.format_results(sweep))
+    for name, series in sweep.normalized_coverage.items():
+        # Full coverage requires ample off-chip storage; the largest
+        # capacity must be at least as good as the smallest.
+        assert series[-1] >= series[0] - 0.05
+        assert max(series) > 0.9

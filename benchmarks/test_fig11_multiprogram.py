@@ -1,0 +1,25 @@
+"""Regenerates Figure 11: LT-cords coverage in a multi-programmed environment."""
+
+from repro.experiments import fig11_multiprogram
+
+from conftest import run_once
+
+PAIRINGS = (("swim", "gzip"), ("mcf", "gzip"), ("swim", "mcf"))
+
+
+def test_fig11_multiprogrammed_coverage(benchmark):
+    rows = run_once(
+        benchmark,
+        fig11_multiprogram.run,
+        pairings=PAIRINGS,
+        num_accesses=80_000,
+        quantum_instructions=20_000,
+        max_switches=60,
+    )
+    print("\n=== Figure 11: multi-programmed LT-cords coverage ===")
+    print(fig11_multiprogram.format_results(rows))
+    # Predictor state persists across context switches, so pairing with
+    # another application should retain most standalone coverage.
+    for row in rows:
+        if row.result.primary_standalone_coverage > 0.1:
+            assert row.result.primary_coverage_retention > 0.4

@@ -1,0 +1,17 @@
+"""Regenerates Figure 2: the cache-block dead-time CDF."""
+
+from repro.experiments import fig2_deadtime
+
+from conftest import BENCH_ACCESSES, BENCH_WORKLOADS, run_once
+
+
+def test_fig2_deadtime_cdf(benchmark):
+    series = run_once(
+        benchmark, fig2_deadtime.run, benchmarks=BENCH_WORKLOADS, num_accesses=BENCH_ACCESSES
+    )
+    print("\n=== Figure 2: dead-time CDF ===")
+    print(fig2_deadtime.format_results(series))
+    # The paper's headline: the vast majority of dead times exceed the
+    # memory access latency, so last-touch prefetches hide the full miss.
+    assert series.fraction_longer_than_memory_latency > 0.5
+    assert series.cdf == sorted(series.cdf)

@@ -1,0 +1,21 @@
+"""Regenerates Figure 6: temporal correlation distance and sequence lengths."""
+
+from repro.experiments import fig6_temporal
+
+from conftest import BENCH_ACCESSES, BENCH_WORKLOADS, run_once
+
+
+def test_fig6_temporal_correlation(benchmark):
+    rows = run_once(
+        benchmark, fig6_temporal.run, benchmarks=BENCH_WORKLOADS, num_accesses=BENCH_ACCESSES
+    )
+    print("\n=== Figure 6: temporal correlation of cache misses ===")
+    print(fig6_temporal.format_results(rows))
+    by_name = {r.benchmark: r for r in rows}
+    # Loop/pointer benchmarks show strong temporal correlation; the
+    # hash-dominated benchmark shows little (gzip/bzip2/twolf in the paper).
+    assert by_name["swim"].perfect_fraction > 0.5
+    assert by_name["mcf"].cdf_by_distance[255] > 0.5
+    assert by_name["gzip"].perfect_fraction < 0.3
+    # Correlated benchmarks exhibit long repeating sequences.
+    assert by_name["swim"].longest_sequence > 1000

@@ -1,0 +1,24 @@
+"""Regenerates Figure 8: LT-cords coverage/accuracy versus unlimited DBCP."""
+
+from repro.experiments import fig8_coverage
+
+from conftest import BENCH_ACCESSES, BENCH_WORKLOADS, run_once
+
+
+def test_fig8_coverage_vs_oracle(benchmark):
+    rows = run_once(
+        benchmark, fig8_coverage.run, benchmarks=BENCH_WORKLOADS, num_accesses=BENCH_ACCESSES
+    )
+    print("\n=== Figure 8: LT-cords vs unlimited-storage DBCP ===")
+    print(fig8_coverage.format_results(rows))
+    by_name = {r.benchmark: r for r in rows}
+    # Repetitive benchmarks: LT-cords achieves a large share of the oracle's
+    # coverage with practical on-chip storage.
+    for name in ("mcf", "swim"):
+        row = by_name[name]
+        assert row.oracle_dbcp.coverage > 0.25
+        assert row.ltcords.coverage > 0.4 * row.oracle_dbcp.coverage
+    # Hash-dominated benchmark: neither predictor finds much to predict.
+    assert by_name["gzip"].oracle_dbcp.coverage < 0.2
+    # LT-cords' on-chip storage stays in the hundreds of KB.
+    assert by_name["mcf"].ltcords.on_chip_storage_bytes < 1024 * 1024

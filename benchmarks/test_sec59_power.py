@@ -1,0 +1,13 @@
+"""Regenerates the Section 5.9 power comparison."""
+
+from repro.experiments import sec59_power
+
+from conftest import run_once
+
+
+def test_sec59_power_comparison(benchmark):
+    result = run_once(benchmark, sec59_power.run)
+    print("\n=== Section 5.9: LT-cords vs L1D power ===")
+    print(sec59_power.format_results(result))
+    assert result.ltcords_cheaper_dynamically
+    assert result.signature_cache_access_energy_pj < result.l1d_access_energy_pj

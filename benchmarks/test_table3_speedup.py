@@ -1,0 +1,32 @@
+"""Regenerates Table 3: percent performance improvement over the baseline."""
+
+from repro.experiments import table3_speedup
+
+from conftest import BENCH_ACCESSES, BENCH_WORKLOADS, run_once
+
+
+def test_table3_speedups(benchmark):
+    rows = run_once(
+        benchmark, table3_speedup.run, benchmarks=BENCH_WORKLOADS, num_accesses=BENCH_ACCESSES
+    )
+    print("\n=== Table 3: % performance improvement over baseline ===")
+    print(table3_speedup.format_results(rows))
+    by_name = {r.benchmark: r for r in rows}
+    means = table3_speedup.mean_speedups(rows)
+
+    # Perfect L1 bounds every other configuration from above.
+    for row in rows:
+        for config in ("ltcords", "ghb", "dbcp", "4mb-l2"):
+            assert row.speedup_pct[config] <= row.speedup_pct["perfect-l1"] + 5.0
+
+    # Address correlation beats delta correlation on the pointer-chasing
+    # benchmarks (mcf, em3d), the paper's central performance claim.
+    assert by_name["mcf"].speedup_pct["ltcords"] > by_name["mcf"].speedup_pct["ghb"]
+    assert by_name["em3d"].speedup_pct["ltcords"] > by_name["em3d"].speedup_pct["ghb"]
+
+    # The memory-insensitive benchmark gains little from anything.
+    assert by_name["gzip"].speedup_pct["ltcords"] < 25
+
+    # On average LT-cords outperforms the realistic DBCP and the 4MB L2.
+    assert means["ltcords"] > means["dbcp"]
+    assert means["ltcords"] > means["4mb-l2"]

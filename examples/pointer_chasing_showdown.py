@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Pointer-chasing showdown: address correlation versus delta correlation.
+
+The paper's central motivation (Section 1) is that delta-correlating
+prefetchers such as the GHB PC/DC cannot capture irregular-but-repetitive
+access patterns — linked lists, trees, graphs — while last-touch address
+correlation can.  This example runs the pointer-intensive workloads
+(mcf and the three Olden benchmarks) under every predictor and prints a
+coverage comparison, then does the same for a regular strided workload
+(swim) to show the flip side.
+
+Usage::
+
+    python examples/pointer_chasing_showdown.py [num_accesses]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.workloads.registry import benchmark_metadata
+
+POINTER_BENCHMARKS = ["mcf", "em3d", "treeadd", "bh"]
+REGULAR_BENCHMARKS = ["swim"]
+PREDICTORS = ["ltcords", "dbcp-unlimited", "ghb", "stride"]
+
+
+def coverage_table(benchmarks, num_accesses: int) -> None:
+    header = f"{'benchmark':<10} " + " ".join(f"{p:>16}" for p in PREDICTORS)
+    print(header)
+    print("-" * len(header))
+    for benchmark in benchmarks:
+        metadata = benchmark_metadata(benchmark)
+        cells = []
+        for predictor in PREDICTORS:
+            result = repro.quick_simulation(benchmark, predictor, max_accesses=num_accesses)
+            cells.append(f"{100 * result.coverage:15.1f}%")
+        print(f"{benchmark:<10} " + " ".join(cells) + f"    ({metadata.description})")
+
+
+def main() -> int:
+    num_accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 100_000
+
+    print("Coverage (fraction of baseline L1D misses eliminated)\n")
+    print("Pointer-chasing workloads — irregular layout, repetitive traversals:")
+    coverage_table(POINTER_BENCHMARKS, num_accesses)
+    print("\nRegular strided workload — delta correlation also works here:")
+    coverage_table(REGULAR_BENCHMARKS, num_accesses)
+    print(
+        "\nExpected shape (paper, Table 3 / Figure 8): LT-cords and the DBCP"
+        "\noracle cover the pointer-chasing workloads where GHB/stride get"
+        "\nlittle, while all predictors handle the strided workload."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: run LT-cords on one benchmark and print its coverage breakdown.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [predictor]
+
+Defaults to the paper's flagship pointer-chasing benchmark (mcf) and the
+LT-cords predictor.  The script prints the Figure 8-style breakdown
+(correct / incorrect / train / early), prefetch accuracy, and the
+predictor's on-chip storage and off-chip signature traffic.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+
+
+def main() -> int:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    predictor = sys.argv[2] if len(sys.argv) > 2 else "ltcords"
+
+    if benchmark not in repro.available_benchmarks():
+        print(f"unknown benchmark {benchmark!r}; choose from: {', '.join(repro.available_benchmarks())}")
+        return 1
+    if predictor not in repro.available_predictors():
+        print(f"unknown predictor {predictor!r}; choose from: {', '.join(repro.available_predictors())}")
+        return 1
+
+    print(f"Simulating {predictor} on the synthetic '{benchmark}' workload ...")
+    result = repro.quick_simulation(benchmark, predictor, max_accesses=120_000)
+
+    breakdown = result.breakdown
+    print(f"\nBenchmark            : {result.benchmark}")
+    print(f"Predictor            : {result.predictor}")
+    print(f"References simulated : {result.num_accesses}")
+    print(f"Baseline L1D misses  : {result.baseline_l1_misses} "
+          f"({100 * result.baseline_l1_miss_rate:.1f}% of accesses)")
+    print(f"Baseline L2 miss rate: {100 * result.baseline_l2_miss_rate:.1f}%")
+    print("\nPrediction-opportunity breakdown (Figure 8 categories)")
+    print(f"  correct (misses eliminated) : {breakdown.coverage_pct:6.1f}%")
+    print(f"  incorrect (mispredictions)  : {breakdown.incorrect_pct:6.1f}%")
+    print(f"  train (not predicted)       : {breakdown.train_pct:6.1f}%")
+    print(f"  early (induced misses)      : {breakdown.early_pct:6.1f}% (above 100%)")
+    print(f"\nPrefetches issued / used     : {result.prefetches_issued} / {result.prefetches_used} "
+          f"({100 * result.prefetch_accuracy:.1f}% accuracy)")
+    if result.on_chip_storage_bytes:
+        print(f"Predictor on-chip storage    : {result.on_chip_storage_bytes / 1024:.0f} KB")
+    traffic = result.bytes_per_instruction()
+    total = sum(traffic.values())
+    print(f"Bus traffic                  : {total:.2f} bytes/instruction "
+          f"({', '.join(f'{k.value}={v:.2f}' for k, v in traffic.items() if v)})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+This is the batch driver behind EXPERIMENTS.md: it runs each experiment
+module on the selected benchmark set and prints the corresponding table.
+By default it uses the representative benchmark subset; pass ``--full``
+(or set ``REPRO_FULL=1``) to sweep all 28 benchmarks, and ``--accesses N``
+to change the per-benchmark trace length.
+
+Usage::
+
+    python examples/reproduce_paper.py [--full] [--accesses N] [--only fig8,table3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.experiments import (
+    fig2_deadtime,
+    fig4_dbcp_sensitivity,
+    fig6_temporal,
+    fig7_order_disparity,
+    fig8_coverage,
+    fig9_sigcache,
+    fig10_storage,
+    fig11_multiprogram,
+    fig12_bandwidth,
+    sec59_power,
+    table1_config,
+    table2_baseline,
+    table3_speedup,
+)
+
+EXPERIMENTS = {
+    "table1": ("Table 1: system configuration", lambda args: table1_config.format_results(table1_config.run())),
+    "table2": ("Table 2: baseline miss rates and IPC",
+               lambda args: table2_baseline.format_results(table2_baseline.run(num_accesses=args.accesses))),
+    "fig2": ("Figure 2: dead-time CDF",
+             lambda args: fig2_deadtime.format_results(fig2_deadtime.run(num_accesses=args.accesses))),
+    "fig4": ("Figure 4: DBCP table-size sensitivity",
+             lambda args: fig4_dbcp_sensitivity.format_results(
+                 fig4_dbcp_sensitivity.run(num_accesses=args.accesses))),
+    "fig6": ("Figure 6: temporal correlation",
+             lambda args: fig6_temporal.format_results(fig6_temporal.run(num_accesses=args.accesses))),
+    "fig7": ("Figure 7: last-touch vs miss order",
+             lambda args: fig7_order_disparity.format_results(fig7_order_disparity.run(num_accesses=args.accesses))),
+    "fig8": ("Figure 8: LT-cords vs unlimited DBCP",
+             lambda args: fig8_coverage.format_results(fig8_coverage.run(num_accesses=args.accesses))),
+    "fig9": ("Figure 9: signature-cache sensitivity",
+             lambda args: fig9_sigcache.format_results(
+                 fig9_sigcache.run(benchmarks=["mcf", "swim"], num_accesses=args.accesses))),
+    "fig10": ("Figure 10: off-chip storage sensitivity",
+              lambda args: fig10_storage.format_results(fig10_storage.run(num_accesses=args.accesses))),
+    "fig11": ("Figure 11: multi-programmed coverage",
+              lambda args: fig11_multiprogram.format_results(
+                  fig11_multiprogram.run(pairings=(("swim", "gzip"), ("mcf", "gzip"))))),
+    "table3": ("Table 3: speedups",
+               lambda args: table3_speedup.format_results(table3_speedup.run(num_accesses=args.accesses))),
+    "fig12": ("Figure 12: bus-utilisation breakdown",
+              lambda args: fig12_bandwidth.format_results(fig12_bandwidth.run(num_accesses=args.accesses))),
+    "sec59": ("Section 5.9: power comparison",
+              lambda args: sec59_power.format_results(sec59_power.run())),
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="sweep all 28 benchmarks (slow)")
+    parser.add_argument("--accesses", type=int, default=120_000, help="references per benchmark")
+    parser.add_argument("--only", type=str, default="", help="comma-separated experiment ids to run")
+    args = parser.parse_args()
+
+    if args.full:
+        os.environ["REPRO_FULL"] = "1"
+
+    selected = [e.strip() for e in args.only.split(",") if e.strip()] or list(EXPERIMENTS)
+    for key in selected:
+        if key not in EXPERIMENTS:
+            parser.error(f"unknown experiment {key!r}; choose from {', '.join(EXPERIMENTS)}")
+
+    for key in selected:
+        title, runner = EXPERIMENTS[key]
+        print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+        start = time.time()
+        print(runner(args))
+        print(f"[{key} completed in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Setuptools entry point.
+
+The pyproject metadata is intentionally minimal and this shim exists so
+that editable installs work in offline environments that lack the
+``wheel`` package (pip then falls back to the legacy ``setup.py develop``
+path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="Reproduction of Last-Touch Correlated Data Streaming (LT-cords), ISPASS 2007",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

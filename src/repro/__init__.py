@@ -1,0 +1,36 @@
+"""repro — reproduction of *Last-Touch Correlated Data Streaming* (ISPASS 2007).
+
+This package implements, in pure Python, the full system described by
+Ferdman & Falsafi: the LT-cords address-correlating prefetcher, the
+dead-block/last-touch machinery it builds on, the baseline prefetchers the
+paper compares against (DBCP, GHB PC/DC, stride), the memory-system
+substrate (set-associative caches, MSHRs, DRAM and bus models), a
+first-order out-of-order timing model, synthetic workload generators that
+stand in for the SPEC CPU2000 / Olden benchmarks, and the analysis code
+that regenerates every figure and table of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import quick_simulation
+>>> result = quick_simulation("mcf", predictor="ltcords", max_accesses=50_000)
+>>> 0.0 <= result.coverage <= 1.0
+True
+"""
+
+from repro.api import (
+    available_benchmarks,
+    available_predictors,
+    build_predictor,
+    build_workload,
+    quick_simulation,
+)
+from repro.version import __version__
+
+__all__ = [
+    "__version__",
+    "available_benchmarks",
+    "available_predictors",
+    "build_predictor",
+    "build_workload",
+    "quick_simulation",
+]

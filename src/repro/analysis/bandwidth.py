@@ -1,0 +1,58 @@
+"""Memory-bus utilisation breakdown (Section 5.8, Figure 12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.memory.bus import TrafficCategory
+from repro.sim.trace_driven import SimulationResult
+
+
+@dataclass
+class BandwidthBreakdown:
+    """Per-benchmark bytes-per-instruction split into Figure 12's categories."""
+
+    benchmark: str
+    base_data: float
+    incorrect_predictions: float
+    sequence_creation: float
+    sequence_fetch: float
+
+    @property
+    def total(self) -> float:
+        """Total bus bytes per instruction."""
+        return self.base_data + self.incorrect_predictions + self.sequence_creation + self.sequence_fetch
+
+    @property
+    def predictor_overhead(self) -> float:
+        """LT-cords overhead traffic (everything except base application data)."""
+        return self.total - self.base_data
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Predictor overhead as a fraction of base application traffic."""
+        if self.base_data == 0:
+            return 0.0 if self.predictor_overhead == 0 else float("inf")
+        return self.predictor_overhead / self.base_data
+
+    def as_dict(self) -> Dict[str, float]:
+        """Category name -> bytes per instruction (for table printing)."""
+        return {
+            "base data": self.base_data,
+            "incorrect predictions": self.incorrect_predictions,
+            "sequence creation": self.sequence_creation,
+            "sequence fetch": self.sequence_fetch,
+        }
+
+
+def bandwidth_breakdown(result: SimulationResult) -> BandwidthBreakdown:
+    """Convert a trace-driven :class:`SimulationResult` into Figure 12's rows."""
+    per_instruction = result.bytes_per_instruction()
+    return BandwidthBreakdown(
+        benchmark=result.benchmark,
+        base_data=per_instruction.get(TrafficCategory.BASE_DATA, 0.0),
+        incorrect_predictions=per_instruction.get(TrafficCategory.INCORRECT_PREDICTION, 0.0),
+        sequence_creation=per_instruction.get(TrafficCategory.SEQUENCE_CREATION, 0.0),
+        sequence_fetch=per_instruction.get(TrafficCategory.SEQUENCE_FETCH, 0.0),
+    )

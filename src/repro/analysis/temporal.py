@@ -1,0 +1,169 @@
+"""Temporal correlation of cache misses (Section 5.1, Figure 6).
+
+Following the paper, a cache miss is labelled by the tuple ``(miss PC,
+miss block address, evicted block address)``.  The *temporal correlation
+distance* between two consecutive misses is the distance between the
+previous occurrences of the same two misses in the global miss sequence:
+a distance of +1 means the pair recurred in exactly the same order, -1
+means the pair recurred reversed, and larger magnitudes mean the pair was
+separated by intervening misses when it last occurred.
+
+The module also measures the lengths of maximal runs of correlated misses
+(Figure 6 right): long runs are what allow LT-cords to stream long
+signature sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.config import CacheConfig, L1D_CONFIG
+from repro.analysis.cdf import CumulativeDistribution
+from repro.trace.stream import TraceStream
+
+MissLabel = Tuple[int, int, int]
+
+
+@dataclass
+class TemporalCorrelationResult:
+    """Temporal-correlation statistics for one benchmark."""
+
+    benchmark: str
+    num_misses: int
+    distances: CumulativeDistribution  # absolute correlation distances
+    uncorrelated_misses: int
+    perfectly_correlated_misses: int
+
+    @property
+    def perfect_correlation_fraction(self) -> float:
+        """Fraction of misses with correlation distance exactly +1."""
+        if self.num_misses == 0:
+            return 0.0
+        return self.perfectly_correlated_misses / self.num_misses
+
+    @property
+    def uncorrelated_fraction(self) -> float:
+        """Fraction of misses whose pair had no previous occurrence."""
+        if self.num_misses == 0:
+            return 0.0
+        return self.uncorrelated_misses / self.num_misses
+
+    def fraction_within(self, distance: int) -> float:
+        """Fraction of all misses with |correlation distance| <= ``distance``."""
+        if self.num_misses == 0:
+            return 0.0
+        return len(self.distances) * self.distances.fraction_at_or_below(distance) / self.num_misses
+
+
+def _miss_sequence(trace: TraceStream, config: CacheConfig) -> List[MissLabel]:
+    """The labelled L1D miss sequence of ``trace`` (misses that cause replacements)."""
+    cache = SetAssociativeCache(config)
+    misses: List[MissLabel] = []
+    for access in trace:
+        result = cache.access(access.address, access.is_write)
+        if result.miss:
+            evicted = result.evicted_address if result.evicted_address is not None else -1
+            misses.append((access.pc, result.block_address, evicted))
+    return misses
+
+
+def measure_temporal_correlation(
+    trace: TraceStream,
+    cache_config: Optional[CacheConfig] = None,
+) -> TemporalCorrelationResult:
+    """Compute the temporal correlation distance distribution for ``trace``."""
+    config = cache_config or L1D_CONFIG
+    misses = _miss_sequence(trace, config)
+
+    # previous_occurrence[i] is the index of the nearest preceding miss with
+    # the same label as misses[i], or None.
+    previous_occurrence: List[Optional[int]] = [None] * len(misses)
+    last_seen: Dict[MissLabel, int] = {}
+    for index, label in enumerate(misses):
+        previous_occurrence[index] = last_seen.get(label)
+        last_seen[label] = index
+
+    distances: List[float] = []
+    uncorrelated = 0
+    perfect = 0
+    for index in range(1, len(misses)):
+        prev_a = previous_occurrence[index - 1]
+        prev_b = previous_occurrence[index]
+        if prev_a is None or prev_b is None:
+            uncorrelated += 1
+            continue
+        distance = prev_b - prev_a
+        distances.append(abs(distance))
+        if distance == 1:
+            perfect += 1
+
+    return TemporalCorrelationResult(
+        benchmark=trace.name,
+        num_misses=max(0, len(misses) - 1),
+        distances=CumulativeDistribution(distances),
+        uncorrelated_misses=uncorrelated,
+        perfectly_correlated_misses=perfect,
+    )
+
+
+@dataclass
+class SequenceLengthResult:
+    """Correlated-miss sequence lengths (Figure 6 right)."""
+
+    benchmark: str
+    lengths: List[int] = field(default_factory=list)
+
+    @property
+    def distribution(self) -> CumulativeDistribution:
+        """CDF of correlated misses weighted by the length of their run.
+
+        Figure 6 (right) plots the cumulative fraction of *correlated
+        misses* that belong to runs of at most a given length, so each run
+        contributes ``length`` samples of value ``length``.
+        """
+        weighted: List[float] = []
+        for length in self.lengths:
+            weighted.extend([float(length)] * length)
+        return CumulativeDistribution(weighted)
+
+    @property
+    def longest_sequence(self) -> int:
+        """Length of the longest correlated run."""
+        return max(self.lengths) if self.lengths else 0
+
+
+def correlated_sequence_lengths(
+    trace: TraceStream,
+    cache_config: Optional[CacheConfig] = None,
+    max_distance: int = 16,
+) -> SequenceLengthResult:
+    """Measure maximal runs of misses whose correlation distance is within ``max_distance``."""
+    config = cache_config or L1D_CONFIG
+    misses = _miss_sequence(trace, config)
+
+    previous_occurrence: List[Optional[int]] = [None] * len(misses)
+    last_seen: Dict[MissLabel, int] = {}
+    for index, label in enumerate(misses):
+        previous_occurrence[index] = last_seen.get(label)
+        last_seen[label] = index
+
+    lengths: List[int] = []
+    current_run = 0
+    for index in range(1, len(misses)):
+        prev_a = previous_occurrence[index - 1]
+        prev_b = previous_occurrence[index]
+        correlated = (
+            prev_a is not None
+            and prev_b is not None
+            and abs(prev_b - prev_a) <= max_distance
+        )
+        if correlated:
+            current_run += 1
+        elif current_run:
+            lengths.append(current_run)
+            current_run = 0
+    if current_run:
+        lengths.append(current_run)
+    return SequenceLengthResult(benchmark=trace.name, lengths=lengths)

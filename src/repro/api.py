@@ -1,0 +1,68 @@
+"""Top-level convenience API.
+
+These helpers are what the examples and most downstream users touch: a
+registry of predictors, a registry of benchmarks, and a one-call
+trace-driven simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.interface import Prefetcher
+from repro.core.ltcords import LTCordsConfig, LTCordsPrefetcher
+from repro.prefetchers.dbcp import DBCPConfig, DBCPPrefetcher
+from repro.prefetchers.ghb import GHBConfig, GHBPrefetcher
+from repro.prefetchers.null import NullPrefetcher
+from repro.prefetchers.stride import StrideConfig, StridePrefetcher
+from repro.sim.trace_driven import SimulationResult, simulate_benchmark
+from repro.workloads.base import SyntheticWorkload, WorkloadConfig
+from repro.workloads.registry import BENCHMARK_NAMES, get_workload
+
+_PREDICTOR_BUILDERS = {
+    "none": lambda **kwargs: NullPrefetcher(),
+    "ltcords": lambda **kwargs: LTCordsPrefetcher(kwargs.get("config") or LTCordsConfig()),
+    "dbcp": lambda **kwargs: DBCPPrefetcher(kwargs.get("config") or DBCPConfig()),
+    "dbcp-unlimited": lambda **kwargs: DBCPPrefetcher(DBCPConfig.unlimited()),
+    "ghb": lambda **kwargs: GHBPrefetcher(kwargs.get("config") or GHBConfig()),
+    "stride": lambda **kwargs: StridePrefetcher(kwargs.get("config") or StrideConfig()),
+}
+
+
+def available_benchmarks() -> List[str]:
+    """Names of every synthetic benchmark (matching the paper's Table 2)."""
+    return list(BENCHMARK_NAMES)
+
+
+def available_predictors() -> List[str]:
+    """Names accepted by :func:`build_predictor` and :func:`quick_simulation`."""
+    return sorted(_PREDICTOR_BUILDERS)
+
+
+def build_predictor(name: str, config: Optional[object] = None) -> Prefetcher:
+    """Construct a predictor by name (``ltcords``, ``dbcp``, ``dbcp-unlimited``, ``ghb``, ``stride``, ``none``)."""
+    try:
+        builder = _PREDICTOR_BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown predictor {name!r}; available: {', '.join(available_predictors())}") from None
+    return builder(config=config)
+
+
+def build_workload(name: str, num_accesses: int = 200_000, seed: int = 42) -> SyntheticWorkload:
+    """Construct the synthetic workload for benchmark ``name``."""
+    return get_workload(name, WorkloadConfig(num_accesses=num_accesses, seed=seed))
+
+
+def quick_simulation(
+    benchmark: str,
+    predictor: str = "ltcords",
+    max_accesses: int = 100_000,
+    seed: int = 42,
+) -> SimulationResult:
+    """Run one trace-driven simulation of ``predictor`` on ``benchmark``."""
+    return simulate_benchmark(
+        benchmark,
+        prefetcher=build_predictor(predictor),
+        num_accesses=max_accesses,
+        seed=seed,
+    )

@@ -1,0 +1,44 @@
+"""Cache-hierarchy substrate.
+
+Implements the memory-system structures the paper's evaluation assumes
+(Table 1): set-associative caches with configurable replacement, a
+two-level hierarchy (64KB 2-way L1D backed by a 1MB 8-way unified L2),
+miss-status-holding registers, and support for prefetching blocks directly
+into the L1D (as both DBCP and LT-cords do).
+"""
+
+from repro.cache.config import CacheConfig
+from repro.cache.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    make_replacement_policy,
+)
+from repro.cache.cache import AccessResult, CacheBlock, SetAssociativeCache
+from repro.cache.mshr import MSHRFile
+from repro.cache.hierarchy import (
+    CacheHierarchy,
+    HierarchyAccessResult,
+    HierarchyConfig,
+    PrefetchOutcome,
+    ServiceLevel,
+)
+
+__all__ = [
+    "AccessResult",
+    "CacheBlock",
+    "CacheConfig",
+    "CacheHierarchy",
+    "FIFOReplacement",
+    "HierarchyAccessResult",
+    "HierarchyConfig",
+    "LRUReplacement",
+    "MSHRFile",
+    "PrefetchOutcome",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "ServiceLevel",
+    "SetAssociativeCache",
+    "make_replacement_policy",
+]

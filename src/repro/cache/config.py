@@ -1,0 +1,95 @@
+"""Cache geometry and latency configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and access latency of a single cache level.
+
+    Parameters mirror the columns of Table 1 in the paper: total capacity,
+    line (block) size, associativity, and hit latency in cycles.
+    """
+
+    name: str
+    size_bytes: int
+    block_size: int
+    associativity: int
+    hit_latency: int = 1
+    num_ports: int = 1
+    num_mshrs: int = 8
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.block_size):
+            raise ValueError(f"block_size must be a power of two, got {self.block_size}")
+        if self.associativity <= 0:
+            raise ValueError(f"associativity must be positive, got {self.associativity}")
+        if self.size_bytes <= 0 or self.size_bytes % (self.block_size * self.associativity):
+            raise ValueError(
+                "size_bytes must be a positive multiple of block_size * associativity "
+                f"(got size={self.size_bytes}, block={self.block_size}, ways={self.associativity})"
+            )
+        if not _is_power_of_two(self.num_sets):
+            raise ValueError(f"number of sets must be a power of two, got {self.num_sets}")
+        if self.hit_latency < 0:
+            raise ValueError("hit_latency must be non-negative")
+        if self.num_ports <= 0:
+            raise ValueError("num_ports must be positive")
+        if self.num_mshrs <= 0:
+            raise ValueError("num_mshrs must be positive")
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of cache blocks."""
+        return self.size_bytes // self.block_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return self.num_blocks // self.associativity
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits."""
+        return self.num_sets.bit_length() - 1
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of block-offset bits."""
+        return self.block_size.bit_length() - 1
+
+    def set_index(self, address: int) -> int:
+        """Set index for a byte address."""
+        return (address >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag(self, address: int) -> int:
+        """Tag for a byte address."""
+        return address >> (self.offset_bits + self.index_bits)
+
+    def block_address(self, address: int) -> int:
+        """Block-aligned address for a byte address."""
+        return address & ~(self.block_size - 1)
+
+
+# Baseline configurations from Table 1 of the paper.
+L1D_CONFIG = CacheConfig(
+    name="L1D", size_bytes=64 * 1024, block_size=64, associativity=2,
+    hit_latency=2, num_ports=4, num_mshrs=64,
+)
+L1I_CONFIG = CacheConfig(
+    name="L1I", size_bytes=64 * 1024, block_size=64, associativity=4, hit_latency=2,
+)
+L2_CONFIG = CacheConfig(
+    name="L2", size_bytes=1024 * 1024, block_size=64, associativity=8,
+    hit_latency=20, num_ports=1, num_mshrs=32,
+)
+L2_4MB_CONFIG = CacheConfig(
+    name="L2-4MB", size_bytes=4 * 1024 * 1024, block_size=64, associativity=8,
+    hit_latency=20, num_ports=1, num_mshrs=32,
+)

@@ -1,0 +1,177 @@
+"""Two-level cache hierarchy (L1D backed by a unified L2).
+
+The hierarchy is the functional substrate shared by the trace-driven and
+timing simulations.  Every demand access walks L1D then L2 then memory;
+the result records at which level the access was serviced, which is what
+both the miss-rate study (Table 2) and the timing model (Table 3) need.
+Prefetches are inserted directly into the L1D, and the hierarchy reports
+whether the prefetched data was found in the L2 or had to come from
+memory so that bus-utilisation accounting (Figure 12) is possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.cache.cache import AccessResult, SetAssociativeCache
+from repro.cache.config import CacheConfig, L1D_CONFIG, L2_CONFIG
+
+
+class ServiceLevel(Enum):
+    """Level of the memory hierarchy that serviced a request."""
+
+    L1 = "L1"
+    L2 = "L2"
+    MEMORY = "MEMORY"
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Configuration of the two-level hierarchy."""
+
+    l1: CacheConfig = L1D_CONFIG
+    l2: CacheConfig = L2_CONFIG
+
+    def __post_init__(self) -> None:
+        if self.l1.block_size != self.l2.block_size:
+            raise ValueError("L1 and L2 must use the same block size")
+
+
+@dataclass
+class HierarchyAccessResult:
+    """Outcome of one demand access walking the hierarchy."""
+
+    level: ServiceLevel
+    l1_result: AccessResult
+    l2_result: Optional[AccessResult] = None
+    prefetch_hit: bool = False
+
+    @property
+    def l1_hit(self) -> bool:
+        """``True`` when the access hit in the L1D."""
+        return self.l1_result.hit
+
+    @property
+    def l1_miss(self) -> bool:
+        """``True`` when the access missed in the L1D."""
+        return not self.l1_result.hit
+
+    @property
+    def l2_miss(self) -> bool:
+        """``True`` when the access also missed in the L2 (went off chip)."""
+        return self.level is ServiceLevel.MEMORY
+
+
+@dataclass
+class PrefetchOutcome:
+    """Outcome of a prefetch insertion into the L1D."""
+
+    source: ServiceLevel
+    l1_result: Optional[AccessResult] = None
+
+    @property
+    def installed(self) -> bool:
+        """``True`` when the block was actually inserted (not already resident)."""
+        return self.l1_result is not None
+
+    @property
+    def evicted_address(self) -> Optional[int]:
+        """Block displaced by the insertion, if any."""
+        return self.l1_result.evicted_address if self.l1_result else None
+
+    @property
+    def evicted_was_unused_prefetch(self) -> bool:
+        """``True`` if the displaced block was itself an unused prefetch."""
+        return bool(self.l1_result and self.l1_result.evicted_was_prefetched_unused)
+
+
+@dataclass
+class HierarchyStats:
+    """Hierarchy-wide counters."""
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    prefetches_issued: int = 0
+    prefetches_from_l2: int = 0
+    prefetches_from_memory: int = 0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1D misses per L1D access."""
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 misses per L2 access (local miss rate, as in Table 2)."""
+        l2_accesses = self.l2_hits + self.l2_misses
+        return self.l2_misses / l2_accesses if l2_accesses else 0.0
+
+
+class CacheHierarchy:
+    """Functional L1D + unified L2 hierarchy with prefetch-into-L1 support."""
+
+    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+        self.config = config or HierarchyConfig()
+        self.l1 = SetAssociativeCache(self.config.l1, replacement="lru")
+        self.l2 = SetAssociativeCache(self.config.l2, replacement="lru")
+        self.stats = HierarchyStats()
+
+    @property
+    def block_size(self) -> int:
+        """Cache block size shared by both levels."""
+        return self.config.l1.block_size
+
+    def access(self, address: int, is_write: bool = False) -> HierarchyAccessResult:
+        """Perform a demand access, walking L1D, then L2, then memory."""
+        self.stats.accesses += 1
+        l1_result = self.l1.access(address, is_write=is_write)
+        if l1_result.hit:
+            self.stats.l1_hits += 1
+            return HierarchyAccessResult(
+                level=ServiceLevel.L1,
+                l1_result=l1_result,
+                prefetch_hit=l1_result.prefetch_hit,
+            )
+
+        self.stats.l1_misses += 1
+        # L1 victim writeback is absorbed by the L2 (not explicitly modelled
+        # beyond the dirty-writeback counters in each cache's stats).
+        l2_result = self.l2.access(address, is_write=False)
+        if l2_result.hit:
+            self.stats.l2_hits += 1
+            level = ServiceLevel.L2
+        else:
+            self.stats.l2_misses += 1
+            level = ServiceLevel.MEMORY
+        return HierarchyAccessResult(level=level, l1_result=l1_result, l2_result=l2_result)
+
+    def prefetch_into_l1(self, address: int, victim_address: Optional[int] = None) -> PrefetchOutcome:
+        """Bring the block holding ``address`` into the L1D as a prefetch.
+
+        Returns a :class:`PrefetchOutcome` describing where the data came
+        from (``L1`` means the block was already resident and nothing was
+        done) and which block, if any, the insertion displaced.
+        """
+        self.stats.prefetches_issued += 1
+        if self.l1.contains(address):
+            return PrefetchOutcome(source=ServiceLevel.L1)
+        if self.l2.contains(address):
+            source = ServiceLevel.L2
+            self.stats.prefetches_from_l2 += 1
+            self.l2.access(address, is_write=False)  # refresh L2 LRU state
+        else:
+            source = ServiceLevel.MEMORY
+            self.stats.prefetches_from_memory += 1
+            self.l2.access(address, is_write=False)  # allocate in L2 on the way in
+        insert_result = self.l1.insert_prefetch(address, victim_address=victim_address)
+        return PrefetchOutcome(source=source, l1_result=insert_result)
+
+    def flush(self) -> None:
+        """Invalidate both cache levels."""
+        self.l1.flush()
+        self.l2.flush()

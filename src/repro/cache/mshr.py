@@ -1,0 +1,93 @@
+"""Miss-status holding registers (MSHRs).
+
+The timing model uses the MSHR file to bound the number of outstanding
+misses a cache level can sustain (Table 1: 64 L1D MSHRs), which in turn
+bounds the memory-level parallelism the out-of-order core can exploit.
+Secondary misses to an already-outstanding block merge into the existing
+entry rather than allocating a new one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding miss."""
+
+    block_address: int
+    issue_cycle: int
+    complete_cycle: int
+    merged_requests: int = 0
+
+
+@dataclass
+class MSHRStats:
+    """Counters describing MSHR behaviour."""
+
+    allocations: int = 0
+    merges: int = 0
+    full_stalls: int = 0
+
+
+class MSHRFile:
+    """A fixed-capacity file of outstanding-miss registers."""
+
+    def __init__(self, num_entries: int) -> None:
+        if num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        self.num_entries = num_entries
+        self._entries: Dict[int, MSHREntry] = {}
+        self.stats = MSHRStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """``True`` when no further primary miss can be allocated."""
+        return len(self._entries) >= self.num_entries
+
+    def outstanding(self, block_address: int) -> Optional[MSHREntry]:
+        """Return the entry for ``block_address`` if a miss is outstanding."""
+        return self._entries.get(block_address)
+
+    def allocate(self, block_address: int, issue_cycle: int, complete_cycle: int) -> MSHREntry:
+        """Allocate an entry for a primary miss, or merge a secondary miss.
+
+        Raises
+        ------
+        RuntimeError
+            If the block has no outstanding entry and the file is full.
+        """
+        existing = self._entries.get(block_address)
+        if existing is not None:
+            existing.merged_requests += 1
+            self.stats.merges += 1
+            return existing
+        if self.full:
+            self.stats.full_stalls += 1
+            raise RuntimeError("MSHR file full")
+        entry = MSHREntry(block_address=block_address, issue_cycle=issue_cycle, complete_cycle=complete_cycle)
+        self._entries[block_address] = entry
+        self.stats.allocations += 1
+        return entry
+
+    def retire_completed(self, cycle: int) -> List[MSHREntry]:
+        """Release every entry whose miss has completed by ``cycle``."""
+        done = [e for e in self._entries.values() if e.complete_cycle <= cycle]
+        for entry in done:
+            del self._entries[entry.block_address]
+        return done
+
+    def earliest_completion(self) -> Optional[int]:
+        """Cycle at which the earliest outstanding miss completes."""
+        if not self._entries:
+            return None
+        return min(e.complete_cycle for e in self._entries.values())
+
+    def clear(self) -> None:
+        """Drop all outstanding entries (used at context switches)."""
+        self._entries.clear()

@@ -1,0 +1,49 @@
+"""Saturating confidence counters (Section 4.4).
+
+Every last-touch signature carries a 2-bit saturating confidence counter,
+initialised to 2 ("because most signatures are valid immediately after
+creation ... to expedite training").  A prediction is only made when the
+counter is at or above the prediction threshold; correct predictions
+increment the counter and incorrect ones decrement it.
+"""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An n-bit saturating counter."""
+
+    __slots__ = ("bits", "value", "_max")
+
+    def __init__(self, bits: int = 2, initial: int = 2) -> None:
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        self.bits = bits
+        self._max = (1 << bits) - 1
+        if not 0 <= initial <= self._max:
+            raise ValueError(f"initial value {initial} out of range for {bits}-bit counter")
+        self.value = initial
+
+    @property
+    def max_value(self) -> int:
+        """Largest representable value."""
+        return self._max
+
+    def increment(self) -> int:
+        """Increase the counter by one, saturating at the maximum; return the new value."""
+        if self.value < self._max:
+            self.value += 1
+        return self.value
+
+    def decrement(self) -> int:
+        """Decrease the counter by one, saturating at zero; return the new value."""
+        if self.value > 0:
+            self.value -= 1
+        return self.value
+
+    def is_confident(self, threshold: int = 2) -> bool:
+        """``True`` when the counter is at or above ``threshold``."""
+        return self.value >= threshold
+
+    def __repr__(self) -> str:
+        return f"SaturatingCounter(bits={self.bits}, value={self.value})"

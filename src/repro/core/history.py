@@ -1,0 +1,148 @@
+"""The last-touch history table (Section 2, Figure 1; Section 4.1).
+
+The history table mirrors the L1D tag array.  For every resident block it
+accumulates a hash of the program counters of the committed memory
+instructions that have accessed *that block* since it was filled, plus
+the tag of the block it replaced (the address-history component of the
+signature).  The signature of a block therefore stops changing at the
+block's last touch; when the block is finally evicted, the accumulated
+signature is exactly the one that was current at the last touch, so a
+recurrence of the same access pattern re-creates the same signature at
+the same point — which is what lets the predictor recognise a last touch
+*before* the eviction happens.
+
+On an eviction the table emits ``(signature key, replacement block
+address)`` — the correlation pair stored by DBCP's on-chip table or
+LT-cords' off-chip sequence storage.  On every committed access it emits
+the *candidate* key for the block just touched, which the predictors look
+up to decide whether this access is a last touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.config import CacheConfig
+from repro.core.signatures import SignatureConfig, hash_combine
+
+
+@dataclass
+class BlockHistory:
+    """Per-resident-block last-touch history state.
+
+    ``previous_block`` is the (block-aligned) address of the block this
+    block replaced — the address-history component {A1} of the signature
+    in Figure 1 of the paper.
+    """
+
+    pc_trace_hash: int = 0
+    trace_length: int = 0
+    previous_block: int = 0
+
+
+@dataclass
+class HistoryTableStats:
+    """Counters describing history-table activity."""
+
+    accesses: int = 0
+    evictions: int = 0
+    cold_evictions: int = 0
+
+
+class HistoryTable:
+    """Builds last-touch signature keys from the committed reference stream."""
+
+    def __init__(
+        self,
+        cache_config: CacheConfig,
+        signature_config: Optional[SignatureConfig] = None,
+    ) -> None:
+        self.cache_config = cache_config
+        self.signature_config = signature_config or SignatureConfig()
+        # Per set: resident block tag -> its accumulated history.
+        self._sets: List[Dict[int, BlockHistory]] = [dict() for _ in range(cache_config.num_sets)]
+        self.stats = HistoryTableStats()
+
+    # ------------------------------------------------------------------ geometry
+    @property
+    def num_sets(self) -> int:
+        """Number of sets tracked (equals the number of L1D sets)."""
+        return len(self._sets)
+
+    def tracked_blocks(self) -> int:
+        """Number of blocks with live history entries (for tests/inspection)."""
+        return sum(len(s) for s in self._sets)
+
+    def storage_bits(self, trace_hash_bits: Optional[int] = None, tag_bits: int = 15) -> int:
+        """Nominal on-chip storage of the history table, in bits.
+
+        One entry per L1D block: the running trace hash plus the
+        previous-block tag.  This is part of the "214KB of on-chip
+        storage" the paper quotes alongside the signature cache and
+        sequence tag array.
+        """
+        hash_bits = trace_hash_bits if trace_hash_bits is not None else self.signature_config.trace_hash_bits
+        per_entry = hash_bits + tag_bits
+        return per_entry * self.cache_config.num_blocks
+
+    # ------------------------------------------------------------------ key construction
+    def _make_key(self, history: BlockHistory, block_address: int) -> int:
+        raw = history.pc_trace_hash
+        raw = hash_combine(raw, history.previous_block)
+        raw = hash_combine(raw, block_address)
+        return self.signature_config.truncate_key(raw)
+
+    def observe_access(self, pc: int, address: int) -> int:
+        """Fold a committed access into the block's trace; return the candidate key.
+
+        The candidate key is the signature that *will* be recorded if this
+        access turns out to be the block's last touch; the predictors look
+        it up to identify last touches.
+        """
+        self.stats.accesses += 1
+        set_index = self.cache_config.set_index(address)
+        tag = self.cache_config.tag(address)
+        block_address = self.cache_config.block_address(address)
+        history = self._sets[set_index].setdefault(tag, BlockHistory())
+        history.pc_trace_hash = hash_combine(history.pc_trace_hash, pc)
+        history.trace_length += 1
+        return self._make_key(history, block_address)
+
+    def peek_key(self, address: int) -> int:
+        """Candidate key for the block holding ``address`` without updating its trace."""
+        set_index = self.cache_config.set_index(address)
+        tag = self.cache_config.tag(address)
+        block_address = self.cache_config.block_address(address)
+        history = self._sets[set_index].get(tag, BlockHistory())
+        return self._make_key(history, block_address)
+
+    def observe_eviction(self, evicted_address: int, replacement_address: int) -> Tuple[int, int]:
+        """Record an eviction; return ``(signature_key, predicted_block_address)``.
+
+        The evicted block's accumulated history (which last changed at its
+        last touch) forms the key; the replacing block's address is the
+        prediction target.  The evicted block's entry is retired and a
+        fresh entry is opened for the replacement with the evicted block's
+        address as its address history.
+        """
+        self.stats.evictions += 1
+        set_index = self.cache_config.set_index(evicted_address)
+        evicted_tag = self.cache_config.tag(evicted_address)
+        evicted_block = self.cache_config.block_address(evicted_address)
+        history = self._sets[set_index].pop(evicted_tag, None)
+        if history is None:
+            history = BlockHistory()
+            self.stats.cold_evictions += 1
+        key = self._make_key(history, evicted_block)
+        predicted = self.cache_config.block_address(replacement_address)
+
+        replacement_set = self.cache_config.set_index(replacement_address)
+        replacement_tag = self.cache_config.tag(replacement_address)
+        self._sets[replacement_set][replacement_tag] = BlockHistory(previous_block=evicted_block)
+        return key, predicted
+
+    def reset(self) -> None:
+        """Clear all per-block state (used between independent simulations)."""
+        for bucket in self._sets:
+            bucket.clear()

@@ -1,0 +1,117 @@
+"""Last-touch signature encoding.
+
+A last-touch signature identifies "the same point" in a recurring access
+pattern: it hashes the PC trace of the instructions that touched a cache
+set since its previous eviction together with the address history (the
+tags of the previously evicted blocks and of the block about to die), and
+it carries the address of the block that replaced the dying block — the
+prediction target (Section 2, Figure 1; Section 4.1).
+
+The trace-driven studies in the paper use 32-bit signatures to minimise
+hash collisions; the realistic hardware configuration (Section 5.6) packs
+a 23-bit history-trace hash, a 2-bit confidence counter and a 15-bit
+prediction-address tag into each stored signature.  :class:`SignatureConfig`
+captures those widths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Knuth's multiplicative constant; any odd 32-bit constant with good bit
+# dispersion works — the predictors only need a deterministic, well-mixed
+# fold of PC/tag values into a fixed number of bits.
+_HASH_MULTIPLIER = 0x9E3779B1
+_MASK_64 = (1 << 64) - 1
+
+
+def hash_combine(current: int, value: int) -> int:
+    """Fold ``value`` into the running hash ``current`` (64-bit arithmetic)."""
+    return ((current ^ value) * _HASH_MULTIPLIER + 0x7F4A7C15) & _MASK_64
+
+
+def fold_hash(value: int, bits: int) -> int:
+    """Reduce a 64-bit hash to ``bits`` bits by xor-folding."""
+    if bits <= 0:
+        raise ValueError("bits must be positive")
+    folded = 0
+    remaining = value & _MASK_64
+    while remaining:
+        folded ^= remaining & ((1 << bits) - 1)
+        remaining >>= bits
+    return folded
+
+
+@dataclass(frozen=True)
+class SignatureConfig:
+    """Bit widths of the stored last-touch signature.
+
+    ``trace_hash_bits`` — width of the history-trace hash (the lookup key).
+    ``address_tag_bits`` — width of the stored prediction-address tag; when
+    smaller than a full block address, predictions reconstruct the full
+    address by combining the tag with the set index of the dying block
+    (modelled by keeping the full address alongside and reporting the
+    nominal storage cost separately).
+    ``confidence_bits`` — width of the per-signature confidence counter.
+    """
+
+    trace_hash_bits: int = 32
+    address_tag_bits: int = 32
+    confidence_bits: int = 2
+    pointer_bits: int = 25
+
+    def __post_init__(self) -> None:
+        for field_name in ("trace_hash_bits", "address_tag_bits", "confidence_bits", "pointer_bits"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    @property
+    def stored_bits(self) -> int:
+        """Bits stored per signature in off-chip sequence storage."""
+        return self.trace_hash_bits + self.address_tag_bits + self.confidence_bits
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes per signature in off-chip sequence storage (rounded up)."""
+        return -(-self.stored_bits // 8)
+
+    @property
+    def signature_cache_entry_bits(self) -> int:
+        """Bits per on-chip signature-cache entry (tag + confidence + pointer).
+
+        Section 5.6: each signature cache entry is 42 bits — a 15-bit
+        prediction address tag, a 2-bit confidence counter, and a 25-bit
+        pointer into off-chip storage.
+        """
+        return self.address_tag_bits + self.confidence_bits + self.pointer_bits
+
+    def truncate_key(self, raw_hash: int) -> int:
+        """Truncate a raw 64-bit history hash to the configured key width."""
+        return fold_hash(raw_hash, self.trace_hash_bits)
+
+
+# Configurations used in the paper.
+TRACE_STUDY_SIGNATURES = SignatureConfig(trace_hash_bits=32, address_tag_bits=32, confidence_bits=2)
+REALISTIC_SIGNATURES = SignatureConfig(trace_hash_bits=23, address_tag_bits=15, confidence_bits=2, pointer_bits=25)
+
+
+@dataclass
+class LastTouchSignature:
+    """A recorded last-touch signature.
+
+    ``key`` is the truncated history-trace hash used for lookup;
+    ``predicted_address`` is the block address to prefetch when the key
+    recurs; ``confidence`` is the current value of the 2-bit counter.
+    """
+
+    key: int
+    predicted_address: int
+    confidence: int = 2
+
+    def __post_init__(self) -> None:
+        if self.key < 0:
+            raise ValueError("key must be non-negative")
+        if self.predicted_address < 0:
+            raise ValueError("predicted_address must be non-negative")
+        if self.confidence < 0:
+            raise ValueError("confidence must be non-negative")

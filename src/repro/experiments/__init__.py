@@ -1,0 +1,23 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run(...)`` function returning structured result
+rows and a ``format_table(rows)`` helper producing the text table printed
+by the corresponding benchmark harness.  DESIGN.md maps each experiment
+to its module; EXPERIMENTS.md records paper-versus-measured values.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_NUM_ACCESSES,
+    QUICK_BENCHMARKS,
+    REPRESENTATIVE_BENCHMARKS,
+    format_table,
+    selected_benchmarks,
+)
+
+__all__ = [
+    "DEFAULT_NUM_ACCESSES",
+    "QUICK_BENCHMARKS",
+    "REPRESENTATIVE_BENCHMARKS",
+    "format_table",
+    "selected_benchmarks",
+]

@@ -1,0 +1,69 @@
+"""Figure 10 — LT-cords coverage versus off-chip sequence storage size."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.ltcords import LTCordsConfig, LTCordsPrefetcher
+from repro.core.sequence_storage import SequenceStorageConfig
+from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
+from repro.sim.trace_driven import TraceDrivenSimulator
+from repro.workloads.base import WorkloadConfig
+from repro.workloads.registry import get_workload
+
+#: Off-chip capacities swept, in signatures.  The paper sweeps 2M..32M for
+#: full-size benchmarks; the scaled traces create tens of thousands of
+#: signatures, so the sweep covers the same relative range.
+DEFAULT_CAPACITIES = (4096, 8192, 16384, 32768, 65536, 131072)
+
+#: Benchmarks the paper highlights as having the largest storage needs.
+DEFAULT_BENCHMARKS = ("lucas", "mgrid", "applu", "swim", "mcf", "art")
+
+
+@dataclass
+class StorageSweep:
+    """Coverage per off-chip storage capacity (fraction of achievable)."""
+
+    capacities: List[int]
+    normalized_coverage: Dict[str, List[float]]
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    capacities: Sequence[int] = DEFAULT_CAPACITIES,
+    num_accesses: int = DEFAULT_NUM_ACCESSES,
+    seed: int = 42,
+    fragment_size: int = 512,
+) -> StorageSweep:
+    """Sweep the number of off-chip frames (capacity = frames x fragment size)."""
+    names = selected_benchmarks(list(benchmarks) if benchmarks is not None else list(DEFAULT_BENCHMARKS))
+    traces = {
+        name: get_workload(name, WorkloadConfig(num_accesses=num_accesses, seed=seed)).generate()
+        for name in names
+    }
+    coverage: Dict[str, List[float]] = {name: [] for name in names}
+    for capacity in capacities:
+        num_frames = max(1, capacity // fragment_size)
+        config = LTCordsConfig(
+            storage_config=SequenceStorageConfig(num_frames=num_frames, fragment_size=fragment_size),
+        )
+        for name in names:
+            result = TraceDrivenSimulator(prefetcher=LTCordsPrefetcher(config)).run(traces[name])
+            coverage[name].append(result.coverage)
+
+    normalised: Dict[str, List[float]] = {}
+    for name in names:
+        best = max(coverage[name]) or 1.0
+        normalised[name] = [c / best if best > 0.01 else 0.0 for c in coverage[name]]
+    return StorageSweep(capacities=list(capacities), normalized_coverage=normalised)
+
+
+def format_results(sweep: StorageSweep) -> str:
+    """Render the Figure 10 series."""
+    headers = ["benchmark"] + [f"{c // 1024}K sigs" for c in sweep.capacities]
+    body = [
+        (name,) + tuple(f"{100 * v:.0f}%" for v in series)
+        for name, series in sorted(sweep.normalized_coverage.items())
+    ]
+    return format_table(headers, body)

@@ -1,0 +1,68 @@
+"""Figure 11 — LT-cords coverage in a multi-programmed environment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.common import format_table
+from repro.sim.multiprogram import MultiProgramResult, simulate_pair
+
+#: The benchmark pairings shown in Figure 11 of the paper (primary, secondary).
+DEFAULT_PAIRINGS: Tuple[Tuple[str, str], ...] = (
+    ("gcc", "mcf"), ("gcc", "gzip"), ("gcc", "swim"),
+    ("mcf", "gcc"), ("mcf", "vortex"), ("mcf", "fma3d"),
+    ("swim", "fma3d"), ("swim", "mesa"), ("swim", "gcc"),
+    ("fma3d", "swim"), ("fma3d", "facerec"), ("fma3d", "mcf"),
+    ("lucas", "applu"), ("lucas", "mgrid"),
+)
+
+
+@dataclass
+class MultiProgramRow:
+    """Coverage of a primary benchmark standalone and paired with another."""
+
+    result: MultiProgramResult
+
+    @property
+    def label(self) -> str:
+        """``primary w/ secondary`` label matching the paper's x-axis."""
+        return f"{self.result.primary} w/ {self.result.secondary}"
+
+
+def run(
+    pairings: Optional[Sequence[Tuple[str, str]]] = None,
+    num_accesses: int = 90_000,
+    quantum_instructions: int = 20_000,
+    max_switches: int = 60,
+    seed: int = 42,
+) -> List[MultiProgramRow]:
+    """Simulate each pairing under shared LT-cords structures."""
+    rows: List[MultiProgramRow] = []
+    for primary, secondary in (pairings if pairings is not None else DEFAULT_PAIRINGS):
+        result = simulate_pair(
+            primary,
+            secondary,
+            num_accesses=num_accesses,
+            quantum_instructions=quantum_instructions,
+            max_switches=max_switches,
+            seed=seed,
+        )
+        rows.append(MultiProgramRow(result=result))
+    return rows
+
+
+def format_results(rows: Sequence[MultiProgramRow]) -> str:
+    """Render the Figure 11 comparison."""
+    return format_table(
+        ["pairing", "standalone coverage", "paired coverage", "retention"],
+        [
+            (
+                row.label,
+                f"{100 * row.result.primary_standalone_coverage:.0f}%",
+                f"{100 * row.result.primary_coverage:.0f}%",
+                f"{100 * row.result.primary_coverage_retention:.0f}%",
+            )
+            for row in rows
+        ],
+    )

@@ -1,0 +1,24 @@
+"""Section 5.9 — power comparison between the LT-cords structures and the L1D."""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.power.comparison import LTCordsPowerComparison, compare_ltcords_to_l1d
+
+
+def run(l1d_miss_rate: float = 0.20) -> LTCordsPowerComparison:
+    """Run the analytical power comparison at the paper's assumed miss rate."""
+    return compare_ltcords_to_l1d(l1d_miss_rate=l1d_miss_rate)
+
+
+def format_results(result: LTCordsPowerComparison) -> str:
+    """Render the Section 5.9 comparison."""
+    rows = [
+        ("L1D access energy", f"{result.l1d_access_energy_pj:.1f} pJ"),
+        ("Signature cache access energy", f"{result.signature_cache_access_energy_pj:.1f} pJ"),
+        ("Sequence tag array access energy", f"{result.sequence_tag_array_access_energy_pj:.1f} pJ"),
+        ("L1D leakage", f"{result.l1d_leakage_mw:.0f} mW"),
+        ("LT-cords leakage (high-Vt)", f"{result.ltcords_leakage_mw:.0f} mW"),
+        ("LT-cords dynamic power / L1D dynamic power", f"{100 * result.dynamic_power_ratio:.0f}% (paper: ~48%)"),
+    ]
+    return format_table(["Quantity", "Value"], rows)

@@ -1,0 +1,43 @@
+"""Table 1 — system configuration.
+
+Not a measurement: this module renders the simulated system configuration
+so a reader can verify it against Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.ltcords import LTCordsConfig
+from repro.experiments.common import format_table
+from repro.timing.config import SystemConfig
+
+
+def run(system: SystemConfig = SystemConfig(), ltcords: LTCordsConfig = LTCordsConfig()) -> List[Tuple[str, str]]:
+    """Return ``(parameter, value)`` rows describing the simulated system."""
+    rows: List[Tuple[str, str]] = [
+        ("Clock rate", f"{system.clock_ghz:g} GHz"),
+        ("Issue/retire width", f"{system.issue_width} instructions/cycle"),
+        ("Reorder buffer", f"{system.rob_entries} entries"),
+        ("Load/store queue", f"{system.lsq_entries} entries"),
+        ("L1 D", f"{system.l1d.size_bytes // 1024}KB, {system.l1d.block_size}-byte line, "
+                 f"{system.l1d.associativity}-way, {system.l1d.hit_latency}-cycle"),
+        ("L1 D ports / MSHRs", f"{system.l1d.num_ports} / {system.l1d.num_mshrs}"),
+        ("L2 (unified)", f"{system.l2.size_bytes // (1024 * 1024)}MB, {system.l2.associativity}-way, "
+                          f"{system.l2.hit_latency}-cycle"),
+        ("Memory", f"{system.dram.size_bytes >> 30}GB, {system.dram.first_chunk_latency} cycles first "
+                    f"{system.dram.chunk_bytes}B, {system.dram.chunk_latency} cycles each subsequent"),
+        ("Bus", f"{system.bus.width_bytes}-byte wide, {system.bus.bus_clock_mhz:g} MHz"),
+        ("LT-cords signature cache", f"{ltcords.signature_cache_config.num_entries // 1024}K entries, "
+                                      f"{ltcords.signature_cache_config.associativity}-way, "
+                                      f"{ltcords.signature_cache_config.storage_bytes(ltcords.signature_config) // 1024}KB"),
+        ("LT-cords sequence storage", f"{ltcords.storage_config.num_frames} frames x "
+                                       f"{ltcords.storage_config.fragment_size} signatures"),
+        ("LT-cords on-chip storage", f"{ltcords.on_chip_storage_bytes() // 1024}KB"),
+    ]
+    return rows
+
+
+def format_results(rows) -> str:
+    """Render the configuration table."""
+    return format_table(["Parameter", "Value"], rows)

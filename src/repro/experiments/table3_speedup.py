@@ -1,0 +1,108 @@
+"""Table 3 — percent performance improvement over the baseline processor.
+
+Compares, per benchmark: a perfect L1D, LT-cords, the GHB PC/DC
+prefetcher, a realistic (2MB-table) DBCP, and a baseline with a 4MB L2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.config import L2_4MB_CONFIG
+from repro.cache.hierarchy import HierarchyConfig
+from repro.core.ltcords import LTCordsPrefetcher
+from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
+from repro.prefetchers.dbcp import DBCPConfig, DBCPPrefetcher
+from repro.prefetchers.ghb import GHBPrefetcher
+from repro.sim.timing import TimingSimulator
+from repro.workloads.base import WorkloadConfig
+from repro.workloads.registry import benchmark_metadata, get_workload
+
+CONFIGURATIONS = ("perfect-l1", "ltcords", "ghb", "dbcp", "4mb-l2")
+
+#: The paper's "realistic DBCP" uses a 2MB table, roughly 1/40th-1/80th of
+#: the correlation data its benchmarks need (80-160MB, Figure 4).  The scaled
+#: synthetic traces need tens of thousands of signatures, so the realistic
+#: DBCP is scaled by the same ratio rather than given the paper's absolute
+#: 2MB (which at this scale would behave like the unlimited oracle).
+SCALED_DBCP_TABLE_ENTRIES = 2048
+
+
+@dataclass
+class SpeedupRow:
+    """Measured and paper-reported speedups for one benchmark."""
+
+    benchmark: str
+    baseline_ipc: float
+    speedup_pct: Dict[str, float] = field(default_factory=dict)
+    paper_speedup_pct: Dict[str, float] = field(default_factory=dict)
+
+
+def _paper_values(name: str) -> Dict[str, float]:
+    metadata = benchmark_metadata(name)
+    return {
+        "perfect-l1": metadata.paper_speedup_perfect_l1,
+        "ltcords": metadata.paper_speedup_ltcords,
+        "ghb": metadata.paper_speedup_ghb,
+        "dbcp": metadata.paper_speedup_dbcp,
+        "4mb-l2": metadata.paper_speedup_4mb_l2,
+    }
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_accesses: int = DEFAULT_NUM_ACCESSES,
+    seed: int = 42,
+    configurations: Sequence[str] = CONFIGURATIONS,
+) -> List[SpeedupRow]:
+    """Measure Table 3's speedups for each benchmark and configuration."""
+    rows: List[SpeedupRow] = []
+    big_l2 = HierarchyConfig(l2=L2_4MB_CONFIG)
+    for name in selected_benchmarks(benchmarks):
+        trace = get_workload(name, WorkloadConfig(num_accesses=num_accesses, seed=seed)).generate()
+        baseline = TimingSimulator().run(trace)
+        row = SpeedupRow(benchmark=name, baseline_ipc=baseline.ipc, paper_speedup_pct=_paper_values(name))
+        for config_name in configurations:
+            if config_name == "perfect-l1":
+                simulator = TimingSimulator(perfect_l1=True)
+            elif config_name == "ltcords":
+                simulator = TimingSimulator(prefetcher=LTCordsPrefetcher())
+            elif config_name == "ghb":
+                simulator = TimingSimulator(prefetcher=GHBPrefetcher())
+            elif config_name == "dbcp":
+                simulator = TimingSimulator(
+                    prefetcher=DBCPPrefetcher(DBCPConfig(table_entries=SCALED_DBCP_TABLE_ENTRIES))
+                )
+            elif config_name == "4mb-l2":
+                simulator = TimingSimulator(hierarchy_config=big_l2)
+            else:
+                raise ValueError(f"unknown configuration {config_name!r}")
+            result = simulator.run(trace)
+            row.speedup_pct[config_name] = result.speedup_over(baseline)
+        rows.append(row)
+    return rows
+
+
+def mean_speedups(rows: Sequence[SpeedupRow]) -> Dict[str, float]:
+    """Arithmetic-mean speedup per configuration across benchmarks."""
+    if not rows:
+        return {}
+    keys = rows[0].speedup_pct.keys()
+    return {k: sum(r.speedup_pct[k] for r in rows) / len(rows) for k in keys}
+
+
+def format_results(rows: Sequence[SpeedupRow]) -> str:
+    """Render Table 3 (measured, with the paper's numbers in parentheses)."""
+    headers = ["benchmark", "base IPC"] + [f"{c} % (paper)" for c in CONFIGURATIONS]
+    body = []
+    for r in rows:
+        cells = [r.benchmark, f"{r.baseline_ipc:.2f}"]
+        for c in CONFIGURATIONS:
+            measured = r.speedup_pct.get(c, 0.0)
+            paper = r.paper_speedup_pct.get(c, 0.0)
+            cells.append(f"{measured:+.0f} ({paper:+.0f})")
+        body.append(tuple(cells))
+    means = mean_speedups(rows)
+    footer = "\nMean measured speedups: " + ", ".join(f"{c}={means.get(c, 0.0):+.0f}%" for c in CONFIGURATIONS)
+    return format_table(headers, body) + footer

@@ -1,0 +1,116 @@
+"""Memory-bus model and traffic accounting.
+
+Figure 12 of the paper breaks per-benchmark memory-bus utilisation (bytes
+per instruction) into four categories: base application data, extraneous
+transfers from incorrect predictions, sequence-creation traffic (writing
+last-touch signature sequences and confidence updates off chip), and
+sequence-fetch traffic (streaming signatures back on chip).  The
+:class:`BusModel` accumulates bytes and cycles per category and computes
+utilisation and occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+
+class TrafficCategory(Enum):
+    """Bus traffic categories used in Figure 12."""
+
+    BASE_DATA = "base data"
+    INCORRECT_PREDICTION = "incorrect predictions"
+    SEQUENCE_CREATION = "sequence creation"
+    SEQUENCE_FETCH = "sequence fetch"
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """L2/memory bus parameters (Table 1).
+
+    The bus is 32 bytes wide at 1333 MHz while the core runs at 4 GHz,
+    i.e. one bus transfer slot every ``core_clock_ghz / bus_clock_ghz``
+    core cycles.  Each request additionally occupies ``request_cycles``
+    bus cycles of command bandwidth.
+    """
+
+    width_bytes: int = 32
+    bus_clock_mhz: float = 1333.0
+    core_clock_ghz: float = 4.0
+    request_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width_bytes <= 0:
+            raise ValueError("width_bytes must be positive")
+        if self.bus_clock_mhz <= 0 or self.core_clock_ghz <= 0:
+            raise ValueError("clock rates must be positive")
+        if self.request_cycles < 0:
+            raise ValueError("request_cycles must be non-negative")
+
+    @property
+    def core_cycles_per_bus_cycle(self) -> float:
+        """Core cycles elapsed per bus cycle."""
+        return (self.core_clock_ghz * 1000.0) / self.bus_clock_mhz
+
+    def transfer_bus_cycles(self, num_bytes: int) -> int:
+        """Bus data cycles needed to move ``num_bytes``."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0
+        return -(-num_bytes // self.width_bytes)
+
+    def transfer_core_cycles(self, num_bytes: int) -> float:
+        """Core-clock cycles of bus occupancy to move ``num_bytes`` plus a request."""
+        bus_cycles = self.transfer_bus_cycles(num_bytes) + self.request_cycles
+        return bus_cycles * self.core_cycles_per_bus_cycle
+
+
+@dataclass
+class BusModel:
+    """Accumulates bus traffic by category."""
+
+    config: BusConfig = field(default_factory=BusConfig)
+    bytes_by_category: Dict[TrafficCategory, int] = field(
+        default_factory=lambda: {c: 0 for c in TrafficCategory}
+    )
+    requests_by_category: Dict[TrafficCategory, int] = field(
+        default_factory=lambda: {c: 0 for c in TrafficCategory}
+    )
+
+    def record(self, category: TrafficCategory, num_bytes: int, requests: int = 1) -> None:
+        """Record ``num_bytes`` of traffic (and ``requests`` bus requests)."""
+        if num_bytes < 0 or requests < 0:
+            raise ValueError("num_bytes and requests must be non-negative")
+        self.bytes_by_category[category] += num_bytes
+        self.requests_by_category[category] += requests
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved across all categories."""
+        return sum(self.bytes_by_category.values())
+
+    def busy_core_cycles(self) -> float:
+        """Core cycles of bus occupancy implied by the recorded traffic."""
+        total = 0.0
+        for category in TrafficCategory:
+            data_cycles = self.config.transfer_bus_cycles(self.bytes_by_category[category])
+            request_cycles = self.requests_by_category[category] * self.config.request_cycles
+            total += (data_cycles + request_cycles) * self.config.core_cycles_per_bus_cycle
+        return total
+
+    def bytes_per_instruction(self, instruction_count: int) -> Dict[TrafficCategory, float]:
+        """Per-category bytes per committed instruction (Figure 12's metric)."""
+        if instruction_count <= 0:
+            return {c: 0.0 for c in TrafficCategory}
+        return {
+            category: self.bytes_by_category[category] / instruction_count
+            for category in TrafficCategory
+        }
+
+    def utilization(self, total_core_cycles: float) -> float:
+        """Fraction of ``total_core_cycles`` the bus was busy (clamped to 1.0)."""
+        if total_core_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_core_cycles() / total_core_cycles)

@@ -1,0 +1,67 @@
+"""DRAM latency model.
+
+Table 1 of the paper specifies off-chip memory with a 200-cycle latency
+for the first 32 bytes of a transfer and 3 additional cycles for each
+subsequent 32-byte chunk, over a 1GB (30-bit) physical space.  The model
+here reproduces that latency formula and tracks total bytes transferred,
+split by traffic category, so the bandwidth study (Figure 12) can be
+regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Off-chip memory timing and capacity parameters (Table 1)."""
+
+    size_bytes: int = 1 << 30
+    first_chunk_latency: int = 200
+    chunk_latency: int = 3
+    chunk_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.first_chunk_latency < 0 or self.chunk_latency < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+
+
+class DRAMModel:
+    """Latency and traffic accounting for off-chip memory."""
+
+    def __init__(self, config: DRAMConfig | None = None) -> None:
+        self.config = config or DRAMConfig()
+        self.total_bytes_read = 0
+        self.total_bytes_written = 0
+        self.total_requests = 0
+
+    def access_latency(self, num_bytes: int) -> int:
+        """Cycles to transfer ``num_bytes`` from DRAM (critical-word-first)."""
+        if num_bytes <= 0:
+            raise ValueError("num_bytes must be positive")
+        chunks = -(-num_bytes // self.config.chunk_bytes)  # ceil division
+        return self.config.first_chunk_latency + (chunks - 1) * self.config.chunk_latency
+
+    def read(self, num_bytes: int) -> int:
+        """Record a read of ``num_bytes``; return its latency in cycles."""
+        latency = self.access_latency(num_bytes)
+        self.total_bytes_read += num_bytes
+        self.total_requests += 1
+        return latency
+
+    def write(self, num_bytes: int) -> int:
+        """Record a write of ``num_bytes``; return its latency in cycles."""
+        latency = self.access_latency(num_bytes)
+        self.total_bytes_written += num_bytes
+        self.total_requests += 1
+        return latency
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved in either direction."""
+        return self.total_bytes_read + self.total_bytes_written

@@ -1,0 +1,91 @@
+"""Circular prefetch request queue.
+
+Section 5 of the paper: "all DBCP and LT-cords requests are placed into a
+128-entry circular queue.  When the request queue is full, new requests
+replace old (unissued) ones at the queue head.  Requests are only issued
+when the L1/L2 bus is free."  This module models that structure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+
+@dataclass
+class PrefetchRequest:
+    """A pending prefetch: target block plus the predicted-dead victim.
+
+    ``tag`` carries the issuing predictor's opaque bookkeeping token (see
+    :class:`repro.core.interface.PrefetchCommand`).
+    """
+
+    address: int
+    victim_address: Optional[int] = None
+    enqueue_serial: int = 0
+    tag: Optional[object] = None
+
+
+class PrefetchRequestQueue:
+    """Fixed-capacity circular queue of pending prefetch requests.
+
+    When the queue is full, the *oldest unissued* request (the one at the
+    head) is dropped to make room for the newly arriving request, exactly
+    as described in the paper's methodology.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._queue: Deque[PrefetchRequest] = deque()
+        self._serial = 0
+        self.enqueued = 0
+        self.dropped = 0
+        self.issued = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        """``True`` when the queue holds ``capacity`` requests."""
+        return len(self._queue) >= self.capacity
+
+    def push(
+        self,
+        address: int,
+        victim_address: Optional[int] = None,
+        tag: Optional[object] = None,
+    ) -> PrefetchRequest:
+        """Enqueue a prefetch request, displacing the head if full."""
+        if self.full:
+            self._queue.popleft()
+            self.dropped += 1
+        self._serial += 1
+        request = PrefetchRequest(
+            address=address, victim_address=victim_address, enqueue_serial=self._serial, tag=tag
+        )
+        self._queue.append(request)
+        self.enqueued += 1
+        return request
+
+    def pop(self) -> Optional[PrefetchRequest]:
+        """Issue (remove and return) the oldest request, or ``None`` if empty."""
+        if not self._queue:
+            return None
+        self.issued += 1
+        return self._queue.popleft()
+
+    def pop_all(self) -> List[PrefetchRequest]:
+        """Issue every pending request in FIFO order."""
+        out = list(self._queue)
+        self.issued += len(out)
+        self._queue.clear()
+        return out
+
+    def clear(self) -> None:
+        """Drop every pending request without counting them as issued."""
+        self.dropped += len(self._queue)
+        self._queue.clear()

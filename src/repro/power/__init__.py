@@ -1,0 +1,11 @@
+"""Analytical SRAM energy model for the Section 5.9 power comparison."""
+
+from repro.power.cacti_like import SRAMArrayModel, SRAMParameters
+from repro.power.comparison import LTCordsPowerComparison, compare_ltcords_to_l1d
+
+__all__ = [
+    "LTCordsPowerComparison",
+    "SRAMArrayModel",
+    "SRAMParameters",
+    "compare_ltcords_to_l1d",
+]

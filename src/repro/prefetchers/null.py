@@ -1,0 +1,24 @@
+"""The no-prefetch baseline predictor."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.interface import AccessOutcome, PrefetchCommand, Prefetcher
+
+
+class NullPrefetcher(Prefetcher):
+    """A predictor that never predicts.
+
+    Used as the baseline configuration in every experiment and as a
+    sanity check: a simulation with the null prefetcher must produce
+    exactly the same miss stream as a simulation without any predictor.
+    """
+
+    name = "none"
+
+    def on_access(self, outcome: AccessOutcome) -> List[PrefetchCommand]:
+        self.stats.accesses_observed += 1
+        if outcome.l1_miss:
+            self.stats.misses_observed += 1
+        return []

@@ -1,0 +1,31 @@
+"""Simulation drivers.
+
+* :mod:`repro.sim.trace_driven` — the functional (trace-driven) simulator
+  used for all coverage, accuracy and correlation studies (Sections
+  5.1-5.5 of the paper).
+* :mod:`repro.sim.timing` — the first-order out-of-order timing simulator
+  used for speedup and bandwidth results (Sections 5.7-5.8).
+* :mod:`repro.sim.multiprogram` — the context-switching multi-programmed
+  simulator (Section 5.5, Figure 11).
+"""
+
+from repro.sim.trace_driven import (
+    CoverageBreakdown,
+    SimulationResult,
+    TraceDrivenSimulator,
+    simulate_benchmark,
+)
+from repro.sim.multiprogram import MultiProgramResult, simulate_pair
+from repro.sim.timing import TimingResult, TimingSimulator, simulate_speedup
+
+__all__ = [
+    "CoverageBreakdown",
+    "MultiProgramResult",
+    "SimulationResult",
+    "TimingResult",
+    "TimingSimulator",
+    "TraceDrivenSimulator",
+    "simulate_benchmark",
+    "simulate_pair",
+    "simulate_speedup",
+]

@@ -1,0 +1,250 @@
+"""Trace-driven (functional) simulation of a predictor over a benchmark trace.
+
+The simulator replays a memory-reference trace against two cache
+hierarchies simultaneously:
+
+* a *shadow baseline* hierarchy with no predictor, which defines the
+  prediction opportunity (the misses the base system would take), and
+* the *main* hierarchy, into which the predictor under test prefetches.
+
+Comparing per-access outcomes of the two hierarchies yields exactly the
+categories of Figure 8: *correct* (baseline miss turned into a hit),
+*train* (baseline miss not covered), *incorrect* (prefetches of wrong
+replacement addresses, measured as prefetched blocks evicted unused), and
+*early* (extra misses the predictor induced by evicting live blocks,
+reported above 100% of opportunity).  The simulator also accumulates the
+bus-traffic categories of Figure 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig, ServiceLevel
+from repro.core.interface import AccessOutcome, Prefetcher
+from repro.memory.bus import BusModel, TrafficCategory
+from repro.memory.request_queue import PrefetchRequestQueue
+from repro.prefetchers.null import NullPrefetcher
+from repro.trace.stream import TraceStream
+from repro.workloads.base import WorkloadConfig
+from repro.workloads.registry import get_workload
+
+
+@dataclass
+class CoverageBreakdown:
+    """Prediction-opportunity breakdown (Figure 8 categories)."""
+
+    base_misses: int = 0
+    correct: int = 0
+    early: int = 0
+    incorrect_prefetches: int = 0
+
+    @property
+    def train(self) -> int:
+        """Baseline misses neither eliminated nor attributable to a misprediction."""
+        return max(0, self.base_misses - self.correct - self.incorrect_prefetches)
+
+    def _pct(self, value: int) -> float:
+        return 100.0 * value / self.base_misses if self.base_misses else 0.0
+
+    @property
+    def coverage_pct(self) -> float:
+        """Eliminated misses as a percentage of prediction opportunity."""
+        return self._pct(self.correct)
+
+    @property
+    def incorrect_pct(self) -> float:
+        """Mispredicted replacement addresses as a percentage of opportunity."""
+        return self._pct(min(self.incorrect_prefetches, self.base_misses - self.correct))
+
+    @property
+    def train_pct(self) -> float:
+        """Unpredicted misses as a percentage of opportunity."""
+        return max(0.0, 100.0 - self.coverage_pct - self.incorrect_pct)
+
+    @property
+    def early_pct(self) -> float:
+        """Predictor-induced premature-eviction misses, above 100% of opportunity."""
+        return self._pct(self.early)
+
+    @property
+    def coverage(self) -> float:
+        """Coverage as a fraction in [0, 1]."""
+        return self.correct / self.base_misses if self.base_misses else 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one trace-driven run."""
+
+    benchmark: str
+    predictor: str
+    num_accesses: int
+    instruction_count: int
+    breakdown: CoverageBreakdown
+    baseline_l1_misses: int
+    baseline_l2_misses: int
+    predictor_l1_misses: int
+    predictor_l2_misses: int
+    prefetches_issued: int
+    prefetches_used: int
+    bus_bytes: Dict[TrafficCategory, int] = field(default_factory=dict)
+    on_chip_storage_bytes: Optional[int] = None
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of baseline L1D misses eliminated."""
+        return self.breakdown.coverage
+
+    @property
+    def baseline_l1_miss_rate(self) -> float:
+        """Baseline L1D misses per access."""
+        return self.baseline_l1_misses / self.num_accesses if self.num_accesses else 0.0
+
+    @property
+    def baseline_l2_miss_rate(self) -> float:
+        """Baseline L2 local miss rate."""
+        return self.baseline_l2_misses / self.baseline_l1_misses if self.baseline_l1_misses else 0.0
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Used prefetches per issued prefetch."""
+        return self.prefetches_used / self.prefetches_issued if self.prefetches_issued else 0.0
+
+    def bytes_per_instruction(self) -> Dict[TrafficCategory, float]:
+        """Per-category bus bytes per committed instruction (Figure 12)."""
+        if not self.instruction_count:
+            return {c: 0.0 for c in TrafficCategory}
+        return {c: self.bus_bytes.get(c, 0) / self.instruction_count for c in TrafficCategory}
+
+
+class TraceDrivenSimulator:
+    """Replays a trace against a predictor-augmented cache hierarchy."""
+
+    def __init__(
+        self,
+        prefetcher: Optional[Prefetcher] = None,
+        hierarchy_config: Optional[HierarchyConfig] = None,
+        request_queue_size: int = 128,
+    ) -> None:
+        self.prefetcher = prefetcher if prefetcher is not None else NullPrefetcher()
+        self.hierarchy_config = hierarchy_config or HierarchyConfig()
+        self.hierarchy = CacheHierarchy(self.hierarchy_config)
+        self.baseline = CacheHierarchy(self.hierarchy_config)
+        self.request_queue = PrefetchRequestQueue(request_queue_size)
+        self.bus = BusModel()
+        self.breakdown = CoverageBreakdown()
+        # Prefetched blocks currently resident (or outstanding): block address
+        # -> (command tag, service level the data came from).
+        self._prefetched: Dict[int, Tuple[object, ServiceLevel]] = {}
+
+    # ------------------------------------------------------------------ helpers
+    def _notify_unused_eviction(self, evicted_address: Optional[int]) -> None:
+        if evicted_address is None:
+            return
+        info = self._prefetched.pop(evicted_address, None)
+        if info is None:
+            return
+        tag, source = info
+        self.breakdown.incorrect_prefetches += 1
+        if source is ServiceLevel.MEMORY:
+            # An unused prefetch that crossed the memory bus is pure waste.
+            self.bus.record(TrafficCategory.INCORRECT_PREDICTION, self.hierarchy.block_size)
+        self.prefetcher.on_prefetch_evicted_unused(evicted_address, tag)
+
+    def _execute_prefetches(self) -> None:
+        for request in self.request_queue.pop_all():
+            outcome = self.hierarchy.prefetch_into_l1(request.address, request.victim_address)
+            if not outcome.installed:
+                continue
+            block = self.hierarchy_config.l1.block_address(request.address)
+            # Inserting may itself evict an unused prefetched block.
+            if outcome.evicted_was_unused_prefetch:
+                self._notify_unused_eviction(outcome.evicted_address)
+            # Track the inserted block for later used/unused classification.
+            self._prefetched[block] = (request.tag, outcome.source)
+            self.prefetcher.on_prefetch_installed(block, outcome.evicted_address, tag=request.tag)
+
+    # ------------------------------------------------------------------ main loop
+    def run(self, trace: TraceStream) -> SimulationResult:
+        """Replay ``trace`` and return the measured result."""
+        block_size = self.hierarchy.block_size
+        l1_config = self.hierarchy_config.l1
+
+        for access in trace:
+            base_result = self.baseline.access(access.address, access.is_write)
+            main_result = self.hierarchy.access(access.address, access.is_write)
+
+            block_address = l1_config.block_address(access.address)
+
+            # Classify against the prediction opportunity.
+            if base_result.l1_miss:
+                self.breakdown.base_misses += 1
+                if main_result.l1_hit:
+                    self.breakdown.correct += 1
+                if base_result.l2_miss:
+                    self.bus.record(TrafficCategory.BASE_DATA, block_size)
+            elif main_result.l1_miss:
+                self.breakdown.early += 1
+
+            # Feedback for prefetched blocks.
+            if main_result.l1_hit and main_result.prefetch_hit:
+                info = self._prefetched.pop(block_address, None)
+                if info is not None:
+                    self.prefetcher.on_prefetch_used(block_address, info[0])
+            if main_result.l1_miss and main_result.l1_result.evicted_was_prefetched_unused:
+                self._notify_unused_eviction(main_result.l1_result.evicted_address)
+
+            outcome = AccessOutcome(
+                access=access,
+                block_address=block_address,
+                set_index=main_result.l1_result.set_index,
+                l1_hit=main_result.l1_hit,
+                l2_hit=main_result.level is ServiceLevel.L2,
+                prefetch_hit=main_result.prefetch_hit,
+                evicted_address=main_result.l1_result.evicted_address,
+                evicted_was_unused_prefetch=main_result.l1_result.evicted_was_prefetched_unused,
+            )
+            for command in self.prefetcher.on_access(outcome):
+                self.request_queue.push(command.address, command.victim_address, tag=command.tag)
+            self._execute_prefetches()
+
+        # Account the predictor's own off-chip metadata traffic.
+        creation = getattr(self.prefetcher, "sequence_creation_bytes", lambda: 0)()
+        fetch = getattr(self.prefetcher, "sequence_fetch_bytes", lambda: 0)()
+        if creation:
+            self.bus.record(TrafficCategory.SEQUENCE_CREATION, creation, requests=0)
+        if fetch:
+            self.bus.record(TrafficCategory.SEQUENCE_FETCH, fetch, requests=0)
+
+        on_chip = getattr(self.prefetcher, "on_chip_storage_bytes", lambda: None)()
+        return SimulationResult(
+            benchmark=trace.name,
+            predictor=self.prefetcher.name,
+            num_accesses=len(trace),
+            instruction_count=trace.instruction_count,
+            breakdown=self.breakdown,
+            baseline_l1_misses=self.baseline.stats.l1_misses,
+            baseline_l2_misses=self.baseline.stats.l2_misses,
+            predictor_l1_misses=self.hierarchy.stats.l1_misses,
+            predictor_l2_misses=self.hierarchy.stats.l2_misses,
+            prefetches_issued=self.prefetcher.stats.predictions_issued,
+            prefetches_used=self.prefetcher.stats.prefetches_used,
+            bus_bytes=dict(self.bus.bytes_by_category),
+            on_chip_storage_bytes=on_chip,
+        )
+
+
+def simulate_benchmark(
+    benchmark: str,
+    prefetcher: Optional[Prefetcher] = None,
+    num_accesses: int = 200_000,
+    seed: int = 42,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build the workload, replay it, return the result."""
+    workload = get_workload(benchmark, WorkloadConfig(num_accesses=num_accesses, seed=seed))
+    trace = workload.generate()
+    simulator = TraceDrivenSimulator(prefetcher=prefetcher, hierarchy_config=hierarchy_config)
+    return simulator.run(trace)

@@ -1,0 +1,16 @@
+"""First-order out-of-order timing model.
+
+The paper's speedup numbers (Table 3) come from cycle-accurate
+SimpleScalar simulation of an 8-wide out-of-order core.  This package
+substitutes a first-order analytical/event model that captures the
+effects those speedups actually come from: long-latency misses overlapped
+up to the limits imposed by the reorder buffer and MSHRs, serialisation
+of dependent (pointer-chasing) miss chains, bus occupancy, and the
+latency differences between L1, L2 and memory.  See DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.timing.config import SystemConfig
+from repro.timing.model import OutOfOrderTimingModel, TimingBreakdown
+
+__all__ = ["OutOfOrderTimingModel", "SystemConfig", "TimingBreakdown"]

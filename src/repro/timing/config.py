@@ -1,0 +1,56 @@
+"""System configuration mirroring Table 1 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.config import CacheConfig, L1D_CONFIG, L2_CONFIG
+from repro.memory.bus import BusConfig
+from repro.memory.dram import DRAMConfig
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Processor and memory-system parameters (Table 1)."""
+
+    clock_ghz: float = 4.0
+    issue_width: int = 8
+    rob_entries: int = 256
+    lsq_entries: int = 128
+    l1d: CacheConfig = L1D_CONFIG
+    l2: CacheConfig = L2_CONFIG
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    bus: BusConfig = field(default_factory=BusConfig)
+    l1_l2_request_cycles: int = 1
+    l1_l2_bytes_per_cycle: int = 32
+    tlb_entries: int = 256
+    tlb_miss_penalty: int = 600
+    branch_mispredict_penalty: int = 12
+
+    def __post_init__(self) -> None:
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        if self.issue_width <= 0:
+            raise ValueError("issue_width must be positive")
+        if self.rob_entries <= 0 or self.lsq_entries <= 0:
+            raise ValueError("rob_entries and lsq_entries must be positive")
+
+    @property
+    def l2_hit_latency(self) -> int:
+        """L1-miss/L2-hit latency in core cycles."""
+        return self.l2.hit_latency
+
+    @property
+    def memory_latency(self) -> int:
+        """L2-miss latency (critical 32 bytes) in core cycles."""
+        return self.dram.first_chunk_latency
+
+    def memory_block_latency(self, block_size: int = 64) -> int:
+        """Latency to transfer a full cache block from memory."""
+        return self.dram.first_chunk_latency + (
+            max(0, -(-block_size // self.dram.chunk_bytes) - 1) * self.dram.chunk_latency
+        )
+
+
+#: The baseline system of Table 1.
+BASELINE_SYSTEM = SystemConfig()

@@ -1,0 +1,185 @@
+"""First-order out-of-order memory-stall timing model.
+
+The model processes committed memory references in program order.  Each
+reference is annotated with the hierarchy level that serviced it (already
+resolved by the functional cache simulation).  Cycles accumulate from
+three sources:
+
+* front-end/issue bandwidth — non-memory instructions between references
+  retire at the core's peak width;
+* long-latency misses — an L2 or memory access occupies an MSHR until it
+  completes; the out-of-order core keeps running until either the MSHR
+  file is exhausted or the reorder buffer fills (an instruction cannot
+  dispatch until everything more than ``rob_entries`` older has retired,
+  which in this model means its miss has completed);
+* serialisation — for workloads flagged as dependent pointer chases, a
+  miss cannot begin until the previous miss has completed (no
+  memory-level parallelism), which is what makes mcf-like benchmarks so
+  latency-bound;
+* bus occupancy — every off-chip transfer holds the memory bus for its
+  transfer time, so bandwidth-bound phases queue behind one another.
+
+This is deliberately not a cycle-accurate pipeline; it reproduces the
+relative speedups of Table 3 (who wins and by roughly how much), which is
+what the reproduction needs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from repro.cache.hierarchy import ServiceLevel
+from repro.timing.config import SystemConfig
+
+
+@dataclass
+class TimingBreakdown:
+    """Cycle and event totals accumulated by the model."""
+
+    instructions: int = 0
+    memory_references: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    memory_accesses: int = 0
+    total_cycles: float = 0.0
+    bus_busy_cycles: float = 0.0
+    rob_stall_cycles: float = 0.0
+    mshr_stall_cycles: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.instructions / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per committed instruction."""
+        return self.total_cycles / self.instructions if self.instructions else 0.0
+
+
+class OutOfOrderTimingModel:
+    """Event-driven first-order model of an out-of-order core's memory behaviour."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        serialize_misses: bool = False,
+        core_ipc: Optional[float] = None,
+        effective_mlp: int = 12,
+    ) -> None:
+        if core_ipc is not None and core_ipc <= 0:
+            raise ValueError("core_ipc must be positive")
+        if effective_mlp <= 0:
+            raise ValueError("effective_mlp must be positive")
+        self.config = config or SystemConfig()
+        self.serialize_misses = serialize_misses
+        # Non-memory throughput ceiling: the issue width bounds it, but the
+        # real core also loses slots to dependences, branches and FP
+        # latencies; callers pass the benchmark's core-limited IPC.
+        self.core_ipc = min(float(self.config.issue_width), core_ipc or float(self.config.issue_width))
+        # Sustainable memory-level parallelism: bounded by the MSHR file but
+        # in practice by load dependences and scheduling; the paper's
+        # baseline sustains on the order of ten overlapped misses.
+        self.effective_mlp = min(effective_mlp, self.config.l1d.num_mshrs)
+        self._dispatch_cycle = 0.0
+        self._last_icount = 0
+        self._last_miss_complete = 0.0
+        self._bus_free = 0.0
+        self._outstanding: Deque[Tuple[int, float]] = deque()  # (icount, complete_cycle)
+        self.breakdown = TimingBreakdown()
+        block = self.config.l1d.block_size
+        self._block_transfer_cycles = self.config.bus.transfer_core_cycles(block)
+        self._memory_block_latency = self.config.memory_block_latency(block)
+
+    # ------------------------------------------------------------------ internal helpers
+    def _retire_completed(self, before_cycle: float) -> None:
+        while self._outstanding and self._outstanding[0][1] <= before_cycle:
+            self._outstanding.popleft()
+
+    def _rob_constraint(self, icount: int) -> float:
+        """Earliest dispatch allowed by ROB occupancy."""
+        limit_icount = icount - self.config.rob_entries
+        constraint = 0.0
+        for miss_icount, complete in self._outstanding:
+            if miss_icount <= limit_icount:
+                constraint = max(constraint, complete)
+        return constraint
+
+    def _mshr_constraint(self) -> float:
+        """Earliest cycle a new primary miss may start (MSHR/MLP limit)."""
+        if len(self._outstanding) < self.effective_mlp:
+            return 0.0
+        return self._outstanding[0][1]
+
+    # ------------------------------------------------------------------ public API
+    def observe(self, icount: int, level: ServiceLevel) -> None:
+        """Account one committed memory reference serviced at ``level``."""
+        config = self.config
+        delta_instructions = max(0, icount - self._last_icount)
+        self._last_icount = icount
+        self.breakdown.instructions += delta_instructions
+        self.breakdown.memory_references += 1
+
+        # Front-end: non-memory instructions retire at the core-limited rate.
+        dispatch = self._dispatch_cycle + delta_instructions / self.core_ipc
+
+        # ROB limit: instructions older than the window must have retired.
+        rob_limit = self._rob_constraint(icount)
+        if rob_limit > dispatch:
+            self.breakdown.rob_stall_cycles += rob_limit - dispatch
+            dispatch = rob_limit
+        self._retire_completed(dispatch)
+
+        if level is ServiceLevel.L1:
+            self.breakdown.l1_hits += 1
+            self._dispatch_cycle = dispatch
+            return
+
+        # A real miss: may need an MSHR slot.
+        mshr_limit = self._mshr_constraint()
+        if mshr_limit > dispatch:
+            self.breakdown.mshr_stall_cycles += mshr_limit - dispatch
+            dispatch = mshr_limit
+            self._retire_completed(dispatch)
+
+        start = dispatch
+        if self.serialize_misses and self._last_miss_complete > start:
+            # Dependent chain: the address of this miss was produced by the
+            # previous one, so it cannot issue until that data returns.
+            start = self._last_miss_complete
+
+        if level is ServiceLevel.L2:
+            self.breakdown.l2_hits += 1
+            complete = start + config.l2_hit_latency
+        else:
+            self.breakdown.memory_accesses += 1
+            # Off-chip accesses also occupy the memory bus.
+            start = max(start, self._bus_free)
+            self._bus_free = start + self._block_transfer_cycles
+            self.breakdown.bus_busy_cycles += self._block_transfer_cycles
+            complete = start + self._memory_block_latency
+
+        self._outstanding.append((icount, complete))
+        self._last_miss_complete = complete
+        self._dispatch_cycle = dispatch
+
+    def add_bus_traffic(self, num_bytes: int) -> None:
+        """Charge extra bus occupancy (e.g. predictor metadata traffic)."""
+        if num_bytes <= 0:
+            return
+        cycles = self.config.bus.transfer_core_cycles(num_bytes)
+        self._bus_free += cycles
+        self.breakdown.bus_busy_cycles += cycles
+
+    def finalize(self) -> TimingBreakdown:
+        """Drain outstanding misses and return the completed breakdown."""
+        final_cycle = self._dispatch_cycle
+        if self._outstanding:
+            final_cycle = max(final_cycle, max(c for _, c in self._outstanding))
+        final_cycle = max(final_cycle, self._last_miss_complete)
+        self.breakdown.total_cycles = max(final_cycle, 1.0)
+        if self.breakdown.instructions == 0:
+            self.breakdown.instructions = self.breakdown.memory_references
+        return self.breakdown

@@ -1,0 +1,35 @@
+"""Memory-reference trace infrastructure.
+
+The paper's predictors consume a stream of committed memory references
+(program counter, data address, read/write).  This package defines the
+:class:`~repro.trace.record.MemoryAccess` record, helpers for building,
+transforming, storing and summarising such streams, and the interleaving
+utilities used by the multi-programmed experiments (Figure 11).
+"""
+
+from repro.trace.record import MemoryAccess, AccessType
+from repro.trace.stream import (
+    TraceStream,
+    concat_traces,
+    interleave_quantum,
+    limit_trace,
+    shift_addresses,
+)
+from repro.trace.io import TraceReader, TraceWriter, read_trace, write_trace
+from repro.trace.stats import TraceStatistics, compute_trace_statistics
+
+__all__ = [
+    "AccessType",
+    "MemoryAccess",
+    "TraceStream",
+    "TraceReader",
+    "TraceWriter",
+    "TraceStatistics",
+    "compute_trace_statistics",
+    "concat_traces",
+    "interleave_quantum",
+    "limit_trace",
+    "read_trace",
+    "shift_addresses",
+    "write_trace",
+]

@@ -1,0 +1,104 @@
+"""Reading and writing memory-reference traces.
+
+Traces are stored in a simple line-oriented text format, one reference per
+line::
+
+    <pc-hex> <address-hex> <L|S> <icount>
+
+A short header records the trace name and reference count.  The format is
+intentionally trivial: the synthetic workload generators are deterministic
+so trace files are only needed when a user wants to feed externally
+collected traces (e.g. from a pin tool) into the simulator.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.trace.record import AccessType, MemoryAccess
+from repro.trace.stream import TraceStream
+
+_HEADER_PREFIX = "# repro-trace"
+_FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file cannot be parsed."""
+
+
+class TraceWriter:
+    """Incremental writer for the text trace format."""
+
+    def __init__(self, fileobj: io.TextIOBase, name: str = "trace") -> None:
+        self._file = fileobj
+        self._count = 0
+        self._file.write(f"{_HEADER_PREFIX} v{_FORMAT_VERSION} name={name}\n")
+
+    def write(self, access: MemoryAccess) -> None:
+        """Append a single reference to the file."""
+        kind = "S" if access.is_write else "L"
+        self._file.write(f"{access.pc:x} {access.address:x} {kind} {access.icount}\n")
+        self._count += 1
+
+    def write_all(self, accesses: Iterable[MemoryAccess]) -> int:
+        """Append all references from ``accesses``; return how many were written."""
+        written = 0
+        for access in accesses:
+            self.write(access)
+            written += 1
+        return written
+
+    @property
+    def count(self) -> int:
+        """Number of references written so far."""
+        return self._count
+
+
+class TraceReader:
+    """Iterator over references stored in the text trace format."""
+
+    def __init__(self, fileobj: io.TextIOBase) -> None:
+        self._file = fileobj
+        header = self._file.readline()
+        if not header.startswith(_HEADER_PREFIX):
+            raise TraceFormatError("missing repro-trace header")
+        self.name = "trace"
+        for token in header.strip().split():
+            if token.startswith("name="):
+                self.name = token[len("name="):]
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        for lineno, line in enumerate(self._file, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise TraceFormatError(f"line {lineno}: expected 4 fields, got {len(parts)}")
+            try:
+                pc = int(parts[0], 16)
+                address = int(parts[1], 16)
+                kind = AccessType.STORE if parts[2] == "S" else AccessType.LOAD
+                icount = int(parts[3])
+            except ValueError as exc:
+                raise TraceFormatError(f"line {lineno}: {exc}") from exc
+            yield MemoryAccess(pc, address, kind, icount)
+
+
+def write_trace(trace: TraceStream, path: Union[str, Path]) -> int:
+    """Write ``trace`` to ``path``; return the number of references written."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        writer = TraceWriter(handle, name=trace.name)
+        return writer.write_all(trace)
+
+
+def read_trace(path: Union[str, Path]) -> TraceStream:
+    """Load a trace previously written with :func:`write_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        reader = TraceReader(handle)
+        accesses = list(reader)
+        return TraceStream(accesses, name=reader.name)

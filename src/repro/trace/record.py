@@ -1,0 +1,100 @@
+"""The memory reference record used throughout the simulator.
+
+A trace element carries exactly the information the paper's hardware sees
+at commit time: the program counter of the memory instruction, the
+effective (byte) address it touches, whether it is a load or a store, and
+the dynamic instruction count at which it commits (used by the timing
+model to attribute non-memory work between references).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class AccessType(IntEnum):
+    """Kind of memory reference."""
+
+    LOAD = 0
+    STORE = 1
+
+    @property
+    def is_write(self) -> bool:
+        """``True`` for stores."""
+        return self is AccessType.STORE
+
+
+class MemoryAccess:
+    """A single committed memory reference.
+
+    Parameters
+    ----------
+    pc:
+        Program counter (byte address) of the memory instruction.
+    address:
+        Effective byte address referenced.
+    access_type:
+        :class:`AccessType.LOAD` or :class:`AccessType.STORE`.
+    icount:
+        Dynamic instruction count at which this reference commits.  The
+        difference between consecutive ``icount`` values is the number of
+        non-memory instructions executed between the two references, which
+        the timing model charges at the core's peak IPC.
+    """
+
+    __slots__ = ("pc", "address", "access_type", "icount")
+
+    def __init__(
+        self,
+        pc: int,
+        address: int,
+        access_type: AccessType = AccessType.LOAD,
+        icount: int = 0,
+    ) -> None:
+        if pc < 0:
+            raise ValueError(f"pc must be non-negative, got {pc}")
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        if icount < 0:
+            raise ValueError(f"icount must be non-negative, got {icount}")
+        self.pc = pc
+        self.address = address
+        self.access_type = AccessType(access_type)
+        self.icount = icount
+
+    @property
+    def is_write(self) -> bool:
+        """``True`` if this reference is a store."""
+        return self.access_type is AccessType.STORE
+
+    @property
+    def is_read(self) -> bool:
+        """``True`` if this reference is a load."""
+        return self.access_type is AccessType.LOAD
+
+    def block_address(self, block_size: int) -> int:
+        """Return the cache-block-aligned address for ``block_size`` bytes."""
+        if block_size <= 0 or block_size & (block_size - 1):
+            raise ValueError(f"block_size must be a positive power of two, got {block_size}")
+        return self.address & ~(block_size - 1)
+
+    def with_address(self, address: int) -> "MemoryAccess":
+        """Return a copy of this access with a different data address."""
+        return MemoryAccess(self.pc, address, self.access_type, self.icount)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryAccess):
+            return NotImplemented
+        return (
+            self.pc == other.pc
+            and self.address == other.address
+            and self.access_type == other.access_type
+            and self.icount == other.icount
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.pc, self.address, self.access_type, self.icount))
+
+    def __repr__(self) -> str:
+        kind = "ST" if self.is_write else "LD"
+        return f"MemoryAccess({kind} pc=0x{self.pc:x} addr=0x{self.address:x} ic={self.icount})"

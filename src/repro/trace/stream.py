@@ -1,0 +1,173 @@
+"""Trace streams and transformations.
+
+A :class:`TraceStream` is a thin wrapper over an iterable of
+:class:`~repro.trace.record.MemoryAccess` objects that also carries a name
+and optional metadata.  Transformations (address shifting, truncation,
+interleaving for multi-programmed runs) return new streams and never
+mutate the records of the source stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.trace.record import MemoryAccess
+
+
+class TraceStream:
+    """A named sequence of memory references.
+
+    The stream is materialised into a list on construction so it can be
+    iterated multiple times (the trace-driven experiments replay the same
+    trace under several predictor configurations).
+    """
+
+    def __init__(
+        self,
+        accesses: Iterable[MemoryAccess],
+        name: str = "trace",
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.accesses: List[MemoryAccess] = list(accesses)
+        self.metadata: Dict[str, object] = dict(metadata or {})
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.accesses)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return TraceStream(self.accesses[index], name=self.name, metadata=self.metadata)
+        return self.accesses[index]
+
+    @property
+    def instruction_count(self) -> int:
+        """Total dynamic instruction count covered by the trace."""
+        if not self.accesses:
+            return 0
+        return self.accesses[-1].icount + 1
+
+    def map(self, fn: Callable[[MemoryAccess], MemoryAccess], name: Optional[str] = None) -> "TraceStream":
+        """Return a new stream with ``fn`` applied to every access."""
+        return TraceStream(
+            (fn(a) for a in self.accesses),
+            name=name or self.name,
+            metadata=self.metadata,
+        )
+
+    def filter(self, predicate: Callable[[MemoryAccess], bool], name: Optional[str] = None) -> "TraceStream":
+        """Return a new stream keeping only accesses where ``predicate`` holds."""
+        return TraceStream(
+            (a for a in self.accesses if predicate(a)),
+            name=name or self.name,
+            metadata=self.metadata,
+        )
+
+    def unique_blocks(self, block_size: int) -> int:
+        """Number of distinct cache blocks touched by the trace."""
+        mask = ~(block_size - 1)
+        return len({a.address & mask for a in self.accesses})
+
+    def __repr__(self) -> str:
+        return f"TraceStream(name={self.name!r}, accesses={len(self.accesses)})"
+
+
+def limit_trace(trace: TraceStream, max_accesses: int) -> TraceStream:
+    """Return a prefix of ``trace`` containing at most ``max_accesses`` references."""
+    if max_accesses < 0:
+        raise ValueError("max_accesses must be non-negative")
+    if max_accesses >= len(trace):
+        return trace
+    return TraceStream(trace.accesses[:max_accesses], name=trace.name, metadata=trace.metadata)
+
+
+def shift_addresses(trace: TraceStream, offset: int, name: Optional[str] = None) -> TraceStream:
+    """Shift every data address in ``trace`` by ``offset`` bytes.
+
+    Used by the multi-programmed experiments (Section 5.5) to simulate
+    non-overlapping physical address ranges for co-scheduled applications.
+    """
+    if offset < 0:
+        raise ValueError("offset must be non-negative")
+    return trace.map(lambda a: a.with_address(a.address + offset), name=name or f"{trace.name}+0x{offset:x}")
+
+
+def concat_traces(traces: Sequence[TraceStream], name: str = "concat") -> TraceStream:
+    """Concatenate several traces, renumbering instruction counts to be monotonic."""
+    out: List[MemoryAccess] = []
+    icount_base = 0
+    for trace in traces:
+        last = 0
+        for access in trace:
+            renumbered = MemoryAccess(access.pc, access.address, access.access_type, access.icount + icount_base)
+            out.append(renumbered)
+            last = renumbered.icount
+        icount_base = last + 1
+    return TraceStream(out, name=name)
+
+
+def interleave_quantum(
+    traces: Sequence[TraceStream],
+    quanta: Sequence[int],
+    max_switches: Optional[int] = None,
+    name: str = "multiprogrammed",
+) -> TraceStream:
+    """Interleave traces in round-robin quanta of dynamic instructions.
+
+    This mimics context switching between co-scheduled applications as in
+    Section 5.5 of the paper: each application runs for ``quanta[i]``
+    dynamic instructions, then the next application runs, and so on, for
+    ``max_switches`` context switches (or until every trace is exhausted).
+
+    Instruction counts in the result are renumbered globally so the
+    interleaved trace remains monotonically non-decreasing in ``icount``.
+    """
+    if len(traces) != len(quanta):
+        raise ValueError("traces and quanta must have the same length")
+    if any(q <= 0 for q in quanta):
+        raise ValueError("quanta must be positive")
+
+    positions = [0] * len(traces)
+    out: List[MemoryAccess] = []
+    icount_base = 0
+    switches = 0
+    active = [len(t) > 0 for t in traces]
+
+    while any(active):
+        if max_switches is not None and switches >= max_switches:
+            break
+        progressed = False
+        for idx, trace in enumerate(traces):
+            if not active[idx]:
+                continue
+            if max_switches is not None and switches >= max_switches:
+                break
+            start_pos = positions[idx]
+            accesses = trace.accesses
+            if start_pos >= len(accesses):
+                active[idx] = False
+                continue
+            icount_start = accesses[start_pos].icount
+            icount_limit = icount_start + quanta[idx]
+            pos = start_pos
+            local_last = 0
+            while pos < len(accesses) and accesses[pos].icount < icount_limit:
+                access = accesses[pos]
+                local_offset = access.icount - icount_start
+                out.append(
+                    MemoryAccess(access.pc, access.address, access.access_type, icount_base + local_offset)
+                )
+                local_last = local_offset
+                pos += 1
+            positions[idx] = pos
+            if pos >= len(accesses):
+                active[idx] = False
+            icount_base += max(local_last + 1, 1)
+            switches += 1
+            progressed = True
+        if not progressed:
+            break
+    return TraceStream(out, name=name)

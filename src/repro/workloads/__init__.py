@@ -1,0 +1,47 @@
+"""Synthetic workload generators standing in for SPEC CPU2000 and Olden.
+
+The paper evaluates LT-cords on 28 SPEC CPU2000 benchmarks and 3
+pointer-intensive Olden benchmarks (Table 2).  Those binaries, their
+reference inputs, and an Alpha SimpleScalar toolchain are not available
+here, so each benchmark is replaced by a deterministic synthetic memory
+reference generator with the same *structural* properties the paper's
+analysis relies on:
+
+* footprint relative to the L1/L2 capacities (drives the miss rates of
+  Table 2),
+* access pattern class — strided array loops, pointer chasing over
+  static data structures, indirect (gather) accesses, hashed/randomised
+  accesses, or a cache-resident hot set,
+* repetition — loop-structured benchmarks repeat the same reference
+  sequence every outer iteration (the temporal correlation LT-cords
+  exploits), while hash-dominated benchmarks do not,
+* interleaving of several concurrent access streams (the source of the
+  last-touch/miss order disparity studied in Section 5.2).
+
+Every generator is seeded and fully deterministic, so experiments are
+reproducible run to run.
+"""
+
+from repro.workloads.base import SyntheticWorkload, WorkloadConfig, WorkloadMetadata
+from repro.workloads.registry import (
+    BENCHMARK_NAMES,
+    OLDEN_BENCHMARKS,
+    SPEC_FP_BENCHMARKS,
+    SPEC_INT_BENCHMARKS,
+    benchmark_metadata,
+    get_workload,
+    iter_benchmarks,
+)
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "OLDEN_BENCHMARKS",
+    "SPEC_FP_BENCHMARKS",
+    "SPEC_INT_BENCHMARKS",
+    "SyntheticWorkload",
+    "WorkloadConfig",
+    "WorkloadMetadata",
+    "benchmark_metadata",
+    "get_workload",
+    "iter_benchmarks",
+]

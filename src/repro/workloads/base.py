@@ -1,0 +1,189 @@
+"""Workload framework: configuration, metadata and the generator base class."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.trace.record import AccessType, MemoryAccess
+from repro.trace.stream import TraceStream
+
+# A raw reference produced by a pattern generator: (pc, address, is_write).
+RawReference = Tuple[int, int, bool]
+
+BLOCK_SIZE = 64
+#: Base of the synthetic data segment.  PCs live well below this so data
+#: and instruction addresses never collide.
+DATA_SEGMENT_BASE = 0x1000_0000
+#: Base of the synthetic text segment used for generated PCs.
+TEXT_SEGMENT_BASE = 0x0040_0000
+
+
+@dataclass(frozen=True)
+class WorkloadMetadata:
+    """Descriptive and calibration data for one benchmark.
+
+    The ``paper_*`` fields record the values reported in Tables 2 and 3 of
+    the paper so the experiment harnesses can print paper-vs-measured
+    side by side.
+    """
+
+    name: str
+    suite: str  # "SPECint", "SPECfp" or "Olden"
+    description: str
+    paper_l1_miss_pct: float
+    paper_l2_miss_pct: float
+    paper_ipc: float
+    paper_speedup_perfect_l1: float
+    paper_speedup_ltcords: float
+    paper_speedup_ghb: float
+    paper_speedup_dbcp: float
+    paper_speedup_4mb_l2: float
+
+    @property
+    def is_floating_point(self) -> bool:
+        """``True`` for SPECfp benchmarks (used for the context-switch quantum)."""
+        return self.suite == "SPECfp"
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Scaling knobs shared by every synthetic benchmark."""
+
+    num_accesses: int = 200_000
+    seed: int = 42
+    #: Average dynamic instructions per memory reference (icount spacing).
+    instructions_per_access: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.num_accesses <= 0:
+            raise ValueError("num_accesses must be positive")
+        if self.instructions_per_access < 1.0:
+            raise ValueError("instructions_per_access must be at least 1.0")
+
+
+class SyntheticWorkload(ABC):
+    """Base class for deterministic synthetic benchmarks.
+
+    Subclasses implement :meth:`references`, an infinite iterator of raw
+    ``(pc, address, is_write)`` tuples; :meth:`generate` materialises the
+    first ``num_accesses`` of them into a :class:`TraceStream`, assigning
+    dynamic instruction counts from ``instructions_per_access``.
+    """
+
+    #: ``True`` for workloads whose misses form dependent (pointer-chasing)
+    #: chains; the timing model serialises such misses instead of
+    #: overlapping them (no memory-level parallelism).
+    serial_misses: bool = False
+
+    def __init__(self, metadata: WorkloadMetadata, config: Optional[WorkloadConfig] = None) -> None:
+        self.metadata = metadata
+        self.config = config or WorkloadConfig()
+        self._rng = random.Random(self.config.seed ^ hash(metadata.name) & 0xFFFF_FFFF)
+        self._region_offset = 0
+
+    @property
+    def name(self) -> str:
+        """Benchmark name (matches the paper's benchmark names)."""
+        return self.metadata.name
+
+    @property
+    def rng(self) -> random.Random:
+        """Deterministic per-benchmark random number generator."""
+        return self._rng
+
+    @abstractmethod
+    def references(self) -> Iterator[RawReference]:
+        """Yield an unbounded stream of raw ``(pc, address, is_write)`` references."""
+
+    def generate(self, num_accesses: Optional[int] = None) -> TraceStream:
+        """Materialise the first ``num_accesses`` references into a trace."""
+        limit = num_accesses if num_accesses is not None else self.config.num_accesses
+        if limit <= 0:
+            raise ValueError("num_accesses must be positive")
+        accesses = []
+        icount = 0.0
+        spacing = self.config.instructions_per_access
+        for i, (pc, address, is_write) in enumerate(self.references()):
+            if i >= limit:
+                break
+            accesses.append(
+                MemoryAccess(
+                    pc=pc,
+                    address=address,
+                    access_type=AccessType.STORE if is_write else AccessType.LOAD,
+                    icount=int(icount),
+                )
+            )
+            icount += spacing
+        # Core-limited IPC: what the paper's core sustains once memory stalls
+        # are removed (baseline IPC scaled by the perfect-L1 speedup).  The
+        # synthetic trace carries no instruction-dependence information, so
+        # this single number stands in for the non-memory ILP of the real
+        # benchmark (see DESIGN.md, timing-model substitution).
+        core_ipc = min(
+            8.0,
+            max(0.5, self.metadata.paper_ipc * (1.0 + self.metadata.paper_speedup_perfect_l1 / 100.0)),
+        )
+        return TraceStream(
+            accesses,
+            name=self.name,
+            metadata={
+                "suite": self.metadata.suite,
+                "description": self.metadata.description,
+                "seed": self.config.seed,
+                "serial_misses": self.serial_misses,
+                "core_ipc": core_ipc,
+            },
+        )
+
+    # ------------------------------------------------------------------ helpers for subclasses
+    def make_pcs(self, count: int, group: int = 0) -> list:
+        """Allocate ``count`` distinct synthetic program counters.
+
+        PCs are 4-byte aligned addresses in a synthetic text segment;
+        ``group`` separates PC ranges of different loop bodies.
+        """
+        base = TEXT_SEGMENT_BASE + group * 0x1000
+        return [base + 4 * i for i in range(count)]
+
+    def data_region(self, region_index: int) -> int:
+        """Base address of the ``region_index``-th data region.
+
+        Regions are spaced 16MB apart, far larger than any scaled
+        footprint, so distinct arrays and heaps never overlap.  Composite
+        workloads shift their components' regions via
+        :meth:`set_region_offset` so components never alias each other.
+
+        Each region is additionally staggered by a small, region-specific
+        number of cache blocks.  Without the stagger every region would
+        start at the same L1D set (16MB is a multiple of the way size),
+        which would make lock-step multi-array loops conflict
+        pathologically in the same sets — something real heap/array
+        placement does not do.
+        """
+        if region_index < 0:
+            raise ValueError("region_index must be non-negative")
+        slot = self._region_offset + region_index
+        stagger = (slot * 41) * BLOCK_SIZE
+        return DATA_SEGMENT_BASE + slot * (16 << 20) + stagger
+
+    def set_region_offset(self, offset: int) -> None:
+        """Shift this workload's data regions by ``offset`` region slots."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        self._region_offset = offset
+
+
+@dataclass
+class WorkloadSummary:
+    """Lightweight description of a generated workload (used in reports)."""
+
+    name: str
+    suite: str
+    num_accesses: int
+    footprint_bytes: int
+    unique_pcs: int
+    extra: Dict[str, object] = field(default_factory=dict)

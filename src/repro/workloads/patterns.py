@@ -1,0 +1,247 @@
+"""Low-level access-pattern building blocks.
+
+Each function yields raw ``(pc, address, is_write)`` references for one
+*pass* over a data structure; the workload classes compose these passes
+into unbounded benchmark reference streams.  All patterns are
+deterministic given their arguments (any randomness comes from an
+explicitly passed, seeded ``random.Random``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.workloads.base import BLOCK_SIZE, RawReference
+
+
+def strided_scan(
+    base: int,
+    num_blocks: int,
+    pcs: Sequence[int],
+    accesses_per_block: int = 1,
+    stride_blocks: int = 1,
+    write_pcs: Sequence[int] = (),
+) -> Iterator[RawReference]:
+    """One pass of a strided array scan.
+
+    Touches ``num_blocks`` blocks starting at ``base`` with the given
+    block stride, issuing ``accesses_per_block`` references per block
+    (rotating through ``pcs``).  PCs listed in ``write_pcs`` issue stores.
+    """
+    if num_blocks <= 0 or accesses_per_block <= 0 or stride_blocks <= 0:
+        raise ValueError("num_blocks, accesses_per_block and stride_blocks must be positive")
+    if not pcs:
+        raise ValueError("pcs must not be empty")
+    writes = set(write_pcs)
+    for i in range(num_blocks):
+        block_base = base + (i * stride_blocks) * BLOCK_SIZE
+        for j in range(accesses_per_block):
+            pc = pcs[j % len(pcs)]
+            offset = (j * 8) % BLOCK_SIZE
+            yield pc, block_base + offset, pc in writes
+
+
+def multi_array_sweep(
+    bases: Sequence[int],
+    num_blocks: int,
+    pcs: Sequence[int],
+    write_last: bool = True,
+) -> Iterator[RawReference]:
+    """One pass of a ``c[i] = f(a[i], b[i], ...)`` style loop.
+
+    Every loop index touches the same element of each array in turn
+    (reading all of them and optionally writing the last), producing the
+    interleaved, regularly-strided streams typical of SPECfp kernels.
+    """
+    if not bases:
+        raise ValueError("bases must not be empty")
+    if len(pcs) < len(bases):
+        raise ValueError("need at least one PC per array")
+    for i in range(num_blocks):
+        for array_index, array_base in enumerate(bases):
+            pc = pcs[array_index]
+            is_write = write_last and array_index == len(bases) - 1
+            yield pc, array_base + i * BLOCK_SIZE, is_write
+
+
+def pointer_chase(
+    base: int,
+    order: Sequence[int],
+    pcs: Sequence[int],
+    node_blocks: int = 1,
+    fields_per_node: int = 2,
+) -> Iterator[RawReference]:
+    """One traversal of a linked structure in a fixed (shuffled) node order.
+
+    ``order`` is the sequence of node indices visited; node ``k`` occupies
+    ``node_blocks`` consecutive blocks at ``base + k * node_blocks *
+    BLOCK_SIZE``.  ``fields_per_node`` references are issued per node
+    (spread over the node's blocks), modelling reads of the payload and
+    the next pointer.  Because the node order is irregular in memory,
+    delta correlation cannot capture the pattern, but the traversal order
+    itself repeats pass after pass — the case LT-cords targets.
+    """
+    if not order:
+        raise ValueError("order must not be empty")
+    if not pcs:
+        raise ValueError("pcs must not be empty")
+    if node_blocks <= 0 or fields_per_node <= 0:
+        raise ValueError("node_blocks and fields_per_node must be positive")
+    node_bytes = node_blocks * BLOCK_SIZE
+    for node in order:
+        node_base = base + node * node_bytes
+        for f in range(fields_per_node):
+            pc = pcs[f % len(pcs)]
+            offset = (f * 16) % node_bytes
+            yield pc, node_base + offset, False
+
+
+def indirect_gather(
+    index_base: int,
+    target_base: int,
+    mapping: Sequence[int],
+    pcs: Sequence[int],
+    entries_per_index_block: int = 8,
+    write_target: bool = False,
+) -> Iterator[RawReference]:
+    """One pass of an ``A[B[i]]`` gather loop.
+
+    The index array is scanned sequentially (dense, prefetchable) while
+    the target array is accessed through the fixed ``mapping`` (irregular
+    but identical every pass) — the access-pattern class where address
+    correlation wins over delta correlation.
+    """
+    if len(pcs) < 2:
+        raise ValueError("indirect_gather needs at least two PCs (index load, target access)")
+    if entries_per_index_block <= 0:
+        raise ValueError("entries_per_index_block must be positive")
+    index_pc, target_pc = pcs[0], pcs[1]
+    for i, target_block in enumerate(mapping):
+        index_address = index_base + (i // entries_per_index_block) * BLOCK_SIZE + (i % entries_per_index_block) * 8
+        yield index_pc, index_address, False
+        yield target_pc, target_base + target_block * BLOCK_SIZE, write_target
+
+
+def random_accesses(
+    base: int,
+    num_blocks: int,
+    count: int,
+    rng: random.Random,
+    pcs: Sequence[int],
+    write_fraction: float = 0.2,
+) -> Iterator[RawReference]:
+    """``count`` uniformly random block accesses (hash-table style).
+
+    A fresh random sequence every call, so consecutive passes share no
+    temporal correlation — the behaviour of gzip/bzip2/twolf the paper
+    calls out as fundamentally unpredictable for address correlation.
+    """
+    if num_blocks <= 0 or count <= 0:
+        raise ValueError("num_blocks and count must be positive")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError("write_fraction must be in [0, 1]")
+    for _ in range(count):
+        block = rng.randrange(num_blocks)
+        pc = pcs[rng.randrange(len(pcs))]
+        offset = rng.randrange(BLOCK_SIZE // 8) * 8
+        yield pc, base + block * BLOCK_SIZE + offset, rng.random() < write_fraction
+
+
+def hot_set_accesses(
+    hot_base: int,
+    hot_blocks: int,
+    cold_base: int,
+    cold_blocks: int,
+    count: int,
+    rng: random.Random,
+    pcs: Sequence[int],
+    cold_fraction: float = 0.02,
+    write_fraction: float = 0.3,
+) -> Iterator[RawReference]:
+    """``count`` accesses dominated by a small, cache-resident hot set.
+
+    Models the compute-bound SPEC benchmarks (crafty, eon, mesa, ...)
+    whose working sets fit in the L1/L2 and which the paper includes
+    "only for completeness".
+    """
+    if hot_blocks <= 0 or cold_blocks <= 0 or count <= 0:
+        raise ValueError("hot_blocks, cold_blocks and count must be positive")
+    if not 0.0 <= cold_fraction <= 1.0:
+        raise ValueError("cold_fraction must be in [0, 1]")
+    for _ in range(count):
+        pc = pcs[rng.randrange(len(pcs))]
+        if rng.random() < cold_fraction:
+            address = cold_base + rng.randrange(cold_blocks) * BLOCK_SIZE
+        else:
+            address = hot_base + rng.randrange(hot_blocks) * BLOCK_SIZE
+        yield pc, address, rng.random() < write_fraction
+
+
+def tree_dfs_order(num_nodes: int) -> List[int]:
+    """Depth-first visit order of a complete binary tree with heap layout.
+
+    Node ``i`` has children ``2i+1`` and ``2i+2``; the returned list is the
+    pre-order traversal, the order treeadd/bh-style recursive kernels
+    visit their nodes.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    order: List[int] = []
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        if node >= num_nodes:
+            continue
+        order.append(node)
+        # Push right child first so the left subtree is visited first.
+        stack.append(2 * node + 2)
+        stack.append(2 * node + 1)
+    return order
+
+
+def bipartite_dependencies(
+    num_nodes: int,
+    degree: int,
+    rng: random.Random,
+) -> List[List[int]]:
+    """Fixed random dependency lists for an em3d-style bipartite graph.
+
+    Node ``i`` of one side depends on ``degree`` random nodes of the other
+    side; the lists are generated once and reused every iteration, so the
+    irregular access sequence repeats exactly.
+    """
+    if num_nodes <= 0 or degree <= 0:
+        raise ValueError("num_nodes and degree must be positive")
+    return [[rng.randrange(num_nodes) for _ in range(degree)] for _ in range(num_nodes)]
+
+
+def interleave_chunks(
+    iterators: Sequence[Iterator[RawReference]],
+    chunk_size: int = 4,
+) -> Iterator[RawReference]:
+    """Round-robin interleave several reference streams in fixed-size chunks.
+
+    Interleaving independent streams is what creates the local reordering
+    between last-touch order and miss order that LT-cords must tolerate
+    (Section 3.2); a chunk size of a few references models the
+    instruction-level mixing of independent loop bodies.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    active = [iter(it) for it in iterators]
+    while active:
+        still_active = []
+        for iterator in active:
+            emitted = 0
+            exhausted = False
+            while emitted < chunk_size:
+                try:
+                    yield next(iterator)
+                    emitted += 1
+                except StopIteration:
+                    exhausted = True
+                    break
+            if not exhausted:
+                still_active.append(iterator)
+        active = still_active

@@ -1,0 +1,347 @@
+"""Parameterised workload classes modelling the SPEC CPU2000 access-pattern families.
+
+Each class models one structural family of memory behaviour; the registry
+(:mod:`repro.workloads.registry`) instantiates them with per-benchmark
+parameters calibrated against Table 2 of the paper (footprint relative to
+the cache sizes, L1/L2 miss-rate band, repetitiveness).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.workloads.base import BLOCK_SIZE, RawReference, SyntheticWorkload, WorkloadConfig, WorkloadMetadata
+from repro.workloads.patterns import (
+    hot_set_accesses,
+    indirect_gather,
+    interleave_chunks,
+    multi_array_sweep,
+    pointer_chase,
+    random_accesses,
+    strided_scan,
+)
+
+
+class StridedLoopWorkload(SyntheticWorkload):
+    """Loop-structured multi-array kernels (swim, applu, lucas, mgrid, ...).
+
+    An outer loop repeatedly sweeps ``num_arrays`` arrays of
+    ``blocks_per_array`` blocks in lock-step.  The miss sequence repeats
+    exactly every iteration, the layout is regular (delta correlation also
+    works), and the footprint is set relative to the L2 to hit the paper's
+    L2 miss-rate band.
+    """
+
+    def __init__(
+        self,
+        metadata: WorkloadMetadata,
+        config: Optional[WorkloadConfig] = None,
+        num_arrays: int = 3,
+        blocks_per_array: int = 8192,
+        accesses_per_block: int = 1,
+        parallel_sweeps: int = 1,
+        chunk_size: int = 4,
+    ) -> None:
+        super().__init__(metadata, config)
+        if num_arrays <= 0 or blocks_per_array <= 0 or parallel_sweeps <= 0:
+            raise ValueError("num_arrays, blocks_per_array and parallel_sweeps must be positive")
+        self.num_arrays = num_arrays
+        self.blocks_per_array = blocks_per_array
+        self.accesses_per_block = max(1, accesses_per_block)
+        self.parallel_sweeps = parallel_sweeps
+        self.chunk_size = chunk_size
+
+    def _sweep(self, sweep_index: int) -> Iterator[RawReference]:
+        bases = [
+            self.data_region(sweep_index * self.num_arrays + a)
+            for a in range(self.num_arrays)
+        ]
+        pcs = self.make_pcs(self.num_arrays * self.accesses_per_block, group=sweep_index)
+        for i in range(self.blocks_per_array):
+            for array_index, base in enumerate(bases):
+                block_base = base + i * BLOCK_SIZE
+                for j in range(self.accesses_per_block):
+                    pc = pcs[array_index * self.accesses_per_block + j]
+                    is_write = array_index == len(bases) - 1 and j == self.accesses_per_block - 1
+                    yield pc, block_base + (j * 8) % BLOCK_SIZE, is_write
+
+    def references(self) -> Iterator[RawReference]:
+        while True:
+            sweeps = [self._sweep(s) for s in range(self.parallel_sweeps)]
+            if len(sweeps) == 1:
+                yield from sweeps[0]
+            else:
+                yield from interleave_chunks(sweeps, chunk_size=self.chunk_size)
+
+
+class PointerChaseWorkload(SyntheticWorkload):
+    """Pointer-chasing over static linked structures (mcf, ammp core loops).
+
+    ``num_chains`` independent linked lists are laid out in memory and
+    shuffled once; every iteration traverses all of them (interleaved in
+    small chunks, creating last-touch/miss order disparity).  Node order
+    is irregular in memory, so delta correlation fails, but the traversal
+    repeats exactly, so address correlation succeeds.
+    """
+
+    serial_misses = True
+
+    def __init__(
+        self,
+        metadata: WorkloadMetadata,
+        config: Optional[WorkloadConfig] = None,
+        num_nodes: int = 16384,
+        node_blocks: int = 1,
+        fields_per_node: int = 2,
+        num_chains: int = 4,
+        chunk_size: int = 4,
+    ) -> None:
+        super().__init__(metadata, config)
+        if num_nodes <= 0 or num_chains <= 0:
+            raise ValueError("num_nodes and num_chains must be positive")
+        self.num_nodes = num_nodes
+        self.node_blocks = node_blocks
+        self.fields_per_node = fields_per_node
+        self.num_chains = num_chains
+        self.chunk_size = chunk_size
+        nodes_per_chain = max(1, num_nodes // num_chains)
+        self._orders: List[List[int]] = []
+        for chain in range(num_chains):
+            order = list(range(nodes_per_chain))
+            self.rng.shuffle(order)
+            self._orders.append(order)
+
+    def _chain_pass(self, chain_index: int) -> Iterator[RawReference]:
+        base = self.data_region(chain_index)
+        pcs = self.make_pcs(self.fields_per_node, group=chain_index)
+        return pointer_chase(
+            base,
+            self._orders[chain_index],
+            pcs,
+            node_blocks=self.node_blocks,
+            fields_per_node=self.fields_per_node,
+        )
+
+    def references(self) -> Iterator[RawReference]:
+        while True:
+            passes = [self._chain_pass(c) for c in range(self.num_chains)]
+            yield from interleave_chunks(passes, chunk_size=self.chunk_size)
+
+
+class IndirectGatherWorkload(SyntheticWorkload):
+    """Indirect ``A[B[i]]`` gather kernels (art, equake sparse-matrix loops).
+
+    The index array is scanned sequentially while the target array is
+    accessed through a fixed random permutation — irregular addresses
+    that nonetheless repeat exactly every iteration.
+    """
+
+    def __init__(
+        self,
+        metadata: WorkloadMetadata,
+        config: Optional[WorkloadConfig] = None,
+        num_entries: int = 24576,
+        target_blocks: int = 24576,
+        write_target: bool = False,
+        extra_sequential_blocks: int = 0,
+    ) -> None:
+        super().__init__(metadata, config)
+        if num_entries <= 0 or target_blocks <= 0:
+            raise ValueError("num_entries and target_blocks must be positive")
+        self.num_entries = num_entries
+        self.target_blocks = target_blocks
+        self.write_target = write_target
+        self.extra_sequential_blocks = extra_sequential_blocks
+        self._mapping = [self.rng.randrange(target_blocks) for _ in range(num_entries)]
+
+    def references(self) -> Iterator[RawReference]:
+        index_base = self.data_region(0)
+        target_base = self.data_region(1)
+        seq_base = self.data_region(2)
+        gather_pcs = self.make_pcs(2, group=0)
+        seq_pcs = self.make_pcs(2, group=1)
+        while True:
+            streams = [
+                indirect_gather(
+                    index_base,
+                    target_base,
+                    self._mapping,
+                    gather_pcs,
+                    write_target=self.write_target,
+                )
+            ]
+            if self.extra_sequential_blocks:
+                streams.append(
+                    strided_scan(seq_base, self.extra_sequential_blocks, seq_pcs, accesses_per_block=1)
+                )
+            yield from interleave_chunks(streams, chunk_size=4)
+
+
+class HashedWorkload(SyntheticWorkload):
+    """Hash-table dominated benchmarks (gzip, bzip2, twolf).
+
+    Accesses are uniformly random over the footprint and freshly drawn
+    every iteration, so there is essentially no temporal correlation for
+    any address-correlating predictor to exploit — the paper's negative
+    control.
+    """
+
+    def __init__(
+        self,
+        metadata: WorkloadMetadata,
+        config: Optional[WorkloadConfig] = None,
+        footprint_blocks: int = 8192,
+        accesses_per_round: int = 4096,
+        write_fraction: float = 0.25,
+        hot_blocks: int = 256,
+        hot_accesses_per_probe: float = 2.0,
+    ) -> None:
+        super().__init__(metadata, config)
+        if footprint_blocks <= 0 or accesses_per_round <= 0:
+            raise ValueError("footprint_blocks and accesses_per_round must be positive")
+        if hot_accesses_per_probe < 0:
+            raise ValueError("hot_accesses_per_probe must be non-negative")
+        self.footprint_blocks = footprint_blocks
+        self.accesses_per_round = accesses_per_round
+        self.write_fraction = write_fraction
+        self.hot_blocks = hot_blocks
+        self.hot_accesses_per_probe = hot_accesses_per_probe
+
+    def references(self) -> Iterator[RawReference]:
+        table_base = self.data_region(0)
+        hot_base = self.data_region(1)
+        pcs = self.make_pcs(6)
+        whole_hot, fractional_hot = divmod(self.hot_accesses_per_probe, 1.0)
+        while True:
+            for pc, address, is_write in random_accesses(
+                table_base, self.footprint_blocks, self.accesses_per_round, self.rng, pcs[:4],
+                write_fraction=self.write_fraction,
+            ):
+                yield pc, address, is_write
+                # Interleave hot (stack / local state) accesses so the overall
+                # L1 miss rate lands in the paper's low single digits.
+                hot_count = int(whole_hot) + (1 if self.rng.random() < fractional_hot else 0)
+                for h in range(hot_count):
+                    hot_block = self.rng.randrange(self.hot_blocks)
+                    yield pcs[4 + h % 2], hot_base + hot_block * BLOCK_SIZE, False
+
+
+class HotSetWorkload(SyntheticWorkload):
+    """Cache-resident benchmarks (crafty, eon, mesa, perlbmk, sixtrack).
+
+    Almost every access lands in a small hot region; a tiny fraction
+    touches a larger cold region.  These benchmarks show little memory
+    sensitivity and are included "only for completeness" in the paper.
+    """
+
+    def __init__(
+        self,
+        metadata: WorkloadMetadata,
+        config: Optional[WorkloadConfig] = None,
+        hot_blocks: int = 512,
+        cold_blocks: int = 16384,
+        cold_fraction: float = 0.01,
+        accesses_per_round: int = 8192,
+    ) -> None:
+        super().__init__(metadata, config)
+        self.hot_blocks = hot_blocks
+        self.cold_blocks = cold_blocks
+        self.cold_fraction = cold_fraction
+        self.accesses_per_round = accesses_per_round
+
+    def references(self) -> Iterator[RawReference]:
+        hot_base = self.data_region(0)
+        cold_base = self.data_region(1)
+        pcs = self.make_pcs(8)
+        while True:
+            yield from hot_set_accesses(
+                hot_base,
+                self.hot_blocks,
+                cold_base,
+                self.cold_blocks,
+                self.accesses_per_round,
+                self.rng,
+                pcs,
+                cold_fraction=self.cold_fraction,
+            )
+
+
+class StreamingWorkload(SyntheticWorkload):
+    """Regular layout with little data reuse (gap).
+
+    The benchmark streams sequentially through a very large region,
+    rarely revisiting addresses before they wrap around.  Delta
+    correlation captures the pattern trivially; address correlation
+    cannot, because addresses are not revisited — the case in Table 3
+    where GHB beats LT-cords.
+    """
+
+    def __init__(
+        self,
+        metadata: WorkloadMetadata,
+        config: Optional[WorkloadConfig] = None,
+        region_blocks: int = 1 << 18,
+        accesses_per_block: int = 4,
+        hot_blocks: int = 512,
+        hot_accesses_per_block: int = 6,
+    ) -> None:
+        super().__init__(metadata, config)
+        if region_blocks <= 0:
+            raise ValueError("region_blocks must be positive")
+        self.region_blocks = region_blocks
+        self.accesses_per_block = accesses_per_block
+        self.hot_blocks = hot_blocks
+        self.hot_accesses_per_block = hot_accesses_per_block
+
+    def references(self) -> Iterator[RawReference]:
+        stream_base = self.data_region(0)
+        hot_base = self.data_region(1)
+        stream_pcs = self.make_pcs(self.accesses_per_block, group=0)
+        hot_pcs = self.make_pcs(4, group=1)
+        position = 0
+        while True:
+            block_base = stream_base + (position % self.region_blocks) * BLOCK_SIZE
+            for j in range(self.accesses_per_block):
+                yield stream_pcs[j], block_base + (j * 8) % BLOCK_SIZE, j == self.accesses_per_block - 1
+            for j in range(self.hot_accesses_per_block):
+                hot_block = self.rng.randrange(self.hot_blocks)
+                yield hot_pcs[j % len(hot_pcs)], hot_base + hot_block * BLOCK_SIZE, False
+            position += 1
+
+
+class MixedWorkload(SyntheticWorkload):
+    """Benchmarks combining several access-pattern families (gcc, parser, ammp, vortex).
+
+    The component workloads' reference streams are interleaved in fixed
+    chunks whose sizes set the mix ratio; imperfect temporal correlation
+    arises naturally when one component is hash-like.
+    """
+
+    def __init__(
+        self,
+        metadata: WorkloadMetadata,
+        components: Sequence[Tuple[SyntheticWorkload, int]],
+        config: Optional[WorkloadConfig] = None,
+    ) -> None:
+        super().__init__(metadata, config)
+        if not components:
+            raise ValueError("components must not be empty")
+        for _, weight in components:
+            if weight <= 0:
+                raise ValueError("component weights must be positive")
+        self.components = list(components)
+        # Keep component address spaces disjoint.
+        for index, (workload, _) in enumerate(self.components):
+            workload.set_region_offset((index + 1) * 32)
+        # The mix is dependence-bound if the majority of its references
+        # come from pointer-chasing components.
+        serial_weight = sum(w for wl, w in self.components if wl.serial_misses)
+        total_weight = sum(w for _, w in self.components)
+        self.serial_misses = serial_weight * 2 > total_weight
+
+    def references(self) -> Iterator[RawReference]:
+        streams = [(iter(workload.references()), weight) for workload, weight in self.components]
+        while True:
+            for stream, weight in streams:
+                for _ in range(weight):
+                    yield next(stream)

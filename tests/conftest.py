@@ -1,0 +1,48 @@
+"""Shared fixtures and trace builders for the test suite."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.trace.record import AccessType, MemoryAccess
+from repro.trace.stream import TraceStream
+
+
+def make_trace(addresses: Iterable[int], pcs: Iterable[int] = None, name: str = "test") -> TraceStream:
+    """Build a trace from raw addresses (one load per address, 3 instructions apart)."""
+    addresses = list(addresses)
+    pcs = list(pcs) if pcs is not None else [0x400000 + 4 * (i % 16) for i in range(len(addresses))]
+    accesses = [
+        MemoryAccess(pc=pcs[i], address=addr, access_type=AccessType.LOAD, icount=3 * i)
+        for i, addr in enumerate(addresses)
+    ]
+    return TraceStream(accesses, name=name)
+
+
+def looping_trace(num_blocks: int, iterations: int, block_size: int = 64, pc_period: int = 7,
+                  base: int = 0x10000000, name: str = "loop") -> TraceStream:
+    """A trace that scans ``num_blocks`` blocks ``iterations`` times (repetitive misses)."""
+    accesses: List[MemoryAccess] = []
+    icount = 0
+    for _ in range(iterations):
+        for b in range(num_blocks):
+            accesses.append(
+                MemoryAccess(pc=0x400000 + 4 * (b % pc_period), address=base + b * block_size, icount=icount)
+            )
+            icount += 3
+    return TraceStream(accesses, name=name)
+
+
+@pytest.fixture
+def small_l1_config() -> CacheConfig:
+    """A small 2-way L1-like cache (4KB) for fast unit tests."""
+    return CacheConfig(name="testL1", size_bytes=4096, block_size=64, associativity=2, hit_latency=2)
+
+
+@pytest.fixture
+def tiny_cache_config() -> CacheConfig:
+    """A tiny 2-set cache for exhaustive behavioural tests."""
+    return CacheConfig(name="tiny", size_bytes=256, block_size=64, associativity=2, hit_latency=1)

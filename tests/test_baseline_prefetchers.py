@@ -1,0 +1,152 @@
+"""Unit tests for the baseline predictors (null, stride, GHB, DBCP)."""
+
+import pytest
+
+from repro.core.interface import AccessOutcome
+from repro.prefetchers.dbcp import DBCPConfig, DBCPPrefetcher
+from repro.prefetchers.ghb import GHBConfig, GHBPrefetcher
+from repro.prefetchers.null import NullPrefetcher
+from repro.prefetchers.stride import StrideConfig, StridePrefetcher
+from repro.sim.trace_driven import TraceDrivenSimulator
+from repro.trace.record import MemoryAccess
+
+from conftest import looping_trace, make_trace
+
+
+def outcome(pc, address, l1_hit=False, evicted=None, block_size=64):
+    return AccessOutcome(
+        access=MemoryAccess(pc=pc, address=address),
+        block_address=address & ~(block_size - 1),
+        set_index=0,
+        l1_hit=l1_hit,
+        evicted_address=evicted,
+    )
+
+
+class TestNullPrefetcher:
+    def test_never_predicts_and_counts(self):
+        prefetcher = NullPrefetcher()
+        assert prefetcher.on_access(outcome(1, 0x1000)) == []
+        assert prefetcher.on_access(outcome(1, 0x1000, l1_hit=True)) == []
+        assert prefetcher.stats.accesses_observed == 2
+        assert prefetcher.stats.misses_observed == 1
+
+    def test_matches_no_predictor_baseline(self):
+        trace = looping_trace(num_blocks=512, iterations=2)
+        result = TraceDrivenSimulator(prefetcher=NullPrefetcher()).run(trace)
+        assert result.predictor_l1_misses == result.baseline_l1_misses
+        assert result.coverage == 0.0
+
+
+class TestStridePrefetcher:
+    def test_detects_constant_stride(self):
+        prefetcher = StridePrefetcher(StrideConfig(degree=2))
+        commands = []
+        for i in range(6):
+            commands = prefetcher.on_access(outcome(0x400, 0x1000 + i * 64))
+        assert commands, "a trained stride predictor should issue prefetches on misses"
+        assert commands[0].address == 0x1000 + 6 * 64
+
+    def test_no_prediction_for_irregular_pattern(self):
+        prefetcher = StridePrefetcher()
+        addresses = [0x1000, 0x5040, 0x2080, 0x99c0, 0x3100]
+        commands = []
+        for a in addresses:
+            commands = prefetcher.on_access(outcome(0x400, a))
+        assert commands == []
+
+    def test_table_capacity_bounded(self):
+        prefetcher = StridePrefetcher(StrideConfig(table_entries=4))
+        for pc in range(100):
+            prefetcher.on_access(outcome(0x400 + pc * 4, 0x1000))
+        assert len(prefetcher._table) <= 4
+
+
+class TestGHBPrefetcher:
+    def test_delta_correlation_on_strided_misses(self):
+        prefetcher = GHBPrefetcher()
+        commands = []
+        for i in range(8):
+            commands = prefetcher.on_access(outcome(0x400, 0x10000 + i * 64))
+        assert commands
+        predicted = [c.address for c in commands]
+        assert 0x10000 + 8 * 64 in predicted
+
+    def test_ignores_hits(self):
+        prefetcher = GHBPrefetcher()
+        assert prefetcher.on_access(outcome(0x400, 0x1000, l1_hit=True)) == []
+        assert prefetcher.ghb_stats.misses_inserted == 0
+
+    def test_degree_limits_prefetches(self):
+        prefetcher = GHBPrefetcher(GHBConfig(degree=2))
+        commands = []
+        for i in range(10):
+            commands = prefetcher.on_access(outcome(0x400, 0x10000 + i * 64))
+        assert len(commands) <= 2
+
+    def test_handles_interleaved_pcs_independently(self):
+        prefetcher = GHBPrefetcher()
+        last_a, last_b = [], []
+        for i in range(8):
+            last_a = prefetcher.on_access(outcome(0x400, 0x10000 + i * 64))
+            last_b = prefetcher.on_access(outcome(0x500, 0x80000 + i * 128))
+        assert last_a and last_b
+        assert last_b[0].address >= 0x80000
+
+    def test_buffer_wraps_without_error(self):
+        prefetcher = GHBPrefetcher(GHBConfig(ghb_entries=16, index_table_entries=8))
+        for i in range(200):
+            prefetcher.on_access(outcome(0x400 + (i % 5) * 4, 0x10000 + i * 64))
+        assert prefetcher.ghb_stats.misses_inserted == 200
+
+    def test_ghb_effective_on_strided_workload(self):
+        trace = looping_trace(num_blocks=2048, iterations=2)
+        ghb = TraceDrivenSimulator(prefetcher=GHBPrefetcher()).run(trace)
+        stride = TraceDrivenSimulator(prefetcher=StridePrefetcher()).run(trace)
+        # Both delta-correlating predictors capture a constant-stride scan;
+        # GHB must deliver substantial coverage on the pattern class stride
+        # prefetching targets (it subsumes it in applicability).
+        assert ghb.coverage >= 0.4
+        assert stride.coverage >= 0.3
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            GHBConfig(degree=0)
+        with pytest.raises(ValueError):
+            GHBConfig(history_depth=2)
+
+
+class TestDBCPPrefetcher:
+    def test_unlimited_table_learns_repetitive_loop(self):
+        # The loop footprint (2048 blocks) exceeds the 1024-block L1D, so
+        # every iteration repeats the same miss sequence.  One iteration
+        # trains the predictor and a second stabilises the address-history
+        # component of the signatures, so measurable coverage appears from
+        # the third iteration onward.
+        trace = looping_trace(num_blocks=2048, iterations=4)
+        result = TraceDrivenSimulator(prefetcher=DBCPPrefetcher(DBCPConfig.unlimited())).run(trace)
+        assert result.coverage > 0.4
+
+    def test_small_table_loses_coverage(self):
+        trace = looping_trace(num_blocks=2048, iterations=3)
+        small = TraceDrivenSimulator(prefetcher=DBCPPrefetcher(DBCPConfig(table_entries=64))).run(trace)
+        unlimited = TraceDrivenSimulator(prefetcher=DBCPPrefetcher(DBCPConfig.unlimited())).run(trace)
+        assert small.coverage < unlimited.coverage
+
+    def test_table_capacity_enforced(self):
+        prefetcher = DBCPPrefetcher(DBCPConfig(table_entries=16))
+        for i in range(200):
+            prefetcher.on_access(outcome(0x400, 0x10000 + i * 64, evicted=0x10000 + (i - 3) * 64 if i > 3 else None))
+        assert len(prefetcher) <= 16
+
+    def test_with_table_bytes_helper(self):
+        config = DBCPConfig.with_table_bytes(2 * 1024 * 1024)
+        assert config.table_entries == 2 * 1024 * 1024 // config.signature_config.stored_bytes
+        assert config.table_bytes() <= 2 * 1024 * 1024
+
+    def test_unlimited_reports_none_bytes(self):
+        assert DBCPConfig.unlimited().table_bytes() is None
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DBCPConfig(table_entries=0)

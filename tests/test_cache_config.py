@@ -1,0 +1,65 @@
+"""Unit tests for repro.cache.config."""
+
+import pytest
+
+from repro.cache.config import CacheConfig, L1D_CONFIG, L1I_CONFIG, L2_4MB_CONFIG, L2_CONFIG
+
+
+class TestGeometry:
+    def test_l1d_matches_table1(self):
+        assert L1D_CONFIG.size_bytes == 64 * 1024
+        assert L1D_CONFIG.block_size == 64
+        assert L1D_CONFIG.associativity == 2
+        assert L1D_CONFIG.hit_latency == 2
+        assert L1D_CONFIG.num_ports == 4
+        assert L1D_CONFIG.num_mshrs == 64
+        assert L1D_CONFIG.num_sets == 512
+        assert L1D_CONFIG.num_blocks == 1024
+
+    def test_l2_matches_table1(self):
+        assert L2_CONFIG.size_bytes == 1024 * 1024
+        assert L2_CONFIG.associativity == 8
+        assert L2_CONFIG.hit_latency == 20
+
+    def test_l1i_and_4mb_variants(self):
+        assert L1I_CONFIG.associativity == 4
+        assert L2_4MB_CONFIG.size_bytes == 4 * L2_CONFIG.size_bytes
+
+    def test_index_and_offset_bits(self):
+        config = CacheConfig("c", 4096, 64, 2)
+        assert config.offset_bits == 6
+        assert config.num_sets == 32
+        assert config.index_bits == 5
+
+    def test_address_decomposition_roundtrip(self):
+        config = CacheConfig("c", 8192, 64, 4)
+        address = 0xDEADBEEF
+        set_index = config.set_index(address)
+        tag = config.tag(address)
+        block = config.block_address(address)
+        assert 0 <= set_index < config.num_sets
+        assert block % config.block_size == 0
+        reconstructed = (tag << (config.index_bits + config.offset_bits)) | (set_index << config.offset_bits)
+        assert reconstructed == block
+
+    def test_consecutive_blocks_map_to_consecutive_sets(self):
+        config = CacheConfig("c", 4096, 64, 2)
+        assert config.set_index(0) + 1 == config.set_index(64)
+
+
+class TestValidation:
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 4096, 48, 2)
+
+    def test_size_not_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 1000, 64, 2)
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 4096, 64, 0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig("bad", 4096, 64, 2, hit_latency=-1)

@@ -1,0 +1,100 @@
+"""Smoke tests for the experiment drivers (tiny configurations).
+
+Each figure/table driver is exercised end to end on one or two small
+benchmarks so regressions in the experiment plumbing are caught by the
+unit suite; the full-size sweeps live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import common, fig2_deadtime, fig4_dbcp_sensitivity, fig6_temporal
+from repro.experiments import fig7_order_disparity, fig8_coverage, fig9_sigcache, fig10_storage
+from repro.experiments import fig12_bandwidth, sec59_power, table1_config, table2_baseline, table3_speedup
+
+SMALL = dict(benchmarks=["gzip"], num_accesses=6000)
+
+
+class TestCommon:
+    def test_selected_benchmarks_default_subset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert common.selected_benchmarks() == common.REPRESENTATIVE_BENCHMARKS
+
+    def test_selected_benchmarks_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert len(common.selected_benchmarks()) == 28
+
+    def test_explicit_selection_validated(self):
+        assert common.selected_benchmarks(["mcf"]) == ["mcf"]
+        with pytest.raises(KeyError):
+            common.selected_benchmarks(["nope"])
+
+    def test_format_table(self):
+        text = common.format_table(["a", "bb"], [(1, 2), (3, 4)])
+        assert "a" in text and "bb" in text and "3" in text
+
+
+class TestDrivers:
+    def test_table1(self):
+        rows = table1_config.run()
+        assert any("L1 D" == name for name, _ in rows)
+        assert "GHz" in table1_config.format_results(rows)
+
+    def test_table2(self):
+        rows = table2_baseline.run(**SMALL)
+        assert rows[0].benchmark == "gzip"
+        assert 0 <= rows[0].l1_miss_pct <= 100
+        assert "paper" in table2_baseline.format_results(rows)
+
+    def test_fig2(self):
+        series = fig2_deadtime.run(**SMALL)
+        assert len(series.thresholds) == len(series.cdf)
+        assert all(0 <= v <= 1 for v in series.cdf)
+        assert series.cdf == sorted(series.cdf)
+        assert "dead time" in fig2_deadtime.format_results(series)
+
+    def test_fig4(self):
+        result = fig4_dbcp_sensitivity.run(benchmarks=["gzip"], table_sizes=(64, 4096), num_accesses=6000)
+        assert len(result.average_normalized_coverage) == 2
+        fig4_dbcp_sensitivity.format_results(result)
+
+    def test_fig6(self):
+        rows = fig6_temporal.run(**SMALL)
+        assert rows[0].benchmark == "gzip"
+        fig6_temporal.format_results(rows)
+
+    def test_fig7(self):
+        rows = fig7_order_disparity.run(**SMALL)
+        assert 0.0 <= rows[0].perfect_fraction <= 1.0
+        fig7_order_disparity.format_results(rows)
+
+    def test_fig8(self):
+        rows = fig8_coverage.run(**SMALL)
+        assert rows[0].ltcords.predictor == "ltcords"
+        assert rows[0].oracle_dbcp.predictor == "dbcp"
+        fig8_coverage.format_results(rows)
+
+    def test_fig9(self):
+        sweep = fig9_sigcache.run(benchmarks=["gzip"], sizes=(128, 512), num_accesses=6000)
+        assert sweep.sizes == [128, 512]
+        fig9_sigcache.format_results(sweep)
+
+    def test_fig10(self):
+        sweep = fig10_storage.run(benchmarks=["gzip"], capacities=(1024, 4096), num_accesses=6000)
+        assert set(sweep.normalized_coverage) == {"gzip"}
+        fig10_storage.format_results(sweep)
+
+    def test_table3(self):
+        rows = table3_speedup.run(benchmarks=["gzip"], num_accesses=6000, configurations=("perfect-l1", "ghb"))
+        assert "perfect-l1" in rows[0].speedup_pct
+        assert rows[0].paper_speedup_pct["perfect-l1"] == pytest.approx(17)
+        assert table3_speedup.mean_speedups(rows)
+
+    def test_fig12(self):
+        rows = fig12_bandwidth.run(**SMALL)
+        assert rows[0].total >= 0
+        fig12_bandwidth.format_results(rows)
+
+    def test_sec59(self):
+        result = sec59_power.run()
+        assert result.dynamic_power_ratio < 1.0
+        assert "48%" in sec59_power.format_results(result)

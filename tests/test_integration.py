@@ -1,0 +1,66 @@
+"""Integration tests: the paper's qualitative claims on the synthetic workloads.
+
+These use short traces of the real registry workloads, so they assert the
+*direction* of each claim rather than exact magnitudes (the benchmark
+harnesses report the full numbers).
+"""
+
+import pytest
+
+import repro
+
+ACCESSES = 120_000
+
+
+@pytest.fixture(scope="module")
+def coverage():
+    """Coverage of several predictors on key benchmarks (computed once)."""
+    cases = {
+        ("mcf", "ltcords"), ("mcf", "ghb"),
+        ("em3d", "ltcords"), ("em3d", "ghb"),
+        ("swim", "ghb"), ("swim", "ltcords"),
+        ("gzip", "ltcords"),
+        ("mcf", "dbcp-unlimited"),
+        ("mcf", "dbcp"),
+    }
+    return {
+        (bench, pred): repro.quick_simulation(bench, pred, max_accesses=ACCESSES)
+        for bench, pred in cases
+    }
+
+
+class TestPaperClaims:
+    def test_ltcords_beats_delta_correlation_on_pointer_chasing(self, coverage):
+        """Address correlation captures irregular but repetitive accesses
+        that delta correlation cannot (mcf, em3d)."""
+        assert coverage[("mcf", "ltcords")].coverage > coverage[("mcf", "ghb")].coverage + 0.1
+        assert coverage[("em3d", "ltcords")].coverage > coverage[("em3d", "ghb")].coverage
+
+    def test_ghb_captures_regular_strided_workloads(self, coverage):
+        assert coverage[("swim", "ghb")].coverage > 0.3
+
+    def test_ltcords_also_covers_strided_workloads(self, coverage):
+        assert coverage[("swim", "ltcords")].coverage > 0.2
+
+    def test_hash_dominated_workload_defeats_address_correlation(self, coverage):
+        assert coverage[("gzip", "ltcords")].coverage < 0.15
+
+    def test_ltcords_approaches_oracle_dbcp_on_mcf(self, coverage):
+        oracle = coverage[("mcf", "dbcp-unlimited")].coverage
+        assert coverage[("mcf", "ltcords")].coverage > 0.5 * oracle
+
+    def test_ltcords_on_chip_storage_far_below_oracle_requirements(self, coverage):
+        lt = coverage[("mcf", "ltcords")]
+        assert lt.on_chip_storage_bytes is not None
+        assert lt.on_chip_storage_bytes < 1024 * 1024  # a few hundred KB
+
+    def test_bandwidth_overhead_is_bounded(self, coverage):
+        lt = coverage[("mcf", "ltcords")]
+        from repro.analysis.bandwidth import bandwidth_breakdown
+
+        breakdown = bandwidth_breakdown(lt)
+        assert breakdown.overhead_fraction < 0.6
+
+    def test_early_evictions_are_rare(self, coverage):
+        lt = coverage[("mcf", "ltcords")]
+        assert lt.breakdown.early_pct < 20.0

@@ -1,0 +1,99 @@
+"""Unit and behavioural tests for the LT-cords prefetcher."""
+
+import pytest
+
+from repro.core.ltcords import LTCordsConfig, LTCordsPrefetcher
+from repro.core.sequence_storage import SequenceStorageConfig
+from repro.core.signature_cache import SignatureCacheConfig
+from repro.prefetchers.dbcp import DBCPConfig, DBCPPrefetcher
+from repro.sim.trace_driven import TraceDrivenSimulator
+
+from conftest import looping_trace
+
+
+class TestConfig:
+    def test_on_chip_storage_is_practical(self):
+        config = LTCordsConfig()
+        storage_kb = config.on_chip_storage_bytes() / 1024
+        # The paper quotes 214KB; the reproduction's default should land in
+        # the same few-hundred-KB regime, orders of magnitude below DBCP's
+        # 80-160MB requirement.
+        assert 100 <= storage_kb <= 400
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            LTCordsConfig(stream_window=0)
+        with pytest.raises(ValueError):
+            LTCordsConfig(initial_confidence=9)
+        with pytest.raises(ValueError):
+            LTCordsConfig(fetch_delay_accesses=-1)
+
+
+class TestBehaviourOnRepetitiveLoop:
+    @pytest.fixture
+    def loop_result(self):
+        trace = looping_trace(num_blocks=2048, iterations=4)
+        prefetcher = LTCordsPrefetcher()
+        simulator = TraceDrivenSimulator(prefetcher=prefetcher)
+        return prefetcher, simulator.run(trace)
+
+    def test_signatures_are_recorded_off_chip(self, loop_result):
+        prefetcher, _ = loop_result
+        assert prefetcher.ltstats.signatures_created > 1000
+        assert prefetcher.storage.stats.signatures_recorded == prefetcher.ltstats.signatures_created
+
+    def test_heads_recur_and_streaming_happens(self, loop_result):
+        prefetcher, _ = loop_result
+        assert prefetcher.ltstats.head_matches > 0
+        assert prefetcher.ltstats.signatures_streamed > 0
+
+    def test_substantial_coverage_on_repetitive_misses(self, loop_result):
+        _, result = loop_result
+        assert result.coverage > 0.3
+
+    def test_prefetches_mostly_useful(self, loop_result):
+        _, result = loop_result
+        assert result.prefetch_accuracy > 0.7
+
+    def test_signature_traffic_accounted(self, loop_result):
+        prefetcher, _ = loop_result
+        assert prefetcher.sequence_creation_bytes() > 0
+        assert prefetcher.sequence_fetch_bytes() > 0
+        assert prefetcher.signature_traffic_bytes() == (
+            prefetcher.sequence_creation_bytes() + prefetcher.sequence_fetch_bytes()
+        )
+
+    def test_tracks_oracle_dbcp_on_repetitive_loop(self):
+        trace = looping_trace(num_blocks=2048, iterations=4)
+        lt = TraceDrivenSimulator(prefetcher=LTCordsPrefetcher()).run(trace)
+        oracle = TraceDrivenSimulator(prefetcher=DBCPPrefetcher(DBCPConfig.unlimited())).run(trace)
+        # The paper's headline: LT-cords with practical on-chip storage
+        # approximates an unlimited-storage DBCP.
+        assert lt.coverage >= 0.6 * oracle.coverage
+
+
+class TestNonRepetitiveBehaviour:
+    def test_no_coverage_without_recurrence(self):
+        trace = looping_trace(num_blocks=4096, iterations=1)
+        result = TraceDrivenSimulator(prefetcher=LTCordsPrefetcher()).run(trace)
+        assert result.coverage < 0.05
+
+    def test_fetch_delay_reduces_or_keeps_coverage(self):
+        trace = looping_trace(num_blocks=1024, iterations=4)
+        fast = TraceDrivenSimulator(prefetcher=LTCordsPrefetcher()).run(trace)
+        delayed_config = LTCordsConfig(fetch_delay_accesses=64)
+        slow = TraceDrivenSimulator(prefetcher=LTCordsPrefetcher(delayed_config)).run(trace)
+        assert slow.coverage <= fast.coverage + 0.05
+
+
+class TestConfidenceFeedback:
+    def test_unused_prefetch_decrements_confidence(self):
+        config = LTCordsConfig(
+            signature_cache_config=SignatureCacheConfig(num_entries=1024, associativity=2),
+            storage_config=SequenceStorageConfig(num_frames=64, fragment_size=64, head_lookahead=8),
+        )
+        prefetcher = LTCordsPrefetcher(config)
+        trace = looping_trace(num_blocks=3072, iterations=4)
+        TraceDrivenSimulator(prefetcher=prefetcher).run(trace)
+        # Confidence machinery exercised in at least one direction.
+        assert prefetcher.ltstats.confidence_increments + prefetcher.ltstats.confidence_decrements > 0

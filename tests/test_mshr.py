@@ -1,0 +1,55 @@
+"""Unit tests for repro.cache.mshr."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+
+
+class TestMSHRFile:
+    def test_allocate_and_retire(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x100, issue_cycle=0, complete_cycle=200)
+        mshrs.allocate(0x200, issue_cycle=10, complete_cycle=150)
+        assert len(mshrs) == 2
+        done = mshrs.retire_completed(150)
+        assert [e.block_address for e in done] == [0x200]
+        assert len(mshrs) == 1
+
+    def test_secondary_miss_merges(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(0x100, 0, 200)
+        entry = mshrs.allocate(0x100, 5, 210)
+        assert entry.merged_requests == 1
+        assert mshrs.stats.merges == 1
+        assert len(mshrs) == 1
+
+    def test_full_file_raises(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(0x100, 0, 200)
+        with pytest.raises(RuntimeError):
+            mshrs.allocate(0x200, 0, 200)
+        assert mshrs.stats.full_stalls == 1
+
+    def test_merge_allowed_when_full(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(0x100, 0, 200)
+        assert mshrs.allocate(0x100, 1, 200).merged_requests == 1
+
+    def test_earliest_completion(self):
+        mshrs = MSHRFile(4)
+        assert mshrs.earliest_completion() is None
+        mshrs.allocate(0x100, 0, 300)
+        mshrs.allocate(0x200, 0, 250)
+        assert mshrs.earliest_completion() == 250
+
+    def test_outstanding_lookup_and_clear(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(0x100, 0, 300)
+        assert mshrs.outstanding(0x100) is not None
+        assert mshrs.outstanding(0x300) is None
+        mshrs.clear()
+        assert len(mshrs) == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)

@@ -1,0 +1,27 @@
+"""Tests for the multi-programmed (context-switching) simulation."""
+
+from repro.sim.multiprogram import DEFAULT_ADDRESS_SHIFT, simulate_pair
+
+
+class TestSimulatePair:
+    def test_pairing_reports_both_applications(self):
+        result = simulate_pair(
+            "gzip", "crafty", num_accesses=6000, quantum_instructions=3000, max_switches=10
+        )
+        assert result.primary == "gzip"
+        assert result.secondary == "crafty"
+        assert 0.0 <= result.primary_coverage <= 1.0
+        assert 0.0 <= result.secondary_coverage <= 1.0
+        assert result.context_switches == 10
+
+    def test_repetitive_benchmark_retains_coverage_when_paired_with_small_one(self):
+        # swim (repetitive, memory-bound) paired with crafty (cache-resident)
+        # should keep most of its standalone coverage — the Figure 11 claim.
+        result = simulate_pair(
+            "swim", "crafty", num_accesses=100_000, quantum_instructions=30_000, max_switches=40
+        )
+        assert result.primary_standalone_coverage > 0.15
+        assert result.primary_coverage_retention > 0.5
+
+    def test_address_shift_constant_is_large(self):
+        assert DEFAULT_ADDRESS_SHIFT >= (1 << 30)

@@ -1,0 +1,78 @@
+"""Unit tests for repro.cache.replacement."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    make_replacement_policy,
+)
+
+
+class TestLRU:
+    def test_least_recently_used_chosen(self):
+        lru = LRUReplacement(num_sets=1, associativity=2)
+        lru.on_fill(0, 0)
+        lru.on_fill(0, 1)
+        lru.on_access(0, 0)  # way 1 is now least recently used
+        assert lru.victim_way(0, [0, 1]) == 1
+
+    def test_access_refreshes_recency(self):
+        lru = LRUReplacement(num_sets=1, associativity=3)
+        for way in range(3):
+            lru.on_fill(0, way)
+        lru.on_access(0, 0)
+        assert lru.victim_way(0, [0, 1, 2]) == 1
+
+    def test_unseen_ways_preferred(self):
+        lru = LRUReplacement(num_sets=1, associativity=2)
+        lru.on_fill(0, 1)
+        assert lru.victim_way(0, [0, 1]) == 0
+
+
+class TestFIFO:
+    def test_first_filled_evicted_despite_access(self):
+        fifo = FIFOReplacement(num_sets=1, associativity=2)
+        fifo.on_fill(0, 0)
+        fifo.on_fill(0, 1)
+        fifo.on_access(0, 0)  # FIFO ignores hits
+        assert fifo.victim_way(0, [0, 1]) == 0
+
+    def test_order_advances_after_refill(self):
+        fifo = FIFOReplacement(num_sets=1, associativity=2)
+        fifo.on_fill(0, 0)
+        fifo.on_fill(0, 1)
+        fifo.on_fill(0, 0)  # way 0 refilled; way 1 is now oldest
+        assert fifo.victim_way(0, [0, 1]) == 1
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomReplacement(1, 4, seed=7)
+        b = RandomReplacement(1, 4, seed=7)
+        choices_a = [a.victim_way(0, [0, 1, 2, 3]) for _ in range(10)]
+        choices_b = [b.victim_way(0, [0, 1, 2, 3]) for _ in range(10)]
+        assert choices_a == choices_b
+
+    def test_victim_always_occupied(self):
+        policy = RandomReplacement(1, 4, seed=1)
+        for _ in range(50):
+            assert policy.victim_way(0, [1, 3]) in (1, 3)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("lru", LRUReplacement), ("fifo", FIFOReplacement), ("random", RandomReplacement)])
+    def test_known_policies(self, name, cls):
+        assert isinstance(make_replacement_policy(name, 4, 2), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_replacement_policy("LRU", 4, 2), LRUReplacement)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_replacement_policy("plru", 4, 2)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            LRUReplacement(0, 2)

@@ -1,0 +1,120 @@
+"""Unit tests for off-chip sequence storage (repro.core.sequence_storage)."""
+
+import pytest
+
+from repro.core.sequence_storage import (
+    PAPER_STORAGE_CONFIG,
+    SequenceStorage,
+    SequenceStorageConfig,
+)
+from repro.core.signatures import LastTouchSignature
+
+
+def sig(key, predicted=0x1000, confidence=2):
+    return LastTouchSignature(key=key, predicted_address=predicted, confidence=confidence)
+
+
+class TestConfig:
+    def test_paper_configuration(self):
+        assert PAPER_STORAGE_CONFIG.num_frames == 4096
+        assert PAPER_STORAGE_CONFIG.fragment_size == 8192
+        assert PAPER_STORAGE_CONFIG.total_signatures == 32 * 1024 * 1024
+        # ~160MB at 5 bytes per signature for the realistic encoding.
+        assert PAPER_STORAGE_CONFIG.sequence_tag_array_bits() > 0
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceStorageConfig(num_frames=0)
+        with pytest.raises(ValueError):
+            SequenceStorageConfig(fragment_size=0)
+        with pytest.raises(ValueError):
+            SequenceStorageConfig(head_lookahead=-1)
+
+
+class TestRecording:
+    def test_signatures_append_in_order(self):
+        storage = SequenceStorage(SequenceStorageConfig(num_frames=8, fragment_size=4, head_lookahead=2))
+        pointers = [storage.record_signature(sig(k)) for k in range(4)]
+        frame_index = pointers[0][0]
+        assert all(p[0] == frame_index for p in pointers)
+        assert [p[1] for p in pointers] == [0, 1, 2, 3]
+        assert storage.stats.signatures_recorded == 4
+        assert storage.stats.bytes_written > 0
+
+    def test_new_frame_allocated_when_fragment_full(self):
+        storage = SequenceStorage(SequenceStorageConfig(num_frames=8, fragment_size=2, head_lookahead=1))
+        frames = {storage.record_signature(sig(k))[0] for k in range(6)}
+        assert len(frames) == 3
+        assert storage.num_allocated_frames == 3
+
+    def test_head_key_precedes_fragment_by_lookahead(self):
+        storage = SequenceStorage(SequenceStorageConfig(num_frames=64, fragment_size=4, head_lookahead=3))
+        keys = list(range(100, 120))
+        for k in keys:
+            storage.record_signature(sig(k))
+        # The second fragment starts at global position 4; its head is the key
+        # recorded `head_lookahead` positions earlier (position 4 - 3 = 1).
+        second_frame_head = keys[4 - 3]
+        assert storage.lookup_head(second_frame_head) is not None
+
+    def test_frame_overwrite_on_collision(self):
+        storage = SequenceStorage(SequenceStorageConfig(num_frames=1, fragment_size=2, head_lookahead=1))
+        for k in range(8):
+            storage.record_signature(sig(k))
+        assert storage.stats.frames_overwritten >= 1
+        assert storage.num_allocated_frames == 1
+
+    def test_unlimited_frames_never_overwrite(self):
+        storage = SequenceStorage(SequenceStorageConfig(num_frames=1, fragment_size=2, unlimited_frames=True))
+        for k in range(10):
+            storage.record_signature(sig(k))
+        assert storage.stats.frames_overwritten == 0
+        assert storage.num_allocated_frames == 5
+
+
+class TestStreaming:
+    @pytest.fixture
+    def storage(self):
+        storage = SequenceStorage(SequenceStorageConfig(num_frames=16, fragment_size=8, head_lookahead=2))
+        for k in range(24):
+            storage.record_signature(sig(k, predicted=0x1000 + 64 * k))
+        return storage
+
+    def test_read_window_returns_signatures_and_pointers(self, storage):
+        # Pick a frame holding a full fragment (24 recorded / 8 per fragment).
+        frame_index = next(i for i, frame in storage._frames.items() if len(frame) == 8)
+        chunk = storage.read_window(frame_index, 0, 4)
+        assert len(chunk) == 4
+        signature, pointer = chunk[0]
+        assert pointer[0] == frame_index and pointer[1] == 0
+        assert storage.stats.bytes_read > 0
+
+    def test_read_window_clips_at_fragment_end(self, storage):
+        frame_index = 0 if storage.frame(0) is not None else list(storage._frames)[0]
+        length = len(storage.frame(frame_index).signatures)
+        chunk = storage.read_window(frame_index, length - 2, 100)
+        assert len(chunk) == 2
+
+    def test_read_missing_frame_empty(self, storage):
+        assert storage.read_window(9999, 0, 4) == []
+        assert storage.read_window(0, 0, 0) == []
+
+    def test_window_advances_monotonically(self, storage):
+        frame_index = list(storage._frames)[0]
+        storage.advance_window(frame_index, 5)
+        storage.advance_window(frame_index, 3)
+        assert storage.window_position(frame_index) == 5
+
+
+class TestConfidenceUpdates:
+    def test_update_existing_signature(self):
+        storage = SequenceStorage(SequenceStorageConfig(num_frames=4, fragment_size=4))
+        pointer = storage.record_signature(sig(1, confidence=2))
+        assert storage.update_confidence(pointer, 3)
+        assert storage.signature_at(pointer).confidence == 3
+        assert storage.stats.confidence_updates == 1
+
+    def test_update_stale_pointer_returns_false(self):
+        storage = SequenceStorage(SequenceStorageConfig(num_frames=4, fragment_size=4))
+        storage.record_signature(sig(1))
+        assert not storage.update_confidence((2, 7), 1)

@@ -1,0 +1,86 @@
+"""Unit tests for the on-chip signature cache (repro.core.signature_cache)."""
+
+import pytest
+
+from repro.core.signature_cache import SignatureCache, SignatureCacheConfig, SignatureCacheEntry
+from repro.core.signatures import REALISTIC_SIGNATURES
+
+
+def entry(key, predicted=0x1000, confidence=2, pointer=None):
+    return SignatureCacheEntry(key=key, predicted_address=predicted, confidence=confidence, pointer=pointer)
+
+
+class TestConfig:
+    def test_paper_configuration_storage(self):
+        config = SignatureCacheConfig(num_entries=32 * 1024, associativity=2)
+        # Section 5.6: 32K x 42-bit entries is roughly 168KB of signature
+        # data (the paper quotes 204KB including peripheral overheads).
+        assert config.storage_bytes(REALISTIC_SIGNATURES) == pytest.approx(172_032, rel=0.05)
+        assert config.num_sets == 16 * 1024
+        assert config.index_bits == 14
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureCacheConfig(num_entries=0)
+        with pytest.raises(ValueError):
+            SignatureCacheConfig(num_entries=10, associativity=3)
+        with pytest.raises(ValueError):
+            SignatureCacheConfig(num_entries=24, associativity=2)  # 12 sets: not a power of two
+
+
+class TestLookupAndInsert:
+    @pytest.fixture
+    def cache(self):
+        return SignatureCache(SignatureCacheConfig(num_entries=8, associativity=2))
+
+    def test_miss_then_hit(self, cache):
+        assert cache.lookup(123) is None
+        cache.insert(entry(123, predicted=0xABC0))
+        found = cache.lookup(123)
+        assert found is not None and found.predicted_address == 0xABC0
+        assert cache.stats.hits == 1 and cache.stats.lookups == 2
+
+    def test_insert_updates_existing(self, cache):
+        cache.insert(entry(5, predicted=0x100, confidence=1))
+        cache.insert(entry(5, predicted=0x200, confidence=3))
+        found = cache.peek(5)
+        assert found.predicted_address == 0x200 and found.confidence == 3
+        assert len(cache) == 1
+
+    def test_fifo_replacement_within_set(self, cache):
+        # Keys 0, 4, 8 map to the same set (4 sets); 2 ways -> third insert evicts first.
+        cache.insert(entry(0))
+        cache.insert(entry(4))
+        victim = cache.insert(entry(8))
+        assert victim is not None and victim.key == 0
+        assert 0 not in cache and 4 in cache and 8 in cache
+
+    def test_fifo_ignores_lookups(self, cache):
+        cache.insert(entry(0))
+        cache.insert(entry(4))
+        cache.lookup(0)  # FIFO: does not protect key 0
+        victim = cache.insert(entry(8))
+        assert victim.key == 0
+
+    def test_invalidate(self, cache):
+        cache.insert(entry(7))
+        assert cache.invalidate(7) is not None
+        assert cache.invalidate(7) is None
+        assert 7 not in cache
+
+    def test_clear_and_resident_entries(self, cache):
+        cache.insert(entry(1))
+        cache.insert(entry(2))
+        assert len(cache.resident_entries()) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_pointer_preserved(self, cache):
+        cache.insert(entry(9, pointer=(3, 17)))
+        assert cache.peek(9).pointer == (3, 17)
+
+    def test_capacity_never_exceeded(self):
+        cache = SignatureCache(SignatureCacheConfig(num_entries=16, associativity=4))
+        for key in range(200):
+            cache.insert(entry(key))
+        assert len(cache) <= 16

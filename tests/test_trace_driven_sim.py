@@ -1,0 +1,103 @@
+"""Tests for the trace-driven simulator's accounting (Figure 8 categories)."""
+
+import pytest
+
+from repro.core.interface import AccessOutcome, PrefetchCommand, Prefetcher
+from repro.memory.bus import TrafficCategory
+from repro.prefetchers.null import NullPrefetcher
+from repro.sim.trace_driven import CoverageBreakdown, TraceDrivenSimulator, simulate_benchmark
+
+from conftest import looping_trace, make_trace
+
+
+class _ScriptedPrefetcher(Prefetcher):
+    """Issues a fixed prefetch after the N-th access (for accounting tests)."""
+
+    name = "scripted"
+
+    def __init__(self, trigger_access: int, address: int, victim=None):
+        super().__init__()
+        self.trigger_access = trigger_access
+        self.address = address
+        self.victim = victim
+        self._count = 0
+
+    def on_access(self, outcome: AccessOutcome):
+        self.stats.accesses_observed += 1
+        self._count += 1
+        if self._count == self.trigger_access:
+            self.stats.predictions_issued += 1
+            return [PrefetchCommand(address=self.address, victim_address=self.victim)]
+        return []
+
+
+class TestCoverageBreakdown:
+    def test_percentages_sum_to_one_hundred(self):
+        breakdown = CoverageBreakdown(base_misses=100, correct=60, early=5, incorrect_prefetches=10)
+        assert breakdown.coverage_pct + breakdown.incorrect_pct + breakdown.train_pct == pytest.approx(100.0)
+        assert breakdown.early_pct == pytest.approx(5.0)
+        assert breakdown.coverage == pytest.approx(0.6)
+
+    def test_empty_breakdown_is_zero(self):
+        breakdown = CoverageBreakdown()
+        assert breakdown.coverage == 0.0
+        assert breakdown.train == 0
+
+
+class TestSimulatorAccounting:
+    def test_null_prefetcher_identical_to_baseline(self):
+        trace = looping_trace(num_blocks=1500, iterations=2)
+        result = TraceDrivenSimulator(prefetcher=NullPrefetcher()).run(trace)
+        assert result.predictor_l1_misses == result.baseline_l1_misses
+        assert result.predictor_l2_misses == result.baseline_l2_misses
+        assert result.breakdown.correct == 0
+        assert result.breakdown.early == 0
+
+    def test_correct_prefetch_counted_as_coverage(self):
+        # Accesses A then B; B would miss, but a prefetch issued after A
+        # brings B in ahead of time.
+        trace = make_trace([0x1000, 0x2000])
+        prefetcher = _ScriptedPrefetcher(trigger_access=1, address=0x2000)
+        result = TraceDrivenSimulator(prefetcher=prefetcher).run(trace)
+        assert result.breakdown.base_misses == 2
+        assert result.breakdown.correct == 1
+        assert result.prefetches_used == 1
+
+    def test_used_prefetch_not_counted_incorrect(self):
+        trace = make_trace([0x1000] + [0x40000 * (i + 1) for i in range(4)])
+        prefetcher = _ScriptedPrefetcher(trigger_access=1, address=0x40000, victim=None)
+        result = TraceDrivenSimulator(prefetcher=prefetcher).run(trace)
+        # The prefetched block 0x40000 is later demanded in this trace, so it
+        # is used, not incorrect.
+        assert result.breakdown.incorrect_prefetches == 0
+        assert result.prefetches_used == 1
+
+    def test_unused_prefetch_counted_incorrect_when_displaced(self):
+        # Prefetch a block that is never referenced, then thrash its set so
+        # the unused prefetched block is evicted: that is an incorrect
+        # prediction in the Figure 8 sense.
+        way_stride = 32 * 1024  # same L1D set, different tags
+        trace = make_trace([0x1000, 0x1000 + way_stride, 0x1000 + 2 * way_stride, 0x1000 + 3 * way_stride])
+        prefetcher = _ScriptedPrefetcher(trigger_access=1, address=0x1000 + 5 * way_stride, victim=None)
+        result = TraceDrivenSimulator(prefetcher=prefetcher).run(trace)
+        assert result.breakdown.incorrect_prefetches == 1
+        assert result.prefetches_used == 0
+
+    def test_result_metadata_fields(self):
+        trace = looping_trace(num_blocks=256, iterations=1, name="meta")
+        result = TraceDrivenSimulator().run(trace)
+        assert result.benchmark == "meta"
+        assert result.predictor == "none"
+        assert result.num_accesses == 256
+        assert set(result.bus_bytes.keys()) == set(TrafficCategory)
+
+    def test_base_data_traffic_counts_l2_misses(self):
+        trace = looping_trace(num_blocks=256, iterations=1)
+        result = TraceDrivenSimulator().run(trace)
+        assert result.bus_bytes[TrafficCategory.BASE_DATA] == result.baseline_l2_misses * 64
+
+    def test_simulate_benchmark_end_to_end(self):
+        result = simulate_benchmark("gzip", num_accesses=3000)
+        assert result.benchmark == "gzip"
+        assert result.num_accesses == 3000
+        assert 0.0 <= result.coverage <= 1.0

@@ -1,0 +1,68 @@
+"""Unit tests for repro.trace.io."""
+
+import io
+
+import pytest
+
+from repro.trace.io import TraceFormatError, TraceReader, TraceWriter, read_trace, write_trace
+from repro.trace.record import AccessType, MemoryAccess
+from repro.trace.stream import TraceStream
+
+from conftest import make_trace
+
+
+class TestRoundTrip:
+    def test_write_then_read_file(self, tmp_path):
+        trace = TraceStream(
+            [
+                MemoryAccess(0x400000, 0x1000, AccessType.LOAD, 0),
+                MemoryAccess(0x400004, 0x1040, AccessType.STORE, 3),
+            ],
+            name="roundtrip",
+        )
+        path = tmp_path / "trace.txt"
+        written = write_trace(trace, path)
+        assert written == 2
+        loaded = read_trace(path)
+        assert loaded.name == "roundtrip"
+        assert list(loaded) == list(trace)
+
+    def test_large_roundtrip_preserves_order(self, tmp_path):
+        trace = make_trace([0x1000 + 64 * i for i in range(500)])
+        path = tmp_path / "big.txt"
+        write_trace(trace, path)
+        loaded = read_trace(path)
+        assert [a.address for a in loaded] == [a.address for a in trace]
+
+
+class TestWriter:
+    def test_incremental_count(self):
+        buffer = io.StringIO()
+        writer = TraceWriter(buffer, name="x")
+        writer.write(MemoryAccess(1, 2))
+        writer.write_all([MemoryAccess(3, 4), MemoryAccess(5, 6)])
+        assert writer.count == 3
+
+
+class TestReader:
+    def test_missing_header_rejected(self):
+        with pytest.raises(TraceFormatError):
+            TraceReader(io.StringIO("1 2 L 0\n"))
+
+    def test_malformed_line_rejected(self):
+        reader = TraceReader(io.StringIO("# repro-trace v1 name=x\n1 2 L\n"))
+        with pytest.raises(TraceFormatError):
+            list(reader)
+
+    def test_bad_hex_rejected(self):
+        reader = TraceReader(io.StringIO("# repro-trace v1 name=x\nzz 2 L 0\n"))
+        with pytest.raises(TraceFormatError):
+            list(reader)
+
+    def test_comments_and_blank_lines_skipped(self):
+        reader = TraceReader(io.StringIO("# repro-trace v1 name=x\n\n# comment\na 40 S 9\n"))
+        accesses = list(reader)
+        assert len(accesses) == 1
+        assert accesses[0].address == 0x40
+        assert accesses[0].is_write
+        assert accesses[0].icount == 9

@@ -1,0 +1,71 @@
+"""Unit tests for repro.trace.record."""
+
+import pytest
+
+from repro.trace.record import AccessType, MemoryAccess
+
+
+class TestAccessType:
+    def test_load_is_not_write(self):
+        assert not AccessType.LOAD.is_write
+
+    def test_store_is_write(self):
+        assert AccessType.STORE.is_write
+
+
+class TestMemoryAccess:
+    def test_basic_fields(self):
+        access = MemoryAccess(pc=0x400100, address=0x1000, access_type=AccessType.STORE, icount=12)
+        assert access.pc == 0x400100
+        assert access.address == 0x1000
+        assert access.is_write
+        assert not access.is_read
+        assert access.icount == 12
+
+    def test_defaults_to_load(self):
+        access = MemoryAccess(pc=4, address=8)
+        assert access.is_read
+        assert access.icount == 0
+
+    def test_negative_pc_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(pc=-1, address=0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(pc=0, address=-5)
+
+    def test_negative_icount_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(pc=0, address=0, icount=-1)
+
+    def test_block_address_alignment(self):
+        access = MemoryAccess(pc=0, address=0x1234)
+        assert access.block_address(64) == 0x1200
+        assert access.block_address(256) == 0x1200
+        assert access.block_address(0x1000) == 0x1000
+
+    def test_block_address_requires_power_of_two(self):
+        access = MemoryAccess(pc=0, address=0x1234)
+        with pytest.raises(ValueError):
+            access.block_address(48)
+
+    def test_with_address_preserves_other_fields(self):
+        access = MemoryAccess(pc=0x400, address=0x1000, access_type=AccessType.STORE, icount=7)
+        shifted = access.with_address(0x2000)
+        assert shifted.address == 0x2000
+        assert shifted.pc == access.pc
+        assert shifted.access_type == access.access_type
+        assert shifted.icount == access.icount
+
+    def test_equality_and_hash(self):
+        a = MemoryAccess(pc=1, address=2, access_type=AccessType.LOAD, icount=3)
+        b = MemoryAccess(pc=1, address=2, access_type=AccessType.LOAD, icount=3)
+        c = MemoryAccess(pc=1, address=2, access_type=AccessType.STORE, icount=3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_kind(self):
+        assert "ST" in repr(MemoryAccess(pc=1, address=2, access_type=AccessType.STORE))
+        assert "LD" in repr(MemoryAccess(pc=1, address=2))

@@ -1,0 +1,40 @@
+"""Unit tests for repro.trace.stats."""
+
+from repro.trace.record import AccessType, MemoryAccess
+from repro.trace.stream import TraceStream
+from repro.trace.stats import compute_trace_statistics
+
+
+class TestTraceStatistics:
+    def test_basic_counts(self):
+        trace = TraceStream(
+            [
+                MemoryAccess(0x400000, 0x1000, AccessType.LOAD, 0),
+                MemoryAccess(0x400004, 0x1008, AccessType.STORE, 3),
+                MemoryAccess(0x400000, 0x2000, AccessType.LOAD, 6),
+            ],
+            name="stats",
+        )
+        stats = compute_trace_statistics(trace)
+        assert stats.num_accesses == 3
+        assert stats.num_loads == 2
+        assert stats.num_stores == 1
+        assert stats.unique_pcs == 2
+        assert stats.unique_blocks_64b == 2
+        assert stats.footprint_bytes == 128
+        assert stats.instruction_count == 7
+
+    def test_fractions(self):
+        trace = TraceStream(
+            [MemoryAccess(1, 64 * i, AccessType.STORE if i % 2 else AccessType.LOAD, i * 4) for i in range(10)],
+            name="fractions",
+        )
+        stats = compute_trace_statistics(trace)
+        assert abs(stats.write_fraction - 0.5) < 1e-9
+        assert 0.0 < stats.memory_instruction_fraction <= 1.0
+
+    def test_empty_trace(self):
+        stats = compute_trace_statistics(TraceStream([], name="empty"))
+        assert stats.num_accesses == 0
+        assert stats.write_fraction == 0.0
+        assert stats.memory_instruction_fraction == 0.0

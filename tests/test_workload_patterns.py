@@ -1,0 +1,122 @@
+"""Unit tests for the low-level access-pattern generators."""
+
+import random
+
+import pytest
+
+from repro.workloads.base import BLOCK_SIZE
+from repro.workloads.patterns import (
+    bipartite_dependencies,
+    hot_set_accesses,
+    indirect_gather,
+    interleave_chunks,
+    multi_array_sweep,
+    pointer_chase,
+    random_accesses,
+    strided_scan,
+    tree_dfs_order,
+)
+
+
+class TestStridedScan:
+    def test_touches_every_block_once(self):
+        refs = list(strided_scan(0x1000, 8, pcs=[1, 2], accesses_per_block=2))
+        blocks = {addr & ~(BLOCK_SIZE - 1) for _, addr, _ in refs}
+        assert len(blocks) == 8
+        assert len(refs) == 16
+
+    def test_write_pcs_generate_stores(self):
+        refs = list(strided_scan(0, 4, pcs=[1, 2], accesses_per_block=2, write_pcs=[2]))
+        assert any(w for _, _, w in refs)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            list(strided_scan(0, 0, pcs=[1]))
+        with pytest.raises(ValueError):
+            list(strided_scan(0, 4, pcs=[]))
+
+
+class TestMultiArraySweep:
+    def test_lockstep_interleaving(self):
+        refs = list(multi_array_sweep([0x1000, 0x8000], 4, pcs=[1, 2]))
+        assert len(refs) == 8
+        # Alternates between the two arrays element by element.
+        assert refs[0][1] < 0x8000 <= refs[1][1]
+
+    def test_last_array_written(self):
+        refs = list(multi_array_sweep([0x1000, 0x8000], 2, pcs=[1, 2], write_last=True))
+        writes = [addr for _, addr, w in refs if w]
+        assert writes and all(addr >= 0x8000 for addr in writes)
+
+
+class TestPointerChase:
+    def test_follows_given_order_repeatably(self):
+        order = [3, 0, 2, 1]
+        refs_a = list(pointer_chase(0x1000, order, pcs=[7], fields_per_node=1))
+        refs_b = list(pointer_chase(0x1000, order, pcs=[7], fields_per_node=1))
+        assert refs_a == refs_b
+        visited = [(addr - 0x1000) // BLOCK_SIZE for _, addr, _ in refs_a]
+        assert visited == order
+
+    def test_fields_per_node(self):
+        refs = list(pointer_chase(0, [0, 1], pcs=[1, 2], fields_per_node=3))
+        assert len(refs) == 6
+
+
+class TestIndirectGather:
+    def test_index_stream_is_sequential_and_target_follows_mapping(self):
+        mapping = [5, 1, 9]
+        refs = list(indirect_gather(0x1000, 0x100000, mapping, pcs=[1, 2]))
+        assert len(refs) == 6
+        targets = [(addr - 0x100000) // BLOCK_SIZE for pc, addr, _ in refs if pc == 2]
+        assert targets == mapping
+
+    def test_requires_two_pcs(self):
+        with pytest.raises(ValueError):
+            list(indirect_gather(0, 0, [1], pcs=[1]))
+
+
+class TestRandomAndHotSet:
+    def test_random_accesses_within_bounds(self):
+        rng = random.Random(0)
+        refs = list(random_accesses(0x1000, 16, 100, rng, pcs=[1, 2]))
+        assert len(refs) == 100
+        for _, addr, _ in refs:
+            assert 0x1000 <= addr < 0x1000 + 16 * BLOCK_SIZE
+
+    def test_hot_set_fraction_respected(self):
+        rng = random.Random(0)
+        refs = list(hot_set_accesses(0x1000, 4, 0x100000, 64, 2000, rng, pcs=[1], cold_fraction=0.1))
+        cold = sum(1 for _, addr, _ in refs if addr >= 0x100000)
+        assert 0.03 < cold / len(refs) < 0.25
+
+    def test_invalid_fractions_rejected(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            list(random_accesses(0, 4, 10, rng, pcs=[1], write_fraction=2.0))
+
+
+class TestStructuralHelpers:
+    def test_tree_dfs_order_visits_every_node_once(self):
+        order = tree_dfs_order(31)
+        assert sorted(order) == list(range(31))
+        assert order[0] == 0
+        assert order[1] == 1  # pre-order: left child first
+
+    def test_bipartite_dependencies_shape_and_determinism(self):
+        deps_a = bipartite_dependencies(10, 3, random.Random(5))
+        deps_b = bipartite_dependencies(10, 3, random.Random(5))
+        assert deps_a == deps_b
+        assert len(deps_a) == 10 and all(len(d) == 3 for d in deps_a)
+
+    def test_interleave_chunks_round_robin(self):
+        a = iter([(1, i, False) for i in range(4)])
+        b = iter([(2, i, False) for i in range(4)])
+        merged = list(interleave_chunks([a, b], chunk_size=2))
+        assert [pc for pc, _, _ in merged] == [1, 1, 2, 2, 1, 1, 2, 2]
+
+    def test_interleave_chunks_handles_uneven_streams(self):
+        a = iter([(1, i, False) for i in range(5)])
+        b = iter([(2, i, False) for i in range(2)])
+        merged = list(interleave_chunks([a, b], chunk_size=2))
+        assert len(merged) == 7

@@ -1,0 +1,93 @@
+"""Tests for the synthetic workload generators and registry."""
+
+import pytest
+
+from repro.trace.stats import compute_trace_statistics
+from repro.workloads.base import SyntheticWorkload, WorkloadConfig
+from repro.workloads.registry import (
+    BENCHMARK_NAMES,
+    OLDEN_BENCHMARKS,
+    SPEC_FP_BENCHMARKS,
+    SPEC_INT_BENCHMARKS,
+    benchmark_metadata,
+    get_workload,
+    iter_benchmarks,
+)
+
+
+class TestRegistry:
+    def test_all_28_paper_benchmarks_present(self):
+        assert len(BENCHMARK_NAMES) == 28
+        assert len(SPEC_INT_BENCHMARKS) == 11
+        assert len(SPEC_FP_BENCHMARKS) == 14
+        assert OLDEN_BENCHMARKS == ["bh", "em3d", "treeadd"]
+
+    def test_expected_names_present(self):
+        for name in ("mcf", "swim", "gzip", "wupwise", "em3d", "treeadd", "bh"):
+            assert name in BENCHMARK_NAMES
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            get_workload("doom")
+        with pytest.raises(KeyError):
+            benchmark_metadata("doom")
+
+    def test_metadata_carries_paper_numbers(self):
+        mcf = benchmark_metadata("mcf")
+        assert mcf.paper_ipc == pytest.approx(0.08)
+        assert mcf.paper_speedup_perfect_l1 == pytest.approx(1637)
+        assert mcf.paper_speedup_ltcords == pytest.approx(385)
+        assert not mcf.is_floating_point
+        assert benchmark_metadata("swim").is_floating_point
+
+    def test_iter_benchmarks_filters_by_suite(self):
+        olden = list(iter_benchmarks(suite="Olden"))
+        assert sorted(w.name for w in olden) == OLDEN_BENCHMARKS
+
+    def test_every_benchmark_builds(self):
+        config = WorkloadConfig(num_accesses=200)
+        for name in BENCHMARK_NAMES:
+            workload = get_workload(name, config)
+            assert isinstance(workload, SyntheticWorkload)
+
+
+class TestGeneratedTraces:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_trace_generation_is_deterministic(self, name):
+        config = WorkloadConfig(num_accesses=500, seed=7)
+        a = get_workload(name, config).generate()
+        b = get_workload(name, config).generate()
+        assert [x.address for x in a] == [x.address for x in b]
+        assert [x.pc for x in a] == [x.pc for x in b]
+
+    @pytest.mark.parametrize("name", ["mcf", "swim", "gzip", "em3d", "crafty"])
+    def test_trace_has_requested_length_and_monotonic_icounts(self, name):
+        trace = get_workload(name, WorkloadConfig(num_accesses=1000)).generate()
+        assert len(trace) == 1000
+        icounts = [a.icount for a in trace]
+        assert icounts == sorted(icounts)
+
+    def test_seed_changes_hash_workload(self):
+        a = get_workload("gzip", WorkloadConfig(num_accesses=500, seed=1)).generate()
+        b = get_workload("gzip", WorkloadConfig(num_accesses=500, seed=2)).generate()
+        assert [x.address for x in a] != [x.address for x in b]
+
+    def test_metadata_propagated_to_trace(self):
+        trace = get_workload("mcf", WorkloadConfig(num_accesses=100)).generate()
+        assert trace.metadata["suite"] == "SPECint"
+        assert trace.metadata["serial_misses"] is True
+        assert trace.metadata["core_ipc"] > 0
+        swim = get_workload("swim", WorkloadConfig(num_accesses=100)).generate()
+        assert swim.metadata["serial_misses"] is False
+
+    def test_footprints_ordered_sensibly(self):
+        config = WorkloadConfig(num_accesses=30_000)
+        mcf = compute_trace_statistics(get_workload("mcf", config).generate())
+        crafty = compute_trace_statistics(get_workload("crafty", config).generate())
+        # Pointer-chasing mcf touches far more distinct blocks than the
+        # cache-resident crafty.
+        assert mcf.footprint_bytes > 5 * crafty.footprint_bytes
+
+    def test_hot_set_workload_mostly_fits_in_l1(self):
+        stats = compute_trace_statistics(get_workload("eon", WorkloadConfig(num_accesses=20_000)).generate())
+        assert stats.footprint_bytes < 512 * 1024
