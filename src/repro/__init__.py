@@ -23,6 +23,7 @@ from repro.api import (
     build_predictor,
     build_workload,
     quick_simulation,
+    run_campaign,
 )
 from repro.version import __version__
 
@@ -33,4 +34,5 @@ __all__ = [
     "build_predictor",
     "build_workload",
     "quick_simulation",
+    "run_campaign",
 ]

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.cache.hierarchy import HierarchyConfig
 from repro.core.interface import Prefetcher
 from repro.core.ltcords import LTCordsConfig, LTCordsPrefetcher
 from repro.prefetchers.dbcp import DBCPConfig, DBCPPrefetcher
@@ -58,11 +59,32 @@ def quick_simulation(
     predictor: str = "ltcords",
     max_accesses: int = 100_000,
     seed: int = 42,
+    predictor_config: Optional[object] = None,
+    hierarchy_config: Optional["HierarchyConfig"] = None,
 ) -> SimulationResult:
-    """Run one trace-driven simulation of ``predictor`` on ``benchmark``."""
+    """Run one trace-driven simulation of ``predictor`` on ``benchmark``.
+
+    ``predictor_config`` is forwarded to :func:`build_predictor` and
+    ``hierarchy_config`` to :func:`simulate_benchmark`, so non-default
+    predictor and cache configurations are honoured rather than dropped.
+    """
     return simulate_benchmark(
         benchmark,
-        prefetcher=build_predictor(predictor),
+        prefetcher=build_predictor(predictor, predictor_config),
         num_accesses=max_accesses,
         seed=seed,
+        hierarchy_config=hierarchy_config,
     )
+
+
+def run_campaign(spec, jobs: Optional[int] = None, use_cache: bool = True, cache=None):
+    """Execute a campaign (a :class:`SweepSpec` or list of points) and return its results.
+
+    Thin delegation to :func:`repro.campaign.run_campaign`; see
+    :mod:`repro.campaign` for the sweep/caching machinery.  Imported
+    lazily to keep ``repro.api`` free of a module-level cycle with the
+    campaign package.
+    """
+    from repro.campaign import run_campaign as _run_campaign
+
+    return _run_campaign(spec, jobs=jobs, use_cache=use_cache, cache=cache)

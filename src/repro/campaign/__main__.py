@@ -1,0 +1,191 @@
+"""``python -m repro.campaign`` — list, run and clean simulation campaigns.
+
+Examples
+--------
+List named campaigns, benchmarks, predictors and cache state::
+
+    python -m repro.campaign list
+
+Run an ad-hoc grid in parallel (second run is served from the cache)::
+
+    python -m repro.campaign run --benchmarks mcf swim --predictors ltcords ghb \
+        --num-accesses 50000 --jobs 4
+
+Regenerate a paper figure/table through the campaign engine::
+
+    python -m repro.campaign run fig8
+
+Drop all cached results and artifacts::
+
+    python -m repro.campaign clean
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List, Optional
+
+from repro.campaign.artifacts import ArtifactStore
+from repro.campaign.cache import ResultCache
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import DEFAULT_NUM_ACCESSES, PredictorVariant, SweepSpec
+
+#: Paper figure/table campaigns runnable by name.  Each entry is the
+#: experiment-driver module (exposing ``run``/``format_results``) and a
+#: one-line description.
+NAMED_CAMPAIGNS = {
+    "fig4": ("repro.experiments.fig4_dbcp_sensitivity", "DBCP coverage vs correlation-table size"),
+    "fig8": ("repro.experiments.fig8_coverage", "LT-cords coverage vs unlimited DBCP"),
+    "fig9": ("repro.experiments.fig9_sigcache", "Coverage vs signature-cache size"),
+    "fig10": ("repro.experiments.fig10_storage", "Coverage vs off-chip sequence storage"),
+    "fig11": ("repro.experiments.fig11_multiprogram", "Multi-programmed coverage retention"),
+    "fig12": ("repro.experiments.fig12_bandwidth", "Memory-bus utilisation breakdown"),
+    "table2": ("repro.experiments.table2_baseline", "Baseline miss rates and IPC"),
+    "table3": ("repro.experiments.table3_speedup", "Speedup over the baseline processor"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Parallel sweep engine with result cache and artifact store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show named campaigns, predictors, benchmarks and cache state")
+
+    run = sub.add_parser("run", help="run a named campaign or an ad-hoc grid")
+    run.add_argument("name", nargs="?", help=f"named campaign ({', '.join(NAMED_CAMPAIGNS)})")
+    run.add_argument("--benchmarks", nargs="+", help="benchmarks to sweep (default: representative subset)")
+    run.add_argument("--predictors", nargs="+", default=["ltcords"], help="predictors to cross with (ad-hoc grids)")
+    run.add_argument("--num-accesses", nargs="+", type=int, default=None, help="trace lengths to sweep")
+    run.add_argument("--seeds", nargs="+", type=int, default=None, help="workload seeds to sweep")
+    run.add_argument("--jobs", type=int, default=None, help="worker processes (default: REPRO_JOBS or CPU count)")
+    run.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    run.add_argument("--no-artifacts", action="store_true", help="skip writing JSON/CSV artifacts")
+
+    clean = sub.add_parser("clean", help="delete cached results and artifacts")
+    clean.add_argument("--results-only", action="store_true", help="keep artifacts")
+    clean.add_argument("--artifacts-only", action="store_true", help="keep cached results")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.api import available_benchmarks, available_predictors
+    from repro.experiments.common import format_table
+
+    cache = ResultCache()
+    print("Named campaigns:")
+    print(format_table(
+        ["name", "description"],
+        [(name, description) for name, (_, description) in sorted(NAMED_CAMPAIGNS.items())],
+    ))
+    print()
+    print(f"Predictors: {', '.join(available_predictors())}")
+    print(f"Benchmarks: {', '.join(available_benchmarks())}")
+    print()
+    print(f"Result cache: {cache.root} ({cache.entry_count()} entries, {cache.size_bytes()} bytes)")
+    return 0
+
+
+def _run_named(args: argparse.Namespace) -> int:
+    module_name, description = NAMED_CAMPAIGNS[args.name]
+    module = importlib.import_module(module_name)
+    kwargs = {"runner": CampaignRunner(jobs=args.jobs, use_cache=not args.no_cache)}
+    if args.benchmarks is not None:
+        if args.name == "fig11":
+            raise ValueError("fig11 sweeps benchmark pairings; --benchmarks does not apply")
+        kwargs["benchmarks"] = args.benchmarks
+    if args.num_accesses is not None:
+        if len(args.num_accesses) != 1:
+            raise ValueError("named campaigns take exactly one --num-accesses value")
+        kwargs["num_accesses"] = args.num_accesses[0]
+    if args.seeds is not None:
+        if len(args.seeds) != 1:
+            raise ValueError("named campaigns take exactly one --seeds value")
+        kwargs["seed"] = args.seeds[0]
+    print(f"Running campaign {args.name!r} — {description}")
+    print(module.format_results(module.run(**kwargs)))
+    return 0
+
+
+def _run_adhoc(args: argparse.Namespace) -> int:
+    from repro.experiments.common import format_table, selected_benchmarks
+
+    benchmarks = selected_benchmarks(args.benchmarks)
+    spec = SweepSpec(
+        name="adhoc-" + "-".join(args.predictors),
+        benchmarks=benchmarks,
+        variants=[PredictorVariant(predictor) for predictor in args.predictors],
+        num_accesses=args.num_accesses if args.num_accesses is not None else [DEFAULT_NUM_ACCESSES],
+        seeds=args.seeds if args.seeds is not None else [42],
+    )
+    runner = CampaignRunner(jobs=args.jobs, use_cache=not args.no_cache)
+    print(f"Running {len(spec)} points over {len(benchmarks)} benchmarks (jobs={runner.jobs}) ...")
+    campaign = runner.run(spec)
+    print(format_table(
+        ["benchmark", "predictor", "accesses", "seed", "coverage", "accuracy"],
+        [
+            (
+                point.benchmark, point.predictor, point.num_accesses, point.seed,
+                f"{100 * result.coverage:.1f}%", f"{100 * result.prefetch_accuracy:.1f}%",
+            )
+            for point, result in campaign.items()
+        ],
+    ))
+    print(
+        f"\n{len(campaign)} points in {campaign.elapsed_seconds:.2f}s "
+        f"({campaign.cached_count} cached, {campaign.computed_count} computed, "
+        f"jobs={campaign.jobs})"
+    )
+    if not args.no_artifacts:
+        for path in ArtifactStore().write(campaign):
+            print(f"wrote {path}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.name:
+        if args.name not in NAMED_CAMPAIGNS:
+            print(
+                f"unknown campaign {args.name!r}; choose from: {', '.join(sorted(NAMED_CAMPAIGNS))}",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_named(args)
+    return _run_adhoc(args)
+
+
+def _cmd_clean(args: argparse.Namespace) -> int:
+    if not args.artifacts_only:
+        removed = ResultCache().clean()
+        print(f"removed {removed} cached results")
+    if not args.results_only:
+        removed = ArtifactStore().clean()
+        print(f"removed {removed} artifact files")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "clean":
+            return _cmd_clean(args)
+    except (KeyError, ValueError) as error:
+        # Bad benchmark/predictor names, malformed REPRO_JOBS, etc.: show
+        # the message, not a traceback.
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,142 @@
+"""Per-campaign artifact store (JSON + CSV summaries).
+
+Every campaign run can be persisted as two human/tool-friendly files
+under ``<cache root>/artifacts/<campaign name>/``:
+
+* ``summary.json`` — the campaign metadata (point count, cache hits,
+  worker count, elapsed time) plus every point spec and its full
+  serialized result, enough to re-plot any figure without re-simulating;
+* ``points.csv`` — one flat row per point with the headline metrics,
+  ready for pandas/gnuplot/spreadsheets.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.campaign.cache import default_cache_dir, result_to_dict
+from repro.campaign.runner import CampaignResult
+from repro.campaign.spec import PointSpec
+from repro.sim.multiprogram import MultiProgramResult
+from repro.sim.timing import TimingResult
+from repro.sim.trace_driven import SimulationResult
+from repro.version import __version__
+
+
+def _headline_metrics(result: Any) -> Dict[str, Any]:
+    """Flat, spreadsheet-ready metrics for one result (type-dependent)."""
+    if isinstance(result, SimulationResult):
+        return {
+            "coverage": result.coverage,
+            "prefetch_accuracy": result.prefetch_accuracy,
+            "baseline_l1_misses": result.baseline_l1_misses,
+            "predictor_l1_misses": result.predictor_l1_misses,
+            "prefetches_issued": result.prefetches_issued,
+            "prefetches_used": result.prefetches_used,
+        }
+    if isinstance(result, TimingResult):
+        return {
+            "ipc": result.ipc,
+            "cycles": result.cycles,
+            "l1_misses": result.l1_misses,
+            "l2_misses": result.l2_misses,
+        }
+    if isinstance(result, MultiProgramResult):
+        return {
+            "primary_coverage": result.primary_coverage,
+            "secondary_coverage": result.secondary_coverage,
+            "primary_standalone_coverage": result.primary_standalone_coverage,
+            "retention": result.primary_coverage_retention,
+        }
+    raise TypeError(f"unknown result type {type(result).__name__}")
+
+
+def _point_columns(point: PointSpec) -> Dict[str, Any]:
+    """Identifying CSV columns for one point."""
+    return {
+        "benchmark": point.benchmark,
+        "secondary": point.secondary or "",
+        "predictor": point.predictor,
+        "label": point.label or "",
+        "sim": point.sim,
+        "num_accesses": point.num_accesses,
+        "seed": point.seed,
+    }
+
+
+class ArtifactStore:
+    """Writes campaign summaries beneath an artifacts root."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir() / "artifacts"
+
+    def campaign_dir(self, name: str) -> Path:
+        """Directory holding one campaign's artifacts."""
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in name) or "campaign"
+        return self.root / safe
+
+    def write(self, campaign: CampaignResult) -> List[Path]:
+        """Persist ``summary.json`` and ``points.csv``; return the paths."""
+        target = self.campaign_dir(campaign.name)
+        target.mkdir(parents=True, exist_ok=True)
+
+        summary = {
+            "version": __version__,
+            "campaign": campaign.name,
+            "num_points": len(campaign),
+            "cached_count": campaign.cached_count,
+            "computed_count": campaign.computed_count,
+            "jobs": campaign.jobs,
+            "elapsed_seconds": campaign.elapsed_seconds,
+            "points": [
+                {
+                    "label": point.label,
+                    "spec": point.to_dict(),
+                    "result": result_to_dict(point.sim, result),
+                }
+                for point, result in campaign.items()
+            ],
+        }
+        summary_path = target / "summary.json"
+        with open(summary_path, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+        rows = [
+            {**_point_columns(point), **_headline_metrics(result)}
+            for point, result in campaign.items()
+        ]
+        columns: List[str] = []
+        for row in rows:
+            for column in row:
+                if column not in columns:
+                    columns.append(column)
+        csv_path = target / "points.csv"
+        with open(csv_path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns, restval="")
+            writer.writeheader()
+            writer.writerows(rows)
+
+        paths = [summary_path, csv_path]
+        campaign.artifact_paths = [str(path) for path in paths]
+        return paths
+
+    def clean(self) -> int:
+        """Delete every stored artifact file; return how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in sorted(self.root.rglob("*")):
+            if path.is_file():
+                path.unlink()
+                removed += 1
+        for path in sorted(self.root.rglob("*"), reverse=True):
+            if path.is_dir():
+                try:
+                    path.rmdir()
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,154 @@
+"""Content-addressed, on-disk result cache.
+
+Every completed simulation point is persisted as one JSON file under
+``.repro_cache/results/<key[:2]>/<key>.json`` where ``key`` is the
+point's content hash (:meth:`PointSpec.key`, which folds in the package
+version).  Re-running any campaign therefore only simulates points whose
+spec — or the simulator itself — changed; everything else is read back
+near-instantly.
+
+The cache root defaults to ``.repro_cache`` in the current working
+directory and can be redirected with the ``REPRO_CACHE_DIR`` environment
+variable.  Set ``REPRO_NO_CACHE=1`` to bypass the cache entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.campaign.spec import PointSpec
+from repro.sim.multiprogram import MultiProgramResult
+from repro.sim.timing import TimingResult
+from repro.sim.trace_driven import SimulationResult
+from repro.version import __version__
+
+#: On-disk envelope schema version (bump on incompatible layout changes).
+SCHEMA_VERSION = 1
+
+#: Map from a point's ``sim`` kind to the result class it produces.
+RESULT_CLASSES = {
+    "trace": SimulationResult,
+    "timing": TimingResult,
+    "multiprogram": MultiProgramResult,
+}
+
+ResultType = Union[SimulationResult, TimingResult, MultiProgramResult]
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache root (``REPRO_CACHE_DIR`` override, else ``.repro_cache``)."""
+    return Path(os.environ.get("REPRO_CACHE_DIR") or ".repro_cache")
+
+
+def cache_disabled() -> bool:
+    """``True`` when ``REPRO_NO_CACHE`` requests a cache bypass."""
+    return os.environ.get("REPRO_NO_CACHE", "").strip() in {"1", "true", "yes"}
+
+
+def result_to_dict(sim: str, result: ResultType) -> Dict[str, Any]:
+    """Encode a result of kind ``sim`` to a JSON-safe dict."""
+    expected = RESULT_CLASSES[sim]
+    if not isinstance(result, expected):
+        raise TypeError(f"{sim} points produce {expected.__name__}, got {type(result).__name__}")
+    return result.to_dict()
+
+
+def result_from_dict(sim: str, data: Dict[str, Any]) -> ResultType:
+    """Decode a result of kind ``sim`` from :func:`result_to_dict` output."""
+    return RESULT_CLASSES[sim].from_dict(data)
+
+
+class ResultCache:
+    """Content-addressed store of serialized simulation results."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ paths
+    @property
+    def results_dir(self) -> Path:
+        """Directory holding the per-point JSON files."""
+        return self.root / "results"
+
+    def path_for(self, point: PointSpec) -> Path:
+        """On-disk location of ``point``'s cache entry."""
+        key = point.key()
+        return self.results_dir / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------ read/write
+    def get(self, point: PointSpec) -> Optional[ResultType]:
+        """Return the cached result for ``point`` or ``None``."""
+        path = self.path_for(point)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+            if envelope.get("schema") != SCHEMA_VERSION or envelope.get("sim") != point.sim:
+                raise ValueError("stale or mismatched envelope")
+            result = result_from_dict(point.sim, envelope["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable, truncated, or structurally stale entries are
+            # misses, never crashes — the point simply re-runs.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, point: PointSpec, result: ResultType) -> Path:
+        """Persist ``result`` for ``point`` (atomic rename; last writer wins)."""
+        path = self.path_for(point)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema": SCHEMA_VERSION,
+            "version": __version__,
+            "key": point.key(),
+            "sim": point.sim,
+            "point": point.to_dict(),
+            "result": result_to_dict(point.sim, result),
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(envelope, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------ maintenance
+    def entry_count(self) -> int:
+        """Number of cached results on disk."""
+        if not self.results_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.results_dir.glob("*/*.json"))
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of the cached results."""
+        if not self.results_dir.is_dir():
+            return 0
+        return sum(path.stat().st_size for path in self.results_dir.glob("*/*.json"))
+
+    def clean(self) -> int:
+        """Delete every cached result; return how many entries were removed."""
+        removed = 0
+        if not self.results_dir.is_dir():
+            return removed
+        for path in sorted(self.results_dir.glob("*/*.json")):
+            path.unlink()
+            removed += 1
+        for shard in sorted(self.results_dir.glob("*")):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed

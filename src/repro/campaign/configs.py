@@ -1,0 +1,89 @@
+"""Lossless encoding of configuration dataclasses to JSON-safe dicts.
+
+Campaign points travel across process boundaries and into the on-disk
+result cache, so every configuration object they carry (predictor
+configs, hierarchy configs and their nested pieces) must round-trip
+through plain JSON types.  The codec tags each encoded dataclass with its
+registered class name::
+
+    {"__config__": "DBCPConfig", "table_entries": 2048, ...}
+
+and reconstructs the exact object on the way back.  Only the registered
+configuration classes are accepted — encoding an unknown object is an
+error rather than a silent, unstable ``repr`` (the encoded form also
+feeds the cache key, which must be deterministic).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Type
+
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import HierarchyConfig
+from repro.core.ltcords import LTCordsConfig
+from repro.core.sequence_storage import SequenceStorageConfig
+from repro.core.signature_cache import SignatureCacheConfig
+from repro.core.signatures import SignatureConfig
+from repro.prefetchers.dbcp import DBCPConfig
+from repro.prefetchers.ghb import GHBConfig
+from repro.prefetchers.stride import StrideConfig
+
+#: Marker key identifying an encoded configuration dataclass.
+CONFIG_TAG = "__config__"
+
+#: Every configuration class the campaign layer knows how to transport.
+CONFIG_CLASSES: Dict[str, Type[Any]] = {
+    cls.__name__: cls
+    for cls in (
+        CacheConfig,
+        HierarchyConfig,
+        SignatureConfig,
+        SignatureCacheConfig,
+        SequenceStorageConfig,
+        LTCordsConfig,
+        DBCPConfig,
+        GHBConfig,
+        StrideConfig,
+    )
+}
+
+
+def encode_config(value: Any) -> Any:
+    """Encode ``value`` (a registered config dataclass, container, or scalar).
+
+    Nested dataclass fields are encoded recursively; tuples become lists
+    (JSON has no tuple), which :func:`decode_config` restores for
+    dataclass fields only when the constructor validates them anyway.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [encode_config(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): encode_config(item) for key, item in value.items()}
+    cls_name = type(value).__name__
+    if dataclasses.is_dataclass(value) and cls_name in CONFIG_CLASSES:
+        encoded: Dict[str, Any] = {CONFIG_TAG: cls_name}
+        for field in dataclasses.fields(value):
+            encoded[field.name] = encode_config(getattr(value, field.name))
+        return encoded
+    raise TypeError(
+        f"cannot encode {cls_name!r} for a campaign point; register it in "
+        "repro.campaign.configs.CONFIG_CLASSES"
+    )
+
+
+def decode_config(value: Any) -> Any:
+    """Inverse of :func:`encode_config`."""
+    if isinstance(value, list):
+        return [decode_config(item) for item in value]
+    if isinstance(value, dict):
+        if CONFIG_TAG in value:
+            payload = {k: decode_config(v) for k, v in value.items() if k != CONFIG_TAG}
+            cls = CONFIG_CLASSES.get(value[CONFIG_TAG])
+            if cls is None:
+                raise KeyError(f"unknown config class {value[CONFIG_TAG]!r}")
+            return cls(**payload)
+        return {key: decode_config(item) for key, item in value.items()}
+    return value

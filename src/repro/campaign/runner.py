@@ -1,0 +1,198 @@
+"""Parallel campaign execution with transparent result caching.
+
+The :class:`CampaignRunner` takes a :class:`SweepSpec` (or a bare list of
+:class:`PointSpec`), satisfies as many points as possible from the
+:class:`ResultCache`, fans the remainder out across a
+``ProcessPoolExecutor`` and memoises what they produce.  Worker transport
+is JSON-safe dicts on both legs (points out, results back), so nothing
+model-specific needs to pickle and every worker reconstructs its exact
+configuration from the same encoding the cache key is built from.
+
+Worker count resolution: explicit ``jobs`` argument, else the
+``REPRO_JOBS`` environment variable, else ``os.cpu_count()``.  ``jobs=1``
+runs a deterministic serial loop in-process (no pool, no subprocesses) —
+the determinism regression tests assert that both paths produce
+bit-identical serialized results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.campaign.cache import ResultCache, ResultType, cache_disabled, result_from_dict, result_to_dict
+from repro.campaign.spec import PointSpec, SweepSpec
+
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` override, else the machine's CPU count."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from None
+    return max(1, os.cpu_count() or 1)
+
+
+def execute_point(point: PointSpec) -> ResultType:
+    """Run one simulation point in-process and return its result object."""
+    if point.sim == "trace":
+        from repro.api import build_predictor
+        from repro.sim.trace_driven import simulate_benchmark
+
+        return simulate_benchmark(
+            point.benchmark,
+            prefetcher=build_predictor(point.predictor, point.predictor_config),
+            num_accesses=point.num_accesses,
+            seed=point.seed,
+            hierarchy_config=point.hierarchy_config,
+        )
+    if point.sim == "timing":
+        from repro.api import build_predictor
+        from repro.sim.timing import simulate_speedup
+
+        prefetcher = None
+        if point.predictor != "none":
+            prefetcher = build_predictor(point.predictor, point.predictor_config)
+        return simulate_speedup(
+            point.benchmark,
+            prefetcher=prefetcher,
+            num_accesses=point.num_accesses,
+            seed=point.seed,
+            hierarchy_config=point.hierarchy_config,
+            perfect_l1=point.perfect_l1,
+        )
+    if point.sim == "multiprogram":
+        from repro.sim.multiprogram import simulate_pair
+
+        if point.predictor != "ltcords":
+            raise ValueError("multiprogram points currently support only the ltcords predictor")
+        return simulate_pair(
+            point.benchmark,
+            point.secondary,
+            num_accesses=point.num_accesses,
+            quantum_instructions=point.quantum_instructions,
+            max_switches=point.max_switches,
+            seed=point.seed,
+            hierarchy_config=point.hierarchy_config,
+            ltcords_config=point.predictor_config,
+        )
+    raise ValueError(f"unknown sim kind {point.sim!r}")
+
+
+def _execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool worker: decode a point, run it, return the encoded result."""
+    point = PointSpec.from_dict(payload)
+    return result_to_dict(point.sim, execute_point(point))
+
+
+@dataclass
+class CampaignResult:
+    """Ordered results of one campaign run, with lookup helpers."""
+
+    name: str
+    points: List[PointSpec]
+    results: List[ResultType]
+    cached_count: int = 0
+    computed_count: int = 0
+    jobs: int = 1
+    elapsed_seconds: float = 0.0
+    artifact_paths: List[str] = field(default_factory=list)
+
+    def items(self) -> List[tuple]:
+        """``(point, result)`` pairs in sweep order."""
+        return list(zip(self.points, self.results))
+
+    def find(self, **attrs: Any) -> List[ResultType]:
+        """Results whose point matches every ``attr=value`` filter."""
+        return [
+            result
+            for point, result in zip(self.points, self.results)
+            if all(getattr(point, key) == value for key, value in attrs.items())
+        ]
+
+    def one(self, **attrs: Any) -> ResultType:
+        """The unique result matching the filters (raises otherwise)."""
+        matches = self.find(**attrs)
+        if len(matches) != 1:
+            raise LookupError(f"expected exactly one result for {attrs!r}, found {len(matches)}")
+        return matches[0]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+class CampaignRunner:
+    """Executes sweeps through the cache and (optionally) a process pool."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.cache = cache if cache is not None else ResultCache()
+        self.use_cache = use_cache and not cache_disabled()
+
+    def run(self, spec: Union[SweepSpec, Sequence[PointSpec], Iterable[PointSpec]]) -> CampaignResult:
+        """Execute every point of ``spec``, reusing cached results."""
+        if isinstance(spec, SweepSpec):
+            name = spec.name
+            points = spec.points()
+        else:
+            points = list(spec)
+            name = "adhoc"
+        started = time.monotonic()
+
+        results: List[Optional[ResultType]] = [None] * len(points)
+        pending: List[int] = []
+        for index, point in enumerate(points):
+            cached = self.cache.get(point) if self.use_cache else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+
+        # Persist each result the moment it lands so an interrupt or a
+        # failing later point never discards already-finished simulations.
+        def finish(index: int, result: ResultType) -> None:
+            results[index] = result
+            if self.use_cache:
+                self.cache.put(points[index], result)
+
+        workers = min(self.jobs, len(pending))
+        if workers <= 1:
+            for index in pending:
+                finish(index, execute_point(points[index]))
+        else:
+            payloads = [points[index].to_dict() for index in pending]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for index, encoded in zip(pending, pool.map(_execute_point_payload, payloads)):
+                    finish(index, result_from_dict(points[index].sim, encoded))
+
+        return CampaignResult(
+            name=name,
+            points=points,
+            results=results,  # type: ignore[arg-type]  # every slot filled above
+            cached_count=len(points) - len(pending),
+            computed_count=len(pending),
+            jobs=self.jobs,
+            elapsed_seconds=time.monotonic() - started,
+        )
+
+
+def run_campaign(
+    spec: Union[SweepSpec, Sequence[PointSpec]],
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    cache: Optional[ResultCache] = None,
+) -> CampaignResult:
+    """One-call convenience: build a runner and execute ``spec``."""
+    return CampaignRunner(jobs=jobs, cache=cache, use_cache=use_cache).run(spec)

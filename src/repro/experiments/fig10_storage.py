@@ -5,12 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.ltcords import LTCordsConfig, LTCordsPrefetcher
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import PredictorVariant, SweepSpec
+from repro.core.ltcords import LTCordsConfig
 from repro.core.sequence_storage import SequenceStorageConfig
 from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
-from repro.sim.trace_driven import TraceDrivenSimulator
-from repro.workloads.base import WorkloadConfig
-from repro.workloads.registry import get_workload
 
 #: Off-chip capacities swept, in signatures.  The paper sweeps 2M..32M for
 #: full-size benchmarks; the scaled traces create tens of thousands of
@@ -29,28 +28,58 @@ class StorageSweep:
     normalized_coverage: Dict[str, List[float]]
 
 
+def sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    capacities: Sequence[int] = DEFAULT_CAPACITIES,
+    num_accesses: int = DEFAULT_NUM_ACCESSES,
+    seed: int = 42,
+    fragment_size: int = 512,
+) -> SweepSpec:
+    """Declarative Figure 10 sweep: every benchmark x off-chip capacity."""
+    names = selected_benchmarks(list(benchmarks) if benchmarks is not None else list(DEFAULT_BENCHMARKS))
+    variants = [
+        PredictorVariant(
+            "ltcords",
+            LTCordsConfig(
+                storage_config=SequenceStorageConfig(
+                    num_frames=max(1, capacity // fragment_size), fragment_size=fragment_size
+                ),
+            ),
+            label=f"capacity:{capacity}",
+        )
+        for capacity in capacities
+    ]
+    return SweepSpec(
+        name="fig10-storage",
+        benchmarks=names,
+        variants=variants,
+        num_accesses=[num_accesses],
+        seeds=[seed],
+    )
+
+
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     capacities: Sequence[int] = DEFAULT_CAPACITIES,
     num_accesses: int = DEFAULT_NUM_ACCESSES,
     seed: int = 42,
     fragment_size: int = 512,
+    runner: Optional[CampaignRunner] = None,
 ) -> StorageSweep:
     """Sweep the number of off-chip frames (capacity = frames x fragment size)."""
-    names = selected_benchmarks(list(benchmarks) if benchmarks is not None else list(DEFAULT_BENCHMARKS))
-    traces = {
-        name: get_workload(name, WorkloadConfig(num_accesses=num_accesses, seed=seed)).generate()
-        for name in names
-    }
+    spec = sweep(
+        benchmarks,
+        capacities=capacities,
+        num_accesses=num_accesses,
+        seed=seed,
+        fragment_size=fragment_size,
+    )
+    names = list(spec.benchmarks)
+    campaign = (runner or CampaignRunner()).run(spec)
     coverage: Dict[str, List[float]] = {name: [] for name in names}
     for capacity in capacities:
-        num_frames = max(1, capacity // fragment_size)
-        config = LTCordsConfig(
-            storage_config=SequenceStorageConfig(num_frames=num_frames, fragment_size=fragment_size),
-        )
         for name in names:
-            result = TraceDrivenSimulator(prefetcher=LTCordsPrefetcher(config)).run(traces[name])
-            coverage[name].append(result.coverage)
+            coverage[name].append(campaign.one(benchmark=name, label=f"capacity:{capacity}").coverage)
 
     normalised: Dict[str, List[float]] = {}
     for name in names:

@@ -5,8 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import PointSpec, SweepSpec
 from repro.experiments.common import format_table
-from repro.sim.multiprogram import MultiProgramResult, simulate_pair
+from repro.sim.multiprogram import MultiProgramResult
 
 #: The benchmark pairings shown in Figure 11 of the paper (primary, secondary).
 DEFAULT_PAIRINGS: Tuple[Tuple[str, str], ...] = (
@@ -30,26 +32,48 @@ class MultiProgramRow:
         return f"{self.result.primary} w/ {self.result.secondary}"
 
 
+def sweep(
+    pairings: Optional[Sequence[Tuple[str, str]]] = None,
+    num_accesses: int = 90_000,
+    quantum_instructions: int = 20_000,
+    max_switches: int = 60,
+    seed: int = 42,
+) -> SweepSpec:
+    """Declarative Figure 11 sweep: one multiprogram point per pairing."""
+    points = [
+        PointSpec(
+            benchmark=primary,
+            secondary=secondary,
+            sim="multiprogram",
+            num_accesses=num_accesses,
+            quantum_instructions=quantum_instructions,
+            max_switches=max_switches,
+            seed=seed,
+            label=f"{primary}+{secondary}",
+        )
+        for primary, secondary in (pairings if pairings is not None else DEFAULT_PAIRINGS)
+    ]
+    return SweepSpec(name="fig11-multiprogram", extra_points=points)
+
+
 def run(
     pairings: Optional[Sequence[Tuple[str, str]]] = None,
     num_accesses: int = 90_000,
     quantum_instructions: int = 20_000,
     max_switches: int = 60,
     seed: int = 42,
+    runner: Optional[CampaignRunner] = None,
 ) -> List[MultiProgramRow]:
     """Simulate each pairing under shared LT-cords structures."""
-    rows: List[MultiProgramRow] = []
-    for primary, secondary in (pairings if pairings is not None else DEFAULT_PAIRINGS):
-        result = simulate_pair(
-            primary,
-            secondary,
-            num_accesses=num_accesses,
-            quantum_instructions=quantum_instructions,
-            max_switches=max_switches,
-            seed=seed,
-        )
-        rows.append(MultiProgramRow(result=result))
-    return rows
+    spec = sweep(
+        pairings,
+        num_accesses=num_accesses,
+        quantum_instructions=quantum_instructions,
+        max_switches=max_switches,
+        seed=seed,
+    )
+    campaign = (runner or CampaignRunner()).run(spec)
+    return [MultiProgramRow(result=result) for result in campaign.results]
 
 
 def format_results(rows: Sequence[MultiProgramRow]) -> str:

@@ -5,26 +5,36 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.analysis.bandwidth import BandwidthBreakdown, bandwidth_breakdown
-from repro.core.ltcords import LTCordsPrefetcher
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import PredictorVariant, SweepSpec
 from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
-from repro.sim.trace_driven import TraceDrivenSimulator
-from repro.workloads.base import WorkloadConfig
-from repro.workloads.registry import get_workload
+
+
+def sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_accesses: int = DEFAULT_NUM_ACCESSES,
+    seed: int = 42,
+) -> SweepSpec:
+    """Declarative Figure 12 sweep: LT-cords on every benchmark."""
+    return SweepSpec(
+        name="fig12-bandwidth",
+        benchmarks=selected_benchmarks(benchmarks),
+        variants=[PredictorVariant("ltcords")],
+        num_accesses=[num_accesses],
+        seeds=[seed],
+    )
 
 
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     num_accesses: int = DEFAULT_NUM_ACCESSES,
     seed: int = 42,
+    runner: Optional[CampaignRunner] = None,
 ) -> List[BandwidthBreakdown]:
     """Measure the per-benchmark bus-traffic breakdown under LT-cords."""
-    rows: List[BandwidthBreakdown] = []
-    for name in selected_benchmarks(benchmarks):
-        trace = get_workload(name, WorkloadConfig(num_accesses=num_accesses, seed=seed)).generate()
-        simulator = TraceDrivenSimulator(prefetcher=LTCordsPrefetcher())
-        result = simulator.run(trace)
-        rows.append(bandwidth_breakdown(result))
-    return rows
+    spec = sweep(benchmarks, num_accesses=num_accesses, seed=seed)
+    campaign = (runner or CampaignRunner()).run(spec)
+    return [bandwidth_breakdown(result) for result in campaign.results]
 
 
 def average_overhead_fraction(rows: Sequence[BandwidthBreakdown], min_base: float = 1.0) -> float:

@@ -13,11 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import PredictorVariant, SweepSpec
 from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
-from repro.prefetchers.dbcp import DBCPConfig, DBCPPrefetcher
-from repro.sim.trace_driven import TraceDrivenSimulator
-from repro.workloads.base import WorkloadConfig
-from repro.workloads.registry import get_workload
+from repro.prefetchers.dbcp import DBCPConfig
 
 #: Default sweep of correlation-table capacities (in signatures).  The
 #: paper sweeps 160KB..320MB (~32K..64M signatures at 5 bytes each); the
@@ -36,10 +35,25 @@ class DBCPSensitivityResult:
     unlimited_coverage: Dict[str, float]
 
 
-def _coverage(benchmark_trace, table_entries: Optional[int]) -> float:
-    config = DBCPConfig(table_entries=table_entries)
-    simulator = TraceDrivenSimulator(prefetcher=DBCPPrefetcher(config))
-    return simulator.run(benchmark_trace).coverage
+def sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    table_sizes: Sequence[int] = DEFAULT_TABLE_SIZES,
+    num_accesses: int = DEFAULT_NUM_ACCESSES,
+    seed: int = 42,
+) -> SweepSpec:
+    """Declarative Figure 4 sweep: every benchmark x {unlimited, each table size}."""
+    variants = [PredictorVariant("dbcp", DBCPConfig(table_entries=None), label="unlimited")]
+    variants.extend(
+        PredictorVariant("dbcp", DBCPConfig(table_entries=size), label=f"entries:{size}")
+        for size in table_sizes
+    )
+    return SweepSpec(
+        name="fig4-dbcp-sensitivity",
+        benchmarks=selected_benchmarks(benchmarks),
+        variants=variants,
+        num_accesses=[num_accesses],
+        seeds=[seed],
+    )
 
 
 def run(
@@ -47,14 +61,14 @@ def run(
     table_sizes: Sequence[int] = DEFAULT_TABLE_SIZES,
     num_accesses: int = DEFAULT_NUM_ACCESSES,
     seed: int = 42,
+    runner: Optional[CampaignRunner] = None,
 ) -> DBCPSensitivityResult:
     """Sweep DBCP table sizes and normalise coverage to the unlimited table."""
-    names = selected_benchmarks(benchmarks)
-    traces = {
-        name: get_workload(name, WorkloadConfig(num_accesses=num_accesses, seed=seed)).generate()
-        for name in names
-    }
-    unlimited = {name: _coverage(trace, None) for name, trace in traces.items()}
+    spec = sweep(benchmarks, table_sizes=table_sizes, num_accesses=num_accesses, seed=seed)
+    names = list(spec.benchmarks)
+    campaign = (runner or CampaignRunner()).run(spec)
+
+    unlimited = {name: campaign.one(benchmark=name, label="unlimited").coverage for name in names}
     # Benchmarks with no achievable coverage cannot be normalised; drop them.
     usable = [name for name, cov in unlimited.items() if cov > 0.01]
 
@@ -63,7 +77,7 @@ def run(
     for size in table_sizes:
         normalised = []
         for name in usable:
-            coverage = _coverage(traces[name], size)
+            coverage = campaign.one(benchmark=name, label=f"entries:{size}").coverage
             normalised.append(coverage / unlimited[name])
         average_series.append(sum(normalised) / len(normalised) if normalised else 0.0)
         worst_series.append(min(normalised) if normalised else 0.0)

@@ -5,12 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core.ltcords import LTCordsConfig, LTCordsPrefetcher
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import PredictorVariant, SweepSpec
+from repro.core.ltcords import LTCordsConfig
 from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
-from repro.prefetchers.dbcp import DBCPConfig, DBCPPrefetcher
-from repro.sim.trace_driven import SimulationResult, TraceDrivenSimulator
-from repro.workloads.base import WorkloadConfig
-from repro.workloads.registry import get_workload
+from repro.prefetchers.dbcp import DBCPConfig
+from repro.sim.trace_driven import SimulationResult
 
 
 @dataclass
@@ -27,26 +27,43 @@ class CoverageRow:
         return self.oracle_dbcp.coverage - self.ltcords.coverage
 
 
+def sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_accesses: int = DEFAULT_NUM_ACCESSES,
+    seed: int = 42,
+    ltcords_config: Optional[LTCordsConfig] = None,
+) -> SweepSpec:
+    """Declarative Figure 8 sweep: every benchmark x {LT-cords, oracle DBCP}."""
+    return SweepSpec(
+        name="fig8-coverage",
+        benchmarks=selected_benchmarks(benchmarks),
+        variants=[
+            PredictorVariant("ltcords", ltcords_config, label="ltcords"),
+            PredictorVariant("dbcp", DBCPConfig.unlimited(), label="oracle"),
+        ],
+        num_accesses=[num_accesses],
+        seeds=[seed],
+    )
+
+
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     num_accesses: int = DEFAULT_NUM_ACCESSES,
     seed: int = 42,
     ltcords_config: Optional[LTCordsConfig] = None,
+    runner: Optional[CampaignRunner] = None,
 ) -> List[CoverageRow]:
     """Run LT-cords and the unlimited-storage DBCP oracle on each benchmark."""
-    rows: List[CoverageRow] = []
-    for name in selected_benchmarks(benchmarks):
-        trace = get_workload(name, WorkloadConfig(num_accesses=num_accesses, seed=seed)).generate()
-        lt_sim = TraceDrivenSimulator(prefetcher=LTCordsPrefetcher(ltcords_config))
-        oracle_sim = TraceDrivenSimulator(prefetcher=DBCPPrefetcher(DBCPConfig.unlimited()))
-        rows.append(
-            CoverageRow(
-                benchmark=name,
-                ltcords=lt_sim.run(trace),
-                oracle_dbcp=oracle_sim.run(trace),
-            )
+    spec = sweep(benchmarks, num_accesses=num_accesses, seed=seed, ltcords_config=ltcords_config)
+    campaign = (runner or CampaignRunner()).run(spec)
+    return [
+        CoverageRow(
+            benchmark=name,
+            ltcords=campaign.one(benchmark=name, label="ltcords"),
+            oracle_dbcp=campaign.one(benchmark=name, label="oracle"),
         )
-    return rows
+        for name in spec.benchmarks
+    ]
 
 
 def average_coverage(rows: Sequence[CoverageRow]) -> float:

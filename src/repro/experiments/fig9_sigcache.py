@@ -5,13 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.ltcords import LTCordsConfig, LTCordsPrefetcher
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import PredictorVariant, SweepSpec
+from repro.core.ltcords import LTCordsConfig
 from repro.core.sequence_storage import SequenceStorageConfig
 from repro.core.signature_cache import SignatureCacheConfig
 from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
-from repro.sim.trace_driven import TraceDrivenSimulator
-from repro.workloads.base import WorkloadConfig
-from repro.workloads.registry import get_workload
 
 #: Signature-cache sizes swept (entries).  The paper sweeps 128 .. 128K.
 DEFAULT_SIZES = (128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
@@ -26,12 +25,44 @@ class SignatureCacheSweep:
     per_benchmark: Dict[str, Dict[int, float]]
 
 
+def sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    num_accesses: int = DEFAULT_NUM_ACCESSES,
+    seed: int = 42,
+    associativity: int = 8,
+) -> SweepSpec:
+    """Declarative Figure 9 sweep: every benchmark x signature-cache size."""
+    storage = SequenceStorageConfig(num_frames=1, fragment_size=512, unlimited_frames=True)
+    variants = [
+        PredictorVariant(
+            "ltcords",
+            LTCordsConfig(
+                signature_cache_config=SignatureCacheConfig(
+                    num_entries=size, associativity=associativity
+                ),
+                storage_config=storage,
+            ),
+            label=f"size:{size}",
+        )
+        for size in sizes
+    ]
+    return SweepSpec(
+        name="fig9-sigcache",
+        benchmarks=selected_benchmarks(benchmarks),
+        variants=variants,
+        num_accesses=[num_accesses],
+        seeds=[seed],
+    )
+
+
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     sizes: Sequence[int] = DEFAULT_SIZES,
     num_accesses: int = DEFAULT_NUM_ACCESSES,
     seed: int = 42,
     associativity: int = 8,
+    runner: Optional[CampaignRunner] = None,
 ) -> SignatureCacheSweep:
     """Sweep signature-cache sizes, normalising to the largest size swept.
 
@@ -39,21 +70,15 @@ def run(
     effectively unlimited so the signature cache is the only bottleneck,
     and a higher associativity (8-way) removes conflict bias at small sizes.
     """
-    names = selected_benchmarks(benchmarks)
-    traces = {
-        name: get_workload(name, WorkloadConfig(num_accesses=num_accesses, seed=seed)).generate()
-        for name in names
-    }
+    spec = sweep(
+        benchmarks, sizes=sizes, num_accesses=num_accesses, seed=seed, associativity=associativity
+    )
+    names = list(spec.benchmarks)
+    campaign = (runner or CampaignRunner()).run(spec)
     per_benchmark: Dict[str, Dict[int, float]] = {name: {} for name in names}
-    storage = SequenceStorageConfig(num_frames=1, fragment_size=512, unlimited_frames=True)
     for size in sizes:
-        config = LTCordsConfig(
-            signature_cache_config=SignatureCacheConfig(num_entries=size, associativity=associativity),
-            storage_config=storage,
-        )
         for name in names:
-            result = TraceDrivenSimulator(prefetcher=LTCordsPrefetcher(config)).run(traces[name])
-            per_benchmark[name][size] = result.coverage
+            per_benchmark[name][size] = campaign.one(benchmark=name, label=f"size:{size}").coverage
 
     normalised: List[float] = []
     reference_size = max(sizes)

@@ -5,10 +5,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import PredictorVariant, SweepSpec
 from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
-from repro.sim.timing import TimingSimulator
-from repro.workloads.base import WorkloadConfig
-from repro.workloads.registry import benchmark_metadata, get_workload
+from repro.workloads.registry import benchmark_metadata
 
 
 @dataclass
@@ -24,24 +24,40 @@ class BaselineRow:
     paper_ipc: float
 
 
+def sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_accesses: int = DEFAULT_NUM_ACCESSES,
+    seed: int = 42,
+) -> SweepSpec:
+    """Declarative Table 2 sweep: one baseline timing run per benchmark."""
+    return SweepSpec(
+        name="table2-baseline",
+        benchmarks=selected_benchmarks(benchmarks),
+        variants=[PredictorVariant("none", label="baseline")],
+        num_accesses=[num_accesses],
+        seeds=[seed],
+        sim="timing",
+    )
+
+
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     num_accesses: int = DEFAULT_NUM_ACCESSES,
     seed: int = 42,
+    runner: Optional[CampaignRunner] = None,
 ) -> List[BaselineRow]:
     """Measure baseline miss rates and model IPC for each benchmark."""
+    spec = sweep(benchmarks, num_accesses=num_accesses, seed=seed)
+    campaign = (runner or CampaignRunner()).run(spec)
     rows: List[BaselineRow] = []
-    for name in selected_benchmarks(benchmarks):
+    for name in spec.benchmarks:
         metadata = benchmark_metadata(name)
-        trace = get_workload(name, WorkloadConfig(num_accesses=num_accesses, seed=seed)).generate()
-        simulator = TimingSimulator()
-        result = simulator.run(trace)
-        stats = simulator.hierarchy.stats
+        result = campaign.one(benchmark=name, label="baseline")
         rows.append(
             BaselineRow(
                 benchmark=name,
-                l1_miss_pct=100.0 * stats.l1_miss_rate,
-                l2_miss_pct=100.0 * stats.l2_miss_rate,
+                l1_miss_pct=100.0 * result.l1_miss_rate,
+                l2_miss_pct=100.0 * result.l2_miss_rate,
                 ipc=result.ipc,
                 paper_l1_miss_pct=metadata.paper_l1_miss_pct,
                 paper_l2_miss_pct=metadata.paper_l2_miss_pct,

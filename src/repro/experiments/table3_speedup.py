@@ -11,13 +11,11 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.cache.config import L2_4MB_CONFIG
 from repro.cache.hierarchy import HierarchyConfig
-from repro.core.ltcords import LTCordsPrefetcher
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import PointSpec, SweepSpec
 from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
-from repro.prefetchers.dbcp import DBCPConfig, DBCPPrefetcher
-from repro.prefetchers.ghb import GHBPrefetcher
-from repro.sim.timing import TimingSimulator
-from repro.workloads.base import WorkloadConfig
-from repro.workloads.registry import benchmark_metadata, get_workload
+from repro.prefetchers.dbcp import DBCPConfig
+from repro.workloads.registry import benchmark_metadata
 
 CONFIGURATIONS = ("perfect-l1", "ltcords", "ghb", "dbcp", "4mb-l2")
 
@@ -50,35 +48,63 @@ def _paper_values(name: str) -> Dict[str, float]:
     }
 
 
+def _configuration_point(name: str, config_name: str, num_accesses: int, seed: int) -> PointSpec:
+    """The timing point measuring ``config_name`` on benchmark ``name``."""
+    common = dict(benchmark=name, sim="timing", num_accesses=num_accesses, seed=seed, label=config_name)
+    if config_name == "baseline":
+        return PointSpec(predictor="none", **common)
+    if config_name == "perfect-l1":
+        return PointSpec(predictor="none", perfect_l1=True, **common)
+    if config_name == "ltcords":
+        return PointSpec(predictor="ltcords", **common)
+    if config_name == "ghb":
+        return PointSpec(predictor="ghb", **common)
+    if config_name == "dbcp":
+        return PointSpec(
+            predictor="dbcp",
+            predictor_config=DBCPConfig(table_entries=SCALED_DBCP_TABLE_ENTRIES),
+            **common,
+        )
+    if config_name == "4mb-l2":
+        return PointSpec(
+            predictor="none", hierarchy_config=HierarchyConfig(l2=L2_4MB_CONFIG), **common
+        )
+    raise ValueError(f"unknown configuration {config_name!r}")
+
+
+def sweep(
+    benchmarks: Optional[Sequence[str]] = None,
+    num_accesses: int = DEFAULT_NUM_ACCESSES,
+    seed: int = 42,
+    configurations: Sequence[str] = CONFIGURATIONS,
+) -> SweepSpec:
+    """Declarative Table 3 sweep: baseline + each configuration per benchmark."""
+    if "baseline" in configurations:
+        raise ValueError("'baseline' is implicit; list only the configurations to compare against it")
+    points = [
+        _configuration_point(name, config_name, num_accesses, seed)
+        for name in selected_benchmarks(benchmarks)
+        for config_name in ("baseline",) + tuple(configurations)
+    ]
+    return SweepSpec(name="table3-speedup", sim="timing", extra_points=points)
+
+
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     num_accesses: int = DEFAULT_NUM_ACCESSES,
     seed: int = 42,
     configurations: Sequence[str] = CONFIGURATIONS,
+    runner: Optional[CampaignRunner] = None,
 ) -> List[SpeedupRow]:
     """Measure Table 3's speedups for each benchmark and configuration."""
+    spec = sweep(benchmarks, num_accesses=num_accesses, seed=seed, configurations=configurations)
+    campaign = (runner or CampaignRunner()).run(spec)
     rows: List[SpeedupRow] = []
-    big_l2 = HierarchyConfig(l2=L2_4MB_CONFIG)
     for name in selected_benchmarks(benchmarks):
-        trace = get_workload(name, WorkloadConfig(num_accesses=num_accesses, seed=seed)).generate()
-        baseline = TimingSimulator().run(trace)
+        baseline = campaign.one(benchmark=name, label="baseline")
         row = SpeedupRow(benchmark=name, baseline_ipc=baseline.ipc, paper_speedup_pct=_paper_values(name))
         for config_name in configurations:
-            if config_name == "perfect-l1":
-                simulator = TimingSimulator(perfect_l1=True)
-            elif config_name == "ltcords":
-                simulator = TimingSimulator(prefetcher=LTCordsPrefetcher())
-            elif config_name == "ghb":
-                simulator = TimingSimulator(prefetcher=GHBPrefetcher())
-            elif config_name == "dbcp":
-                simulator = TimingSimulator(
-                    prefetcher=DBCPPrefetcher(DBCPConfig(table_entries=SCALED_DBCP_TABLE_ENTRIES))
-                )
-            elif config_name == "4mb-l2":
-                simulator = TimingSimulator(hierarchy_config=big_l2)
-            else:
-                raise ValueError(f"unknown configuration {config_name!r}")
-            result = simulator.run(trace)
+            result = campaign.one(benchmark=name, label=config_name)
             row.speedup_pct[config_name] = result.speedup_over(baseline)
         rows.append(row)
     return rows

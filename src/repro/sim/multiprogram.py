@@ -47,6 +47,23 @@ class MultiProgramResult:
             return 1.0
         return self.primary_coverage / self.primary_standalone_coverage
 
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON-safe encoding (enables workers and the result cache)."""
+        return {
+            "primary": self.primary,
+            "secondary": self.secondary,
+            "primary_coverage": self.primary_coverage,
+            "secondary_coverage": self.secondary_coverage,
+            "primary_standalone_coverage": self.primary_standalone_coverage,
+            "secondary_standalone_coverage": self.secondary_standalone_coverage,
+            "context_switches": self.context_switches,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MultiProgramResult":
+        """Reconstruct a result from :meth:`to_dict` output."""
+        return cls(**data)
+
 
 def _quantum_instructions(benchmark: str, base_quantum: int) -> int:
     """Scaled context-switch quantum: FP applications get twice the instructions.

@@ -10,8 +10,8 @@ memory bus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
 
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig, ServiceLevel
 from repro.core.interface import AccessOutcome, Prefetcher
@@ -34,6 +34,8 @@ class TimingResult:
     l1_misses: int
     l2_misses: int
     signature_traffic_bytes: int = 0
+    accesses: int = 0
+    l2_hits: int = 0
 
     @property
     def ipc(self) -> float:
@@ -50,6 +52,29 @@ class TimingResult:
         if self.cycles <= 0:
             return 0.0
         return 100.0 * (baseline.cycles / self.cycles - 1.0)
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1D misses per demand access (as in :class:`HierarchyStats`)."""
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 local miss rate (as in :class:`HierarchyStats`)."""
+        l2_accesses = self.l2_hits + self.l2_misses
+        return self.l2_misses / l2_accesses if l2_accesses else 0.0
+
+    # ------------------------------------------------------------------ serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-safe encoding (enables workers and the result cache)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TimingResult":
+        """Reconstruct a result from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["breakdown"] = TimingBreakdown(**payload["breakdown"])
+        return cls(**payload)
 
 
 class TimingSimulator:
@@ -135,6 +160,8 @@ class TimingSimulator:
             l1_misses=self.hierarchy.stats.l1_misses,
             l2_misses=self.hierarchy.stats.l2_misses,
             signature_traffic_bytes=signature_bytes,
+            accesses=self.hierarchy.stats.accesses,
+            l2_hits=self.hierarchy.stats.l2_hits,
         )
 
 

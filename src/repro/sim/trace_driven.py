@@ -19,7 +19,7 @@ bus-traffic categories of Figure 12.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig, ServiceLevel
 from repro.core.interface import AccessOutcome, Prefetcher
@@ -73,6 +73,20 @@ class CoverageBreakdown:
         """Coverage as a fraction in [0, 1]."""
         return self.correct / self.base_misses if self.base_misses else 0.0
 
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-safe encoding of the raw counters."""
+        return {
+            "base_misses": self.base_misses,
+            "correct": self.correct,
+            "early": self.early,
+            "incorrect_prefetches": self.incorrect_prefetches,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CoverageBreakdown":
+        """Reconstruct a breakdown from :meth:`to_dict` output."""
+        return cls(**data)
+
 
 @dataclass
 class SimulationResult:
@@ -117,6 +131,35 @@ class SimulationResult:
         if not self.instruction_count:
             return {c: 0.0 for c in TrafficCategory}
         return {c: self.bus_bytes.get(c, 0) / self.instruction_count for c in TrafficCategory}
+
+    # ------------------------------------------------------------------ serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-safe encoding (enables workers and the result cache)."""
+        return {
+            "benchmark": self.benchmark,
+            "predictor": self.predictor,
+            "num_accesses": self.num_accesses,
+            "instruction_count": self.instruction_count,
+            "breakdown": self.breakdown.to_dict(),
+            "baseline_l1_misses": self.baseline_l1_misses,
+            "baseline_l2_misses": self.baseline_l2_misses,
+            "predictor_l1_misses": self.predictor_l1_misses,
+            "predictor_l2_misses": self.predictor_l2_misses,
+            "prefetches_issued": self.prefetches_issued,
+            "prefetches_used": self.prefetches_used,
+            "bus_bytes": {category.value: count for category, count in self.bus_bytes.items()},
+            "on_chip_storage_bytes": self.on_chip_storage_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
+        """Reconstruct a result from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["breakdown"] = CoverageBreakdown.from_dict(payload["breakdown"])
+        payload["bus_bytes"] = {
+            TrafficCategory(name): count for name, count in payload.get("bus_bytes", {}).items()
+        }
+        return cls(**payload)
 
 
 class TraceDrivenSimulator:

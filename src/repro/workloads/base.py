@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import zlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple
@@ -81,7 +82,10 @@ class SyntheticWorkload(ABC):
     def __init__(self, metadata: WorkloadMetadata, config: Optional[WorkloadConfig] = None) -> None:
         self.metadata = metadata
         self.config = config or WorkloadConfig()
-        self._rng = random.Random(self.config.seed ^ hash(metadata.name) & 0xFFFF_FFFF)
+        # zlib.crc32, not hash(): str hashing is randomised per process
+        # (PYTHONHASHSEED), which would make "identical" runs diverge across
+        # interpreter sessions and poison any persisted result cache.
+        self._rng = random.Random(self.config.seed ^ zlib.crc32(metadata.name.encode("utf-8")))
         self._region_offset = 0
 
     @property

@@ -1,0 +1,76 @@
+"""Direct unit tests for :mod:`repro.experiments.common`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import common
+from repro.workloads.registry import BENCHMARK_NAMES
+
+
+class TestSelectedBenchmarks:
+    def test_default_is_representative_subset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        selected = common.selected_benchmarks()
+        assert selected == common.REPRESENTATIVE_BENCHMARKS
+        # A copy, not the module-level list itself.
+        selected.append("tampered")
+        assert common.selected_benchmarks() == common.REPRESENTATIVE_BENCHMARKS
+
+    def test_representative_subset_names_are_valid(self):
+        assert all(name in BENCHMARK_NAMES for name in common.REPRESENTATIVE_BENCHMARKS)
+        assert all(name in BENCHMARK_NAMES for name in common.QUICK_BENCHMARKS)
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes"])
+    def test_repro_full_truthy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_FULL", value)
+        assert common.selected_benchmarks() == list(BENCHMARK_NAMES)
+
+    @pytest.mark.parametrize("value", ["", "0", "no", "false", "  "])
+    def test_repro_full_falsy_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_FULL", value)
+        assert common.selected_benchmarks() == common.REPRESENTATIVE_BENCHMARKS
+
+    def test_explicit_list_wins_over_repro_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert common.selected_benchmarks(["mcf", "swim"]) == ["mcf", "swim"]
+
+    def test_explicit_list_is_validated(self):
+        with pytest.raises(KeyError) as excinfo:
+            common.selected_benchmarks(["mcf", "nope", "also-nope"])
+        assert "nope" in str(excinfo.value)
+
+    def test_explicit_empty_list_is_respected(self):
+        assert common.selected_benchmarks([]) == []
+
+    def test_explicit_tuple_accepted(self):
+        assert common.selected_benchmarks(("gzip",)) == ["gzip"]
+
+
+class TestFormatTable:
+    def test_columns_are_aligned(self):
+        text = common.format_table(["name", "v"], [("a", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len({len(line.rstrip()) for line in lines[:2]}) <= 2
+        assert lines[0].startswith("name")
+        assert lines[1].startswith("----")
+        assert lines[2].index("1") == lines[3].index("2"), "value column must line up"
+
+    def test_wide_cell_stretches_column(self):
+        text = common.format_table(["h"], [("wide-cell-value",)])
+        header, rule, row = text.splitlines()
+        assert rule == "-" * len("wide-cell-value")
+        assert row == "wide-cell-value"
+
+    def test_non_string_cells_are_stringified(self):
+        text = common.format_table(["a", "b"], [(1.5, None)])
+        assert "1.5" in text and "None" in text
+
+    def test_rows_may_be_any_iterable(self):
+        text = common.format_table(["a"], iter([iter(["x"])]))
+        assert "x" in text
+
+    def test_empty_rows(self):
+        text = common.format_table(["a", "b"], [])
+        assert text.splitlines() == ["a  b", "-  -"]
