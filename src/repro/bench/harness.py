@@ -1,0 +1,103 @@
+"""Measurement harness for ``repro.bench``.
+
+Each benchmark scenario is measured ``repeats`` times and reported by its
+*minimum* wall time — the standard way to suppress scheduler/contention
+noise when the quantity of interest is the code's intrinsic cost (noise
+on a busy machine only ever adds time).  Peak RSS is the process-wide
+high-water mark from ``getrusage``, sampled after the scenario runs; it
+is monotonic across scenarios within one process, so only increases are
+attributable to the scenario that caused them.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-Unix platforms
+    resource = None  # type: ignore[assignment]
+
+
+def peak_rss_kb() -> int:
+    """Process peak resident set size in KB (0 where unsupported)."""
+    if resource is None:  # pragma: no cover - non-Unix platforms
+        return 0
+    value = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes on macOS
+        value //= 1024
+    return value
+
+
+@dataclass
+class BenchResult:
+    """Measurement of one scenario."""
+
+    name: str
+    wall_seconds: float
+    ops: int
+    repeats: int
+    all_wall_seconds: List[float] = field(default_factory=list)
+    peak_rss_kb: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Operations per second at the best (minimum) wall time."""
+        return self.ops / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe encoding."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "all_wall_seconds": self.all_wall_seconds,
+            "ops": self.ops,
+            "ops_per_sec": self.ops_per_sec,
+            "repeats": self.repeats,
+            "peak_rss_kb": self.peak_rss_kb,
+            "meta": self.meta,
+        }
+
+
+def sample_once(make_task: Callable[[], Callable[[], Any]]) -> float:
+    """Build a fresh task, run it once, return its wall seconds.
+
+    Building the task is *not* timed, and a full garbage collection runs
+    before the timed call so collector debt from earlier work stays out
+    of the sample.
+    """
+    task = make_task()
+    gc.collect()
+    start = time.perf_counter()
+    task()
+    return time.perf_counter() - start
+
+
+def measure(
+    name: str,
+    make_task: Callable[[], Callable[[], Any]],
+    ops: int,
+    repeats: int = 3,
+    meta: Optional[Dict[str, Any]] = None,
+) -> BenchResult:
+    """Measure ``make_task`` and return a :class:`BenchResult`.
+
+    ``make_task`` builds a fresh zero-argument task per repeat (so state
+    like caches or result memos never carries over between repeats).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    walls: List[float] = [sample_once(make_task) for _ in range(repeats)]
+    return BenchResult(
+        name=name,
+        wall_seconds=min(walls),
+        ops=ops,
+        repeats=repeats,
+        all_wall_seconds=walls,
+        peak_rss_kb=peak_rss_kb(),
+        meta=dict(meta or {}),
+    )

@@ -1,0 +1,378 @@
+"""The benchmark scenario registry.
+
+A scenario names one timed operation at one size: a micro-benchmark of a
+hot structure (cache probe loop, trace generation, columnar iteration)
+or a macro-benchmark of a whole simulation (predictor × benchmark ×
+trace length).  Fast-engine macro scenarios have ``.legacy`` twins that
+run the identical simulation through the legacy engine; the report
+derives fast-vs-legacy speedups from those pairs.
+
+Every scenario accepts a ``scale`` factor so the same definitions serve
+the committed baseline (scale 1.0), CI smoke runs and the unit tests
+(tiny scales).  Scaling changes the measured trace lengths, so results
+are only comparable across runs at the same scale (the report checks
+this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bench.harness import BenchResult, peak_rss_kb, sample_once
+
+# ---------------------------------------------------------------------------
+# Scenario plumbing
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named benchmark.
+
+    ``build(scale)`` returns ``(make_task, ops)``: a factory producing a
+    fresh timed task per repeat, and the operation count the task
+    performs (for ops/sec).
+    """
+
+    name: str
+    description: str
+    build: Callable[[float], Tuple[Callable[[], Callable[[], Any]], int]]
+    quick: bool = False
+    repeats: int = 3
+    #: Name of the fast-engine twin this scenario is the legacy half of.
+    speedup_of: Optional[str] = None
+
+
+_SCENARIOS: Dict[str, Scenario] = {}
+
+
+def _register(scenario: Scenario) -> None:
+    if scenario.name in _SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} registered twice")
+    _SCENARIOS[scenario.name] = scenario
+
+
+def scenario_names(quick_only: bool = False) -> List[str]:
+    """Registered scenario names (optionally only the quick set)."""
+    return [n for n, s in _SCENARIOS.items() if s.quick or not quick_only]
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(sorted(_SCENARIOS))}"
+        ) from None
+
+
+def run_scenario(name: str, scale: float = 1.0, repeats: Optional[int] = None) -> BenchResult:
+    """Build and measure one scenario (same machinery as :func:`run_scenarios`)."""
+    return run_scenarios([name], scale=scale, repeats=repeats)[name]
+
+
+def run_scenarios(
+    names: List[str], scale: float = 1.0, repeats: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, BenchResult]:
+    """Measure ``names`` with round-interleaved repeats; returns name -> result.
+
+    Repeats are interleaved round-robin (every scenario's first sample,
+    then every scenario's second, ...) rather than back to back, so a
+    transient load burst on the machine degrades at most one sample per
+    scenario instead of every sample of whichever scenario it landed on;
+    the per-scenario minimum then discards it.
+    """
+    if repeats is not None and repeats < 1:
+        raise ValueError("repeats must be at least 1")
+
+    plan = []
+    for name in names:
+        scenario = get_scenario(name)
+        make_task, ops = scenario.build(scale)
+        rounds = repeats if repeats is not None else scenario.repeats
+        plan.append((scenario, make_task, ops, rounds))
+
+    walls: Dict[str, List[float]] = {scenario.name: [] for scenario, _, _, _ in plan}
+    rss_after: Dict[str, int] = {}
+    max_rounds = max((rounds for _, _, _, rounds in plan), default=0)
+    for current_round in range(max_rounds):
+        for scenario, make_task, _, rounds in plan:
+            if current_round >= rounds:
+                continue
+            if progress is not None:
+                progress(f"{scenario.name} [{current_round + 1}/{rounds}]")
+            walls[scenario.name].append(sample_once(make_task))
+            if current_round == 0:
+                # Snapshot the (monotonic, process-wide) high-water mark
+                # right after the scenario's first execution: the increase
+                # over the previous scenario's snapshot is what this
+                # scenario added.  Later rounds would only smear every
+                # scenario up to the global maximum.
+                rss_after[scenario.name] = peak_rss_kb()
+
+    results: Dict[str, BenchResult] = {}
+    for scenario, _, ops, rounds in plan:
+        scenario_walls = walls[scenario.name]
+        results[scenario.name] = BenchResult(
+            name=scenario.name,
+            wall_seconds=min(scenario_walls),
+            ops=ops,
+            repeats=rounds,
+            all_wall_seconds=scenario_walls,
+            peak_rss_kb=rss_after[scenario.name],
+            meta={"description": scenario.description, "scale": scale},
+        )
+    return results
+
+
+def derive_speedups(results: Dict[str, BenchResult]) -> Dict[str, float]:
+    """Fast-vs-legacy speedups for every measured ``.legacy`` twin."""
+    speedups: Dict[str, float] = {}
+    for name, result in results.items():
+        scenario = _SCENARIOS.get(name)
+        if scenario is None or scenario.speedup_of is None:
+            continue
+        fast = results.get(scenario.speedup_of)
+        if fast is not None and fast.wall_seconds > 0:
+            speedups[scenario.speedup_of] = result.wall_seconds / fast.wall_seconds
+    return speedups
+
+
+def _scaled(count: int, scale: float, floor: int = 1000) -> int:
+    return max(floor, int(count * scale))
+
+
+# ---------------------------------------------------------------------------
+# Micro scenarios
+# ---------------------------------------------------------------------------
+
+
+def _build_calibrate(scale: float):
+    # Long enough (~1.5s) that transient CPU-contention bursts average
+    # into it the same way they average into the macro scenarios it
+    # normalises.
+    iterations = _scaled(8_000_000, scale, floor=10_000)
+
+    def make_task():
+        def task():
+            # Fixed xorshift loop: a machine-speed yardstick with no
+            # repro-code dependence; the regression check normalises
+            # ops/sec by this so a slower CI runner is not a "regression".
+            state = 0x9E3779B97F4A7C15
+            for _ in range(iterations):
+                state ^= (state << 13) & 0xFFFFFFFFFFFFFFFF
+                state ^= state >> 7
+            return state
+
+        return task
+
+    return make_task, iterations
+
+
+_register(Scenario(
+    name="calibrate",
+    description="fixed integer-arithmetic loop (machine-speed yardstick)",
+    build=_build_calibrate,
+    quick=True,
+))
+
+
+def _hit_loop_addresses(count: int):
+    # 64 distinct resident blocks, revisited round-robin: pure hit traffic.
+    return [0x1000_0000 + 64 * (i % 64) for i in range(count)]
+
+
+def _build_cache_l1_hits(scale: float):
+    from repro.cache.cache import SetAssociativeCache
+    from repro.cache.config import L1D_CONFIG
+
+    addresses = _hit_loop_addresses(_scaled(500_000, scale))
+
+    def make_task():
+        cache = SetAssociativeCache(L1D_CONFIG)
+
+        def task():
+            access = cache.access_fast
+            for address in addresses:
+                access(address, 0)
+
+        return task
+
+    return make_task, len(addresses)
+
+
+_register(Scenario(
+    name="cache.l1_hits",
+    description="array-backed L1D fast-path probe loop (all hits)",
+    build=_build_cache_l1_hits,
+    quick=True,
+))
+
+
+def _build_cache_l1_hits_legacy(scale: float):
+    from repro.cache.config import L1D_CONFIG
+    from repro.cache.legacy import LegacySetAssociativeCache
+
+    addresses = _hit_loop_addresses(_scaled(500_000, scale))
+
+    def make_task():
+        cache = LegacySetAssociativeCache(L1D_CONFIG)
+
+        def task():
+            access = cache.access
+            for address in addresses:
+                access(address)
+
+        return task
+
+    return make_task, len(addresses)
+
+
+_register(Scenario(
+    name="cache.l1_hits.legacy",
+    description="legacy object-per-block L1D probe loop (all hits)",
+    build=_build_cache_l1_hits_legacy,
+    speedup_of="cache.l1_hits",
+))
+
+
+def _build_cache_l1_thrash(scale: float):
+    from repro.cache.cache import SetAssociativeCache
+    from repro.cache.config import L1D_CONFIG
+
+    count = _scaled(300_000, scale)
+    way_bytes = L1D_CONFIG.size_bytes // L1D_CONFIG.associativity
+    # Cycle 3 tags through the same 2-way set: every access misses+evicts.
+    addresses = [0x1000_0000 + way_bytes * (i % 3) for i in range(count)]
+
+    def make_task():
+        cache = SetAssociativeCache(L1D_CONFIG)
+
+        def task():
+            access = cache.access_fast
+            for address in addresses:
+                access(address, 0)
+
+        return task
+
+    return make_task, count
+
+
+_register(Scenario(
+    name="cache.l1_thrash",
+    description="array-backed L1D miss/evict loop (LRU thrash)",
+    build=_build_cache_l1_thrash,
+))
+
+
+def _build_trace_generate(scale: float):
+    from repro.workloads.base import WorkloadConfig
+    from repro.workloads.registry import get_workload
+
+    count = _scaled(200_000, scale)
+
+    def make_task():
+        workload = get_workload("mcf", WorkloadConfig(num_accesses=count, seed=42))
+        return lambda: workload.generate()
+
+    return make_task, count
+
+
+_register(Scenario(
+    name="trace.generate",
+    description="columnar trace generation (mcf workload)",
+    build=_build_trace_generate,
+    quick=True,
+))
+
+
+def _build_trace_columnar_iter(scale: float):
+    from repro.workloads.base import WorkloadConfig
+    from repro.workloads.registry import get_workload
+
+    count = _scaled(200_000, scale)
+    trace = get_workload("mcf", WorkloadConfig(num_accesses=count, seed=42)).generate()
+
+    def make_task():
+        columns = trace.as_arrays()
+
+        def task():
+            total = 0
+            for pc, address, is_write, icount in zip(
+                columns.pc, columns.address, columns.is_write, columns.icount
+            ):
+                total += is_write
+            return total
+
+        return task
+
+    return make_task, count
+
+
+_register(Scenario(
+    name="trace.columnar_iter",
+    description="zip iteration over the four trace columns",
+    build=_build_trace_columnar_iter,
+))
+
+
+# ---------------------------------------------------------------------------
+# Macro scenarios (whole simulations)
+# ---------------------------------------------------------------------------
+
+
+def _build_simulation(benchmark: str, predictor: str, accesses: int, engine: str):
+    def build(scale: float):
+        count = _scaled(accesses, scale)
+
+        def make_task():
+            # Workload/predictor construction happens inside the task:
+            # the scenario times simulate_benchmark end to end, exactly
+            # what the experiment drivers pay per sweep point.
+            def task():
+                from repro.api import build_predictor
+                from repro.sim.trace_driven import simulate_benchmark
+
+                return simulate_benchmark(
+                    benchmark,
+                    prefetcher=build_predictor(predictor),
+                    num_accesses=count,
+                    seed=42,
+                    engine=engine,
+                )
+
+            return task
+
+        return make_task, count
+
+    return build
+
+
+def _register_simulation_pair(benchmark: str, predictor: str, accesses: int, quick: bool) -> None:
+    fast_name = f"sim.{predictor}.{benchmark}"
+    _register(Scenario(
+        name=fast_name,
+        description=f"simulate_benchmark({benchmark!r}, {predictor}, {accesses // 1000}k accesses), fast engine",
+        build=_build_simulation(benchmark, predictor, accesses, "fast"),
+        quick=quick,
+        repeats=4,
+    ))
+    _register(Scenario(
+        name=f"{fast_name}.legacy",
+        description=f"simulate_benchmark({benchmark!r}, {predictor}, {accesses // 1000}k accesses), legacy engine",
+        build=_build_simulation(benchmark, predictor, accesses, "legacy"),
+        quick=quick,
+        repeats=3,
+        speedup_of=fast_name,
+    ))
+
+
+# The headline pair: the tentpole's >=3x acceptance gate is measured on
+# simulate_benchmark with DBCP over mcf at 200k accesses.
+_register_simulation_pair("mcf", "dbcp", 200_000, quick=True)
+_register_simulation_pair("mcf", "none", 200_000, quick=True)
+_register_simulation_pair("em3d", "ltcords", 100_000, quick=False)
+_register_simulation_pair("swim", "ghb", 100_000, quick=False)

@@ -15,7 +15,8 @@ from repro.cache.replacement import (
     ReplacementPolicy,
     make_replacement_policy,
 )
-from repro.cache.cache import AccessResult, CacheBlock, SetAssociativeCache
+from repro.cache.cache import AccessResult, CacheBlock, FastAccessState, SetAssociativeCache
+from repro.cache.legacy import LegacySetAssociativeCache
 from repro.cache.mshr import MSHRFile
 from repro.cache.hierarchy import (
     CacheHierarchy,
@@ -30,7 +31,9 @@ __all__ = [
     "CacheBlock",
     "CacheConfig",
     "CacheHierarchy",
+    "FastAccessState",
     "FIFOReplacement",
+    "LegacySetAssociativeCache",
     "HierarchyAccessResult",
     "HierarchyConfig",
     "LRUReplacement",

@@ -1,4 +1,4 @@
-"""Set-associative cache model.
+"""Set-associative cache model (array-backed fast path).
 
 The cache operates on block-aligned addresses and reports, for every
 access, whether it hit, which block (if any) was evicted, and whether a
@@ -6,15 +6,49 @@ hit consumed a block that had been brought in by a prefetch.  These
 outcomes are exactly the events the last-touch predictors observe: the
 history table is updated on every access, and signatures are created on
 every eviction (Section 4.1).
+
+Implementation notes (the fast path)
+------------------------------------
+Every figure in the paper replays hundreds of thousands of references
+through two cache hierarchies, so the per-access cost of this model sets
+the wall-clock of the whole reproduction.  The hot structures are flat
+per-set arrays rather than per-block objects:
+
+* ``_tags[set][way]`` — resident tag per way (``-1`` = invalid),
+* ``_blocks[set][way]`` — the block-aligned address,
+* ``_flags[set][way]`` — packed state bits (dirty/prefetched/referenced),
+* ``_stamps[set][way]`` — last-touch serial, which *is* the LRU state
+  (victim = occupied way with the smallest stamp), replacing the
+  list-shuffling replacement policy object for the LRU case,
+* ``_fills[set][way]`` — fill serial (reported via :meth:`evict_block`).
+
+The allocation-free entry points :meth:`access_fast` and
+:meth:`insert_prefetch_fast` write miss/eviction details into the
+reusable ``__slots__`` struct :attr:`SetAssociativeCache.last` and
+return a small int code; the object-returning :meth:`access` /
+:meth:`insert_prefetch` wrappers preserve the original API for tests,
+the timing simulator and external callers.  The pre-fast-path
+implementation is kept verbatim as
+:class:`repro.cache.legacy.LegacySetAssociativeCache`; the equivalence
+suite drives both on identical sequences and asserts identical results,
+victim choices and statistics.
+
+Non-LRU policies (FIFO for the signature cache, random for ablations)
+still delegate victim selection to :mod:`repro.cache.replacement`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.cache.config import CacheConfig
-from repro.cache.replacement import ReplacementPolicy, make_replacement_policy
+from repro.cache.replacement import LRUReplacement, ReplacementPolicy, make_replacement_policy
+
+# Packed per-way state bits.
+_DIRTY = 1
+_PREFETCHED = 2
+_REFERENCED = 4
 
 
 @dataclass
@@ -30,23 +64,92 @@ class CacheBlock:
     last_access_serial: int = 0
 
 
-@dataclass
 class AccessResult:
-    """Outcome of a single cache access or prefetch insertion."""
+    """Outcome of a single cache access or prefetch insertion.
 
-    hit: bool
-    block_address: int
-    set_index: int
-    evicted_address: Optional[int] = None
-    evicted_dirty: bool = False
-    evicted_was_prefetched_unused: bool = False
-    evicted_by_prefetch: bool = False
-    prefetch_hit: bool = False
+    A plain ``__slots__`` record (constructed only by the compatibility
+    wrappers — the fast path reports through the reusable
+    :class:`FastAccessState` instead).
+    """
+
+    __slots__ = (
+        "hit",
+        "block_address",
+        "set_index",
+        "evicted_address",
+        "evicted_dirty",
+        "evicted_was_prefetched_unused",
+        "evicted_by_prefetch",
+        "prefetch_hit",
+    )
+
+    def __init__(
+        self,
+        hit: bool,
+        block_address: int,
+        set_index: int,
+        evicted_address: Optional[int] = None,
+        evicted_dirty: bool = False,
+        evicted_was_prefetched_unused: bool = False,
+        evicted_by_prefetch: bool = False,
+        prefetch_hit: bool = False,
+    ) -> None:
+        self.hit = hit
+        self.block_address = block_address
+        self.set_index = set_index
+        self.evicted_address = evicted_address
+        self.evicted_dirty = evicted_dirty
+        self.evicted_was_prefetched_unused = evicted_was_prefetched_unused
+        self.evicted_by_prefetch = evicted_by_prefetch
+        self.prefetch_hit = prefetch_hit
 
     @property
     def miss(self) -> bool:
         """``True`` when the access missed."""
         return not self.hit
+
+    def _astuple(self):
+        return tuple(getattr(self, name) for name in self.__slots__)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessResult):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{name}={getattr(self, name)!r}" for name in self.__slots__)
+        return f"AccessResult({fields})"
+
+
+class FastAccessState:
+    """Reusable result struct filled in place by the fast-path entry points.
+
+    One instance lives on each cache as :attr:`SetAssociativeCache.last`;
+    miss/eviction details are valid until the next fast-path call on the
+    same cache.  Callers that need to retain a result across accesses
+    must copy the fields (or use the object-returning wrappers).
+    """
+
+    __slots__ = (
+        "hit",
+        "block_address",
+        "set_index",
+        "evicted_address",
+        "evicted_dirty",
+        "evicted_unused_prefetch",
+        "evicted_by_prefetch",
+        "prefetch_hit",
+    )
+
+    def __init__(self) -> None:
+        self.hit = False
+        self.block_address = 0
+        self.set_index = 0
+        self.evicted_address: Optional[int] = None
+        self.evicted_dirty = False
+        self.evicted_unused_prefetch = False
+        self.evicted_by_prefetch = False
+        self.prefetch_hit = False
 
 
 @dataclass
@@ -61,6 +164,9 @@ class CacheStats:
     prefetch_hits: int = 0
     prefetch_unused_evictions: int = 0
     writebacks: int = 0
+    #: Evictions forced by a prefetch insertion (named victim or
+    #: policy-chosen) rather than by a demand miss.
+    prefetch_caused_evictions: int = 0
 
     @property
     def miss_rate(self) -> float:
@@ -85,62 +191,81 @@ class SetAssociativeCache:
 
     def __init__(self, config: CacheConfig, replacement: str = "lru") -> None:
         self.config = config
-        self._sets: List[Dict[int, CacheBlock]] = [dict() for _ in range(config.num_sets)]
-        self._ways: List[Dict[int, int]] = [dict() for _ in range(config.num_sets)]  # tag -> way
-        self._policy: ReplacementPolicy = make_replacement_policy(
-            replacement, config.num_sets, config.associativity
+        num_sets = config.num_sets
+        assoc = config.associativity
+        self._assoc = assoc
+        self._offset_bits = config.offset_bits
+        self._set_mask = num_sets - 1
+        self._tag_shift = config.offset_bits + config.index_bits
+        self._block_mask = ~(config.block_size - 1)
+        self._tags: List[List[int]] = [[-1] * assoc for _ in range(num_sets)]
+        self._blocks: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
+        self._flags: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
+        self._stamps: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
+        self._fills: List[List[int]] = [[0] * assoc for _ in range(num_sets)]
+        self._counts: List[int] = [0] * num_sets
+        # LRU victim choice is served directly from the stamp arrays; only
+        # the other policies keep a ReplacementPolicy object.
+        policy = make_replacement_policy(replacement, num_sets, assoc)
+        self._policy: Optional[ReplacementPolicy] = (
+            None if isinstance(policy, LRUReplacement) else policy
         )
+        self._all_ways = list(range(assoc))
         self.stats = CacheStats()
         self._serial = 0
+        self.last = FastAccessState()
+        if self._policy is None:
+            # LRU caches (every data cache in the paper's hierarchy) take a
+            # policy-free specialisation, bound per instance (caches are
+            # never pickled): a branch-free two-way variant for the L1D
+            # shape, and a generic-associativity one (no policy-dispatch
+            # branches) for the L2 shape.
+            if assoc == 2:
+                self.access_fast = self._access_fast_lru2  # type: ignore[method-assign]
+            else:
+                self.access_fast = self._access_fast_lru  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------ helpers
-    def _lookup(self, set_index: int, tag: int) -> Optional[CacheBlock]:
-        return self._sets[set_index].get(tag)
-
     def contains(self, address: int) -> bool:
         """Return ``True`` if the block holding ``address`` is resident."""
-        set_index = self.config.set_index(address)
-        tag = self.config.tag(address)
-        return tag in self._sets[set_index]
+        set_index = (address >> self._offset_bits) & self._set_mask
+        return (address >> self._tag_shift) in self._tags[set_index]
 
     def resident_blocks(self) -> List[int]:
         """Block addresses of all resident blocks (for inspection in tests)."""
         out: List[int] = []
-        for blocks in self._sets:
-            out.extend(block.block_address for block in blocks.values())
+        for set_index, tags in enumerate(self._tags):
+            blocks = self._blocks[set_index]
+            for way, tag in enumerate(tags):
+                if tag >= 0:
+                    out.append(blocks[way])
         return out
 
-    def _free_way(self, set_index: int) -> Optional[int]:
-        used = set(self._ways[set_index].values())
-        for way in range(self.config.associativity):
-            if way not in used:
-                return way
-        return None
+    def _victim_way(self, set_index: int) -> int:
+        """Choose the victim way of a full set."""
+        if self._policy is None:
+            stamps = self._stamps[set_index]
+            return stamps.index(min(stamps))
+        return self._policy.victim_way(set_index, self._all_ways)
 
-    def _evict(self, set_index: int, by_prefetch: bool) -> CacheBlock:
-        occupied = sorted(self._ways[set_index].values())
-        victim_way = self._policy.victim_way(set_index, occupied)
-        victim_tag = next(tag for tag, way in self._ways[set_index].items() if way == victim_way)
-        return self._remove(set_index, victim_tag)
+    def _account_eviction(self, set_index: int, way: int, by_prefetch: bool) -> int:
+        """Account the eviction of ``way`` in the stats; return its flag bits.
 
-    def _remove(self, set_index: int, tag: int) -> CacheBlock:
-        block = self._sets[set_index].pop(tag)
-        del self._ways[set_index][tag]
-        self.stats.evictions += 1
-        if block.dirty:
-            self.stats.writebacks += 1
-        if block.prefetched and not block.referenced:
-            self.stats.prefetch_unused_evictions += 1
-        return block
-
-    def _install(self, set_index: int, tag: int, block: CacheBlock, way: Optional[int] = None) -> None:
-        if way is None:
-            way = self._free_way(set_index)
-        if way is None:
-            raise RuntimeError("attempted to install into a full set without eviction")
-        self._sets[set_index][tag] = block
-        self._ways[set_index][tag] = way
-        self._policy.on_fill(set_index, way)
+        Deliberately does NOT touch :attr:`last` — callers that report
+        through the reusable struct fill it themselves, while
+        :meth:`evict_block`/:meth:`flush` must leave the last fast-path
+        result intact.
+        """
+        flags = self._flags[set_index][way]
+        stats = self.stats
+        stats.evictions += 1
+        if by_prefetch:
+            stats.prefetch_caused_evictions += 1
+        if flags & _DIRTY:
+            stats.writebacks += 1
+        if flags & _PREFETCHED and not flags & _REFERENCED:
+            stats.prefetch_unused_evictions += 1
+        return flags
 
     def evict_block(self, address: int) -> Optional[CacheBlock]:
         """Forcibly evict the block holding ``address`` if resident.
@@ -148,71 +273,322 @@ class SetAssociativeCache:
         Used by predictors that replace a specific predicted-dead block.
         Returns the evicted block, or ``None`` if it was not resident.
         """
-        set_index = self.config.set_index(address)
-        tag = self.config.tag(address)
-        if tag not in self._sets[set_index]:
+        set_index = (address >> self._offset_bits) & self._set_mask
+        tag = address >> self._tag_shift
+        tags = self._tags[set_index]
+        if tag not in tags:
             return None
-        return self._remove(set_index, tag)
+        way = tags.index(tag)
+        flags = self._flags[set_index][way]
+        block = CacheBlock(
+            tag=tag,
+            block_address=self._blocks[set_index][way],
+            dirty=bool(flags & _DIRTY),
+            prefetched=bool(flags & _PREFETCHED),
+            referenced=bool(flags & _REFERENCED),
+            fill_serial=self._fills[set_index][way],
+            last_access_serial=self._stamps[set_index][way],
+        )
+        self._account_eviction(set_index, way, by_prefetch=False)
+        tags[way] = -1
+        self._counts[set_index] -= 1
+        return block
+
+    # ------------------------------------------------------------------ fast path
+    def access_fast(self, address: int, is_write: bool) -> int:
+        """Demand access without allocating a result object.
+
+        Returns ``1`` on a hit, ``2`` on a hit that consumed an unused
+        prefetched block, and ``0`` on a miss (the block is allocated and
+        miss/eviction details are written into :attr:`last`).
+        """
+        serial = self._serial + 1
+        self._serial = serial
+        stats = self.stats
+        stats.accesses += 1
+        set_index = (address >> self._offset_bits) & self._set_mask
+        tag = address >> self._tag_shift
+        tags = self._tags[set_index]
+
+        # Two C-speed scans ("in" then .index) beat try/except around a
+        # single .index here: raising on a miss costs far more than the
+        # second scan, and miss-heavy workloads are exactly the hot case.
+        if tag in tags:
+            way = tags.index(tag)
+            stats.hits += 1
+            flags = self._flags[set_index]
+            state = flags[way]
+            flags[way] = (state | _REFERENCED | _DIRTY) if is_write else (state | _REFERENCED)
+            self._stamps[set_index][way] = serial
+            if self._policy is not None:
+                self._policy.on_access(set_index, way)
+            if state & _PREFETCHED and not state & _REFERENCED:
+                stats.prefetch_hits += 1
+                return 2
+            return 1
+
+        # Miss: allocate, evicting if necessary.  The victim choice and
+        # eviction accounting are inlined (rather than going through
+        # _victim_way/_remove_way) because missy benchmarks take this path
+        # for a third of all accesses.
+        stats.misses += 1
+        last = self.last
+        flags = self._flags[set_index]
+        if self._counts[set_index] == self._assoc:
+            if self._policy is None:
+                stamps = self._stamps[set_index]
+                way = stamps.index(min(stamps))
+            else:
+                way = self._policy.victim_way(set_index, self._all_ways)
+            state = flags[way]
+            stats.evictions += 1
+            if state & _DIRTY:
+                stats.writebacks += 1
+                last.evicted_dirty = True
+            else:
+                last.evicted_dirty = False
+            if state & _PREFETCHED and not state & _REFERENCED:
+                stats.prefetch_unused_evictions += 1
+                last.evicted_unused_prefetch = True
+            else:
+                last.evicted_unused_prefetch = False
+            last.evicted_address = self._blocks[set_index][way]
+        else:
+            way = tags.index(-1)
+            self._counts[set_index] += 1
+            last.evicted_address = None
+            last.evicted_dirty = False
+            last.evicted_unused_prefetch = False
+        block_address = address & self._block_mask
+        tags[way] = tag
+        self._blocks[set_index][way] = block_address
+        flags[way] = (_REFERENCED | _DIRTY) if is_write else _REFERENCED
+        self._stamps[set_index][way] = serial
+        self._fills[set_index][way] = serial
+        if self._policy is not None:
+            self._policy.on_fill(set_index, way)
+        last.hit = False
+        last.block_address = block_address
+        last.set_index = set_index
+        last.evicted_by_prefetch = False
+        last.prefetch_hit = False
+        return 0
+
+    def _access_fast_lru(self, address: int, is_write: bool) -> int:
+        """LRU specialisation of :meth:`access_fast` (same contract).
+
+        Identical to the generic body with the policy-dispatch branches
+        removed: stamps are the complete replacement state.
+        """
+        serial = self._serial + 1
+        self._serial = serial
+        stats = self.stats
+        stats.accesses += 1
+        set_index = (address >> self._offset_bits) & self._set_mask
+        tag = address >> self._tag_shift
+        tags = self._tags[set_index]
+
+        if tag in tags:
+            way = tags.index(tag)
+            stats.hits += 1
+            flags = self._flags[set_index]
+            state = flags[way]
+            flags[way] = (state | _REFERENCED | _DIRTY) if is_write else (state | _REFERENCED)
+            self._stamps[set_index][way] = serial
+            if state & _PREFETCHED and not state & _REFERENCED:
+                stats.prefetch_hits += 1
+                return 2
+            return 1
+
+        stats.misses += 1
+        last = self.last
+        flags = self._flags[set_index]
+        stamps = self._stamps[set_index]
+        if self._counts[set_index] == self._assoc:
+            way = stamps.index(min(stamps))
+            state = flags[way]
+            stats.evictions += 1
+            if state & _DIRTY:
+                stats.writebacks += 1
+                last.evicted_dirty = True
+            else:
+                last.evicted_dirty = False
+            if state & _PREFETCHED and not state & _REFERENCED:
+                stats.prefetch_unused_evictions += 1
+                last.evicted_unused_prefetch = True
+            else:
+                last.evicted_unused_prefetch = False
+            last.evicted_address = self._blocks[set_index][way]
+        else:
+            way = tags.index(-1)
+            self._counts[set_index] += 1
+            last.evicted_address = None
+            last.evicted_dirty = False
+            last.evicted_unused_prefetch = False
+        block_address = address & self._block_mask
+        tags[way] = tag
+        self._blocks[set_index][way] = block_address
+        flags[way] = (_REFERENCED | _DIRTY) if is_write else _REFERENCED
+        stamps[way] = serial
+        self._fills[set_index][way] = serial
+        last.hit = False
+        last.block_address = block_address
+        last.set_index = set_index
+        last.evicted_by_prefetch = False
+        last.prefetch_hit = False
+        return 0
+
+    def _access_fast_lru2(self, address: int, is_write: bool) -> int:
+        """Two-way LRU specialisation of :meth:`access_fast` (same contract)."""
+        serial = self._serial + 1
+        self._serial = serial
+        stats = self.stats
+        stats.accesses += 1
+        set_index = (address >> self._offset_bits) & self._set_mask
+        tag = address >> self._tag_shift
+        tags = self._tags[set_index]
+
+        if tags[0] == tag:
+            way = 0
+        elif tags[1] == tag:
+            way = 1
+        else:
+            # Miss: allocate, evicting the stamp-older way if the set is full.
+            stats.misses += 1
+            last = self.last
+            flags = self._flags[set_index]
+            stamps = self._stamps[set_index]
+            if self._counts[set_index] == 2:
+                way = 0 if stamps[0] < stamps[1] else 1
+                state = flags[way]
+                stats.evictions += 1
+                if state & _DIRTY:
+                    stats.writebacks += 1
+                    last.evicted_dirty = True
+                else:
+                    last.evicted_dirty = False
+                if state & _PREFETCHED and not state & _REFERENCED:
+                    stats.prefetch_unused_evictions += 1
+                    last.evicted_unused_prefetch = True
+                else:
+                    last.evicted_unused_prefetch = False
+                last.evicted_address = self._blocks[set_index][way]
+            else:
+                way = 0 if tags[0] == -1 else 1
+                self._counts[set_index] += 1
+                last.evicted_address = None
+                last.evicted_dirty = False
+                last.evicted_unused_prefetch = False
+            block_address = address & self._block_mask
+            tags[way] = tag
+            self._blocks[set_index][way] = block_address
+            flags[way] = (_REFERENCED | _DIRTY) if is_write else _REFERENCED
+            stamps[way] = serial
+            self._fills[set_index][way] = serial
+            last.hit = False
+            last.block_address = block_address
+            last.set_index = set_index
+            last.evicted_by_prefetch = False
+            last.prefetch_hit = False
+            return 0
+
+        stats.hits += 1
+        flags = self._flags[set_index]
+        state = flags[way]
+        flags[way] = (state | _REFERENCED | _DIRTY) if is_write else (state | _REFERENCED)
+        self._stamps[set_index][way] = serial
+        if state & _PREFETCHED and not state & _REFERENCED:
+            stats.prefetch_hits += 1
+            return 2
+        return 1
+
+    def insert_prefetch_fast(self, address: int, victim_address: Optional[int] = None) -> int:
+        """Prefetch insertion without allocating a result object.
+
+        Returns ``1`` when the block was already resident (no-op) and
+        ``0`` when it was installed (details in :attr:`last`).
+        """
+        set_index = (address >> self._offset_bits) & self._set_mask
+        tag = address >> self._tag_shift
+        if tag in self._tags[set_index]:
+            return 1
+        self._insert_prefetch_absent(set_index, tag, address, victim_address)
+        return 0
+
+    def _insert_prefetch_absent(
+        self, set_index: int, tag: int, address: int, victim_address: Optional[int]
+    ) -> None:
+        """Install a prefetched block the caller has verified is not resident.
+
+        The hierarchy's prefetch path probes residency itself before
+        deciding where the data comes from, so this entry point skips the
+        redundant re-probe.
+        """
+        tags = self._tags[set_index]
+        serial = self._serial + 1
+        self._serial = serial
+        stats = self.stats
+        stats.prefetch_insertions += 1
+        last = self.last
+        if self._counts[set_index] == self._assoc:
+            way = -1
+            if victim_address is not None:
+                if (victim_address >> self._offset_bits) & self._set_mask == set_index:
+                    victim_tag = victim_address >> self._tag_shift
+                    if victim_tag in tags:
+                        way = tags.index(victim_tag)
+            if way < 0:
+                way = self._victim_way(set_index)
+            state = self._account_eviction(set_index, way, by_prefetch=True)
+            last.evicted_address = self._blocks[set_index][way]
+            last.evicted_dirty = bool(state & _DIRTY)
+            last.evicted_unused_prefetch = bool(state & _PREFETCHED) and not state & _REFERENCED
+            last.evicted_by_prefetch = True
+        else:
+            way = tags.index(-1)
+            self._counts[set_index] += 1
+            last.evicted_address = None
+            last.evicted_dirty = False
+            last.evicted_unused_prefetch = False
+            last.evicted_by_prefetch = False
+        block_address = address & self._block_mask
+        tags[way] = tag
+        self._blocks[set_index][way] = block_address
+        self._flags[set_index][way] = _PREFETCHED
+        self._stamps[set_index][way] = serial
+        self._fills[set_index][way] = serial
+        if self._policy is not None:
+            self._policy.on_fill(set_index, way)
+        last.hit = False
+        last.block_address = block_address
+        last.set_index = set_index
+        last.prefetch_hit = False
 
     # ------------------------------------------------------------------ accesses
     def access(self, address: int, is_write: bool = False) -> AccessResult:
         """Perform a demand access to ``address``.
 
         On a miss the block is allocated (write-allocate); the LRU (or
-        policy-chosen) victim is evicted if the set is full.
+        policy-chosen) victim is evicted if the set is full.  This wrapper
+        allocates a fresh :class:`AccessResult`; hot loops use
+        :meth:`access_fast` instead.
         """
-        self._serial += 1
-        self.stats.accesses += 1
-        set_index = self.config.set_index(address)
-        tag = self.config.tag(address)
-        block_address = self.config.block_address(address)
-        block = self._lookup(set_index, tag)
-
-        if block is not None:
-            self.stats.hits += 1
-            prefetch_hit = block.prefetched and not block.referenced
-            if prefetch_hit:
-                self.stats.prefetch_hits += 1
-            block.referenced = True
-            block.last_access_serial = self._serial
-            if is_write:
-                block.dirty = True
-            way = self._ways[set_index][tag]
-            self._policy.on_access(set_index, way)
+        code = self.access_fast(address, is_write)
+        if code:
             return AccessResult(
                 hit=True,
-                block_address=block_address,
-                set_index=set_index,
-                prefetch_hit=prefetch_hit,
+                block_address=address & self._block_mask,
+                set_index=(address >> self._offset_bits) & self._set_mask,
+                prefetch_hit=code == 2,
             )
-
-        # Miss: allocate, evicting if necessary.
-        self.stats.misses += 1
-        evicted_address: Optional[int] = None
-        evicted_dirty = False
-        evicted_unused_prefetch = False
-        if self._free_way(set_index) is None:
-            victim = self._evict(set_index, by_prefetch=False)
-            evicted_address = victim.block_address
-            evicted_dirty = victim.dirty
-            evicted_unused_prefetch = victim.prefetched and not victim.referenced
-        new_block = CacheBlock(
-            tag=tag,
-            block_address=block_address,
-            dirty=is_write,
-            prefetched=False,
-            referenced=True,
-            fill_serial=self._serial,
-            last_access_serial=self._serial,
-        )
-        self._install(set_index, tag, new_block)
+        last = self.last
         return AccessResult(
             hit=False,
-            block_address=block_address,
-            set_index=set_index,
-            evicted_address=evicted_address,
-            evicted_dirty=evicted_dirty,
-            evicted_was_prefetched_unused=evicted_unused_prefetch,
+            block_address=last.block_address,
+            set_index=last.set_index,
+            evicted_address=last.evicted_address,
+            evicted_dirty=last.evicted_dirty,
+            evicted_was_prefetched_unused=last.evicted_unused_prefetch,
         )
 
     def insert_prefetch(self, address: int, victim_address: Optional[int] = None) -> AccessResult:
@@ -222,57 +598,37 @@ class SetAssociativeCache:
         block is displaced (the predicted-dead block); otherwise the
         replacement policy chooses a victim if the set is full.  If the
         block is already resident the insertion is a no-op.
+        ``evicted_by_prefetch`` is reported only when the insertion
+        actually displaced a block.
         """
-        set_index = self.config.set_index(address)
-        tag = self.config.tag(address)
-        block_address = self.config.block_address(address)
-        if tag in self._sets[set_index]:
-            return AccessResult(hit=True, block_address=block_address, set_index=set_index)
-
-        self._serial += 1
-        self.stats.prefetch_insertions += 1
-        evicted_address: Optional[int] = None
-        evicted_dirty = False
-        evicted_unused_prefetch = False
-        if self._free_way(set_index) is None:
-            victim_block: Optional[CacheBlock] = None
-            if victim_address is not None:
-                victim_tag = self.config.tag(victim_address)
-                victim_set = self.config.set_index(victim_address)
-                if victim_set == set_index and victim_tag in self._sets[set_index]:
-                    victim_block = self._remove(set_index, victim_tag)
-            if victim_block is None:
-                victim_block = self._evict(set_index, by_prefetch=True)
-            evicted_address = victim_block.block_address
-            evicted_dirty = victim_block.dirty
-            evicted_unused_prefetch = victim_block.prefetched and not victim_block.referenced
-        new_block = CacheBlock(
-            tag=tag,
-            block_address=block_address,
-            dirty=False,
-            prefetched=True,
-            referenced=False,
-            fill_serial=self._serial,
-            last_access_serial=self._serial,
-        )
-        self._install(set_index, tag, new_block)
+        code = self.insert_prefetch_fast(address, victim_address)
+        if code:
+            return AccessResult(
+                hit=True,
+                block_address=address & self._block_mask,
+                set_index=(address >> self._offset_bits) & self._set_mask,
+            )
+        last = self.last
         return AccessResult(
             hit=False,
-            block_address=block_address,
-            set_index=set_index,
-            evicted_address=evicted_address,
-            evicted_dirty=evicted_dirty,
-            evicted_was_prefetched_unused=evicted_unused_prefetch,
-            evicted_by_prefetch=True,
+            block_address=last.block_address,
+            set_index=last.set_index,
+            evicted_address=last.evicted_address,
+            evicted_dirty=last.evicted_dirty,
+            evicted_was_prefetched_unused=last.evicted_unused_prefetch,
+            evicted_by_prefetch=last.evicted_by_prefetch,
         )
 
     def flush(self) -> int:
         """Invalidate every block; return the number of blocks flushed."""
         count = 0
-        for set_index in range(self.config.num_sets):
-            tags = list(self._sets[set_index].keys())
-            for tag in tags:
-                self._remove(set_index, tag)
+        for set_index, tags in enumerate(self._tags):
+            for way, tag in enumerate(tags):
+                if tag < 0:
+                    continue
+                self._account_eviction(set_index, way, by_prefetch=False)
+                tags[way] = -1
+                self._counts[set_index] -= 1
                 count += 1
         return count
 

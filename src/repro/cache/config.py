@@ -35,46 +35,61 @@ class CacheConfig:
                 "size_bytes must be a positive multiple of block_size * associativity "
                 f"(got size={self.size_bytes}, block={self.block_size}, ways={self.associativity})"
             )
-        if not _is_power_of_two(self.num_sets):
-            raise ValueError(f"number of sets must be a power of two, got {self.num_sets}")
+        num_blocks = self.size_bytes // self.block_size
+        num_sets = num_blocks // self.associativity
+        if not _is_power_of_two(num_sets):
+            raise ValueError(f"number of sets must be a power of two, got {num_sets}")
         if self.hit_latency < 0:
             raise ValueError("hit_latency must be non-negative")
         if self.num_ports <= 0:
             raise ValueError("num_ports must be positive")
         if self.num_mshrs <= 0:
             raise ValueError("num_mshrs must be positive")
+        # Geometry is consumed on every simulated access; recomputing it from
+        # the raw sizes per call dominated cache-model profiles, so it is
+        # derived once here.  (The dataclass is frozen; these are plain cached
+        # attributes that never appear in equality/serialisation.)
+        offset_bits = self.block_size.bit_length() - 1
+        index_bits = num_sets.bit_length() - 1
+        object.__setattr__(self, "_num_blocks", num_blocks)
+        object.__setattr__(self, "_num_sets", num_sets)
+        object.__setattr__(self, "_offset_bits", offset_bits)
+        object.__setattr__(self, "_index_bits", index_bits)
+        object.__setattr__(self, "_set_mask", num_sets - 1)
+        object.__setattr__(self, "_tag_shift", offset_bits + index_bits)
+        object.__setattr__(self, "_block_mask", ~(self.block_size - 1))
 
     @property
     def num_blocks(self) -> int:
         """Total number of cache blocks."""
-        return self.size_bytes // self.block_size
+        return self._num_blocks
 
     @property
     def num_sets(self) -> int:
         """Number of cache sets."""
-        return self.num_blocks // self.associativity
+        return self._num_sets
 
     @property
     def index_bits(self) -> int:
         """Number of set-index bits."""
-        return self.num_sets.bit_length() - 1
+        return self._index_bits
 
     @property
     def offset_bits(self) -> int:
         """Number of block-offset bits."""
-        return self.block_size.bit_length() - 1
+        return self._offset_bits
 
     def set_index(self, address: int) -> int:
         """Set index for a byte address."""
-        return (address >> self.offset_bits) & (self.num_sets - 1)
+        return (address >> self._offset_bits) & self._set_mask
 
     def tag(self, address: int) -> int:
         """Tag for a byte address."""
-        return address >> (self.offset_bits + self.index_bits)
+        return address >> self._tag_shift
 
     def block_address(self, address: int) -> int:
         """Block-aligned address for a byte address."""
-        return address & ~(self.block_size - 1)
+        return address & self._block_mask
 
 
 # Baseline configurations from Table 1 of the paper.

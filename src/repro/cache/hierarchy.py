@@ -17,6 +17,10 @@ from typing import Optional
 
 from repro.cache.cache import AccessResult, SetAssociativeCache
 from repro.cache.config import CacheConfig, L1D_CONFIG, L2_CONFIG
+from repro.cache.legacy import LegacySetAssociativeCache
+
+#: Cache model used for each engine name.
+ENGINES = ("fast", "legacy")
 
 
 class ServiceLevel(Enum):
@@ -113,18 +117,59 @@ class HierarchyStats:
 
 
 class CacheHierarchy:
-    """Functional L1D + unified L2 hierarchy with prefetch-into-L1 support."""
+    """Functional L1D + unified L2 hierarchy with prefetch-into-L1 support.
 
-    def __init__(self, config: Optional[HierarchyConfig] = None) -> None:
+    ``engine`` selects the cache model: ``"fast"`` (array-backed, the
+    default) or ``"legacy"`` (the original object-per-block reference
+    implementation, kept for equivalence testing and benchmarking).  The
+    fast engine additionally exposes the allocation-free
+    :meth:`access_fast` / :meth:`prefetch_into_l1_fast` entry points used
+    by the trace-driven simulator's hot loop; miss details are reported
+    through the per-cache reusable ``last`` structs and the hierarchy's
+    :attr:`last_level` (0 = L1, 1 = L2, 2 = memory).
+    """
+
+    def __init__(self, config: Optional[HierarchyConfig] = None, engine: str = "fast") -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.config = config or HierarchyConfig()
-        self.l1 = SetAssociativeCache(self.config.l1, replacement="lru")
-        self.l2 = SetAssociativeCache(self.config.l2, replacement="lru")
+        self.engine = engine
+        cache_cls = SetAssociativeCache if engine == "fast" else LegacySetAssociativeCache
+        self.l1 = cache_cls(self.config.l1, replacement="lru")
+        self.l2 = cache_cls(self.config.l2, replacement="lru")
         self.stats = HierarchyStats()
+        self.last_level = 0
 
     @property
     def block_size(self) -> int:
         """Cache block size shared by both levels."""
         return self.config.l1.block_size
+
+    def access_fast(self, address: int, is_write) -> int:
+        """Demand access without allocating result objects (fast engine only).
+
+        Returns ``1`` on an L1 hit, ``2`` on an L1 hit that consumed an
+        unused prefetched block, and ``0`` on an L1 miss.  On a miss,
+        :attr:`last_level` says which level serviced the request (1 = L2,
+        2 = memory) and eviction details are in ``self.l1.last``.
+        """
+        stats = self.stats
+        stats.accesses += 1
+        code = self.l1.access_fast(address, is_write)
+        if code:
+            stats.l1_hits += 1
+            self.last_level = 0
+            return code
+        stats.l1_misses += 1
+        # L1 victim writeback is absorbed by the L2 (not explicitly modelled
+        # beyond the dirty-writeback counters in each cache's stats).
+        if self.l2.access_fast(address, False):
+            stats.l2_hits += 1
+            self.last_level = 1
+        else:
+            stats.l2_misses += 1
+            self.last_level = 2
+        return 0
 
     def access(self, address: int, is_write: bool = False) -> HierarchyAccessResult:
         """Perform a demand access, walking L1D, then L2, then memory."""
@@ -149,6 +194,34 @@ class CacheHierarchy:
             self.stats.l2_misses += 1
             level = ServiceLevel.MEMORY
         return HierarchyAccessResult(level=level, l1_result=l1_result, l2_result=l2_result)
+
+    def prefetch_into_l1_fast(self, address: int, victim_address: Optional[int] = None) -> int:
+        """Prefetch insertion without allocating result objects (fast engine only).
+
+        Returns ``0`` when the block was already L1-resident (nothing
+        done), ``1`` when the data came from the L2 and ``2`` when it came
+        from memory; insertion details are in ``self.l1.last``.
+        """
+        stats = self.stats
+        stats.prefetches_issued += 1
+        l1 = self.l1
+        l2 = self.l2
+        # Residency probes inlined (this runs once per issued prefetch);
+        # the L1 probe's set/tag feed the assume-absent insert below so
+        # the set is scanned only once.
+        l1_set = (address >> l1._offset_bits) & l1._set_mask
+        l1_tag = address >> l1._tag_shift
+        if l1_tag in l1._tags[l1_set]:
+            return 0
+        if (address >> l2._tag_shift) in l2._tags[(address >> l2._offset_bits) & l2._set_mask]:
+            stats.prefetches_from_l2 += 1
+            source = 1
+        else:
+            stats.prefetches_from_memory += 1
+            source = 2
+        l2.access_fast(address, False)  # refresh or allocate in L2 on the way in
+        l1._insert_prefetch_absent(l1_set, l1_tag, address, victim_address)
+        return source
 
     def prefetch_into_l1(self, address: int, victim_address: Optional[int] = None) -> PrefetchOutcome:
         """Bring the block holding ``address`` into the L1D as a prefetch.

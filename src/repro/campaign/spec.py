@@ -54,6 +54,12 @@ class PointSpec:
     quantum_instructions: int = 20_000
     max_switches: int = 60
     label: Optional[str] = None
+    #: Simulation engine for trace points: "fast" (default) or "legacy".
+    #: Both produce bit-identical results (the equivalence suite enforces
+    #: it), so the engine is excluded from the content key when it is the
+    #: default; "legacy" points are keyed separately for cross-checking
+    #: campaigns.
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if self.sim not in SIM_KINDS:
@@ -62,11 +68,20 @@ class PointSpec:
             raise ValueError("multiprogram points need a secondary benchmark")
         if self.num_accesses <= 0:
             raise ValueError("num_accesses must be positive")
+        if self.engine not in ("fast", "legacy"):
+            raise ValueError(f"engine must be 'fast' or 'legacy', got {self.engine!r}")
+        if self.engine != "fast" and self.sim != "trace":
+            raise ValueError("only trace points support the legacy engine")
 
     # ------------------------------------------------------------------ serialisation
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe encoding (excludes ``label``; see class docstring)."""
-        return {
+        """JSON-safe encoding (excludes ``label``; see class docstring).
+
+        ``engine`` is encoded only when it differs from the default, so
+        existing cache keys remain valid (both engines produce identical
+        results anyway).
+        """
+        payload = {
             "benchmark": self.benchmark,
             "predictor": self.predictor,
             "predictor_config": encode_config(self.predictor_config),
@@ -79,6 +94,9 @@ class PointSpec:
             "quantum_instructions": self.quantum_instructions,
             "max_switches": self.max_switches,
         }
+        if self.engine != "fast":
+            payload["engine"] = self.engine
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any], label: Optional[str] = None) -> "PointSpec":

@@ -24,10 +24,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.cache.config import CacheConfig
-from repro.core.signatures import SignatureConfig, hash_combine
+from repro.core.signatures import _HASH_INCREMENT, _HASH_MULTIPLIER, _MASK_64, SignatureConfig
 
 
-@dataclass
 class BlockHistory:
     """Per-resident-block last-touch history state.
 
@@ -36,9 +35,27 @@ class BlockHistory:
     in Figure 1 of the paper.
     """
 
-    pc_trace_hash: int = 0
-    trace_length: int = 0
-    previous_block: int = 0
+    __slots__ = ("pc_trace_hash", "trace_length", "previous_block")
+
+    def __init__(self, pc_trace_hash: int = 0, trace_length: int = 0, previous_block: int = 0) -> None:
+        self.pc_trace_hash = pc_trace_hash
+        self.trace_length = trace_length
+        self.previous_block = previous_block
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BlockHistory):
+            return NotImplemented
+        return (
+            self.pc_trace_hash == other.pc_trace_hash
+            and self.trace_length == other.trace_length
+            and self.previous_block == other.previous_block
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockHistory(pc_trace_hash={self.pc_trace_hash}, "
+            f"trace_length={self.trace_length}, previous_block={self.previous_block})"
+        )
 
 
 @dataclass
@@ -63,6 +80,16 @@ class HistoryTable:
         # Per set: resident block tag -> its accumulated history.
         self._sets: List[Dict[int, BlockHistory]] = [dict() for _ in range(cache_config.num_sets)]
         self.stats = HistoryTableStats()
+        # The table is consulted on every committed reference, so the cache
+        # geometry and signature folding parameters are cached as plain ints
+        # and the key math is inlined in the hot methods below (equivalent
+        # to hash_combine()/fold_hash() from repro.core.signatures).
+        self._offset_bits = cache_config.offset_bits
+        self._set_mask = cache_config.num_sets - 1
+        self._tag_shift = cache_config.offset_bits + cache_config.index_bits
+        self._block_mask = ~(cache_config.block_size - 1)
+        self._key_bits = self.signature_config.trace_hash_bits
+        self._key_mask = (1 << self._key_bits) - 1
 
     # ------------------------------------------------------------------ geometry
     @property
@@ -88,10 +115,16 @@ class HistoryTable:
 
     # ------------------------------------------------------------------ key construction
     def _make_key(self, history: BlockHistory, block_address: int) -> int:
-        raw = history.pc_trace_hash
-        raw = hash_combine(raw, history.previous_block)
-        raw = hash_combine(raw, block_address)
-        return self.signature_config.truncate_key(raw)
+        # Inlined hash_combine(hash_combine(trace, previous), block) + fold.
+        raw = ((history.pc_trace_hash ^ history.previous_block) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
+        raw = ((raw ^ block_address) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
+        key = 0
+        bits = self._key_bits
+        mask = self._key_mask
+        while raw:
+            key ^= raw & mask
+            raw >>= bits
+        return key
 
     def observe_access(self, pc: int, address: int) -> int:
         """Fold a committed access into the block's trace; return the candidate key.
@@ -101,21 +134,34 @@ class HistoryTable:
         it up to identify last touches.
         """
         self.stats.accesses += 1
-        set_index = self.cache_config.set_index(address)
-        tag = self.cache_config.tag(address)
-        block_address = self.cache_config.block_address(address)
-        history = self._sets[set_index].setdefault(tag, BlockHistory())
-        history.pc_trace_hash = hash_combine(history.pc_trace_hash, pc)
+        bucket = self._sets[(address >> self._offset_bits) & self._set_mask]
+        tag = address >> self._tag_shift
+        history = bucket.get(tag)
+        if history is None:
+            history = BlockHistory()
+            bucket[tag] = history
+        trace_hash = ((history.pc_trace_hash ^ pc) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
+        history.pc_trace_hash = trace_hash
         history.trace_length += 1
-        return self._make_key(history, block_address)
+        # _make_key, inlined (this is the per-reference hot path).
+        raw = ((trace_hash ^ history.previous_block) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
+        raw = ((raw ^ (address & self._block_mask)) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
+        key = 0
+        bits = self._key_bits
+        mask = self._key_mask
+        while raw:
+            key ^= raw & mask
+            raw >>= bits
+        return key
 
     def peek_key(self, address: int) -> int:
         """Candidate key for the block holding ``address`` without updating its trace."""
-        set_index = self.cache_config.set_index(address)
-        tag = self.cache_config.tag(address)
-        block_address = self.cache_config.block_address(address)
-        history = self._sets[set_index].get(tag, BlockHistory())
-        return self._make_key(history, block_address)
+        set_index = (address >> self._offset_bits) & self._set_mask
+        tag = address >> self._tag_shift
+        history = self._sets[set_index].get(tag)
+        if history is None:
+            history = BlockHistory()
+        return self._make_key(history, address & self._block_mask)
 
     def observe_eviction(self, evicted_address: int, replacement_address: int) -> Tuple[int, int]:
         """Record an eviction; return ``(signature_key, predicted_block_address)``.
@@ -127,19 +173,24 @@ class HistoryTable:
         address as its address history.
         """
         self.stats.evictions += 1
-        set_index = self.cache_config.set_index(evicted_address)
-        evicted_tag = self.cache_config.tag(evicted_address)
-        evicted_block = self.cache_config.block_address(evicted_address)
-        history = self._sets[set_index].pop(evicted_tag, None)
+        evicted_block = evicted_address & self._block_mask
+        history = self._sets[(evicted_address >> self._offset_bits) & self._set_mask].pop(
+            evicted_address >> self._tag_shift, None
+        )
         if history is None:
             history = BlockHistory()
             self.stats.cold_evictions += 1
         key = self._make_key(history, evicted_block)
-        predicted = self.cache_config.block_address(replacement_address)
+        predicted = replacement_address & self._block_mask
 
-        replacement_set = self.cache_config.set_index(replacement_address)
-        replacement_tag = self.cache_config.tag(replacement_address)
-        self._sets[replacement_set][replacement_tag] = BlockHistory(previous_block=evicted_block)
+        # Recycle the retired entry as the replacement's fresh entry (one
+        # eviction opens exactly one entry; this runs once per miss).
+        history.pc_trace_hash = 0
+        history.trace_length = 0
+        history.previous_block = evicted_block
+        replacement_set = (replacement_address >> self._offset_bits) & self._set_mask
+        replacement_tag = replacement_address >> self._tag_shift
+        self._sets[replacement_set][replacement_tag] = history
         return key, predicted
 
     def reset(self) -> None:

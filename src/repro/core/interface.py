@@ -25,18 +25,45 @@ from typing import List, Optional
 from repro.trace.record import MemoryAccess
 
 
-@dataclass
 class AccessOutcome:
-    """What the cache hierarchy did with one committed memory reference."""
+    """What the cache hierarchy did with one committed memory reference.
 
-    access: MemoryAccess
-    block_address: int
-    set_index: int
-    l1_hit: bool
-    l2_hit: bool = False
-    prefetch_hit: bool = False
-    evicted_address: Optional[int] = None
-    evicted_was_unused_prefetch: bool = False
+    A mutable ``__slots__`` record: the fast simulation engine reuses a
+    single instance across the whole trace, so predictors must consume
+    the fields inside :meth:`Prefetcher.on_access` and never retain the
+    outcome (or its ``access``) beyond the call.
+    """
+
+    __slots__ = (
+        "access",
+        "block_address",
+        "set_index",
+        "l1_hit",
+        "l2_hit",
+        "prefetch_hit",
+        "evicted_address",
+        "evicted_was_unused_prefetch",
+    )
+
+    def __init__(
+        self,
+        access: MemoryAccess,
+        block_address: int,
+        set_index: int,
+        l1_hit: bool,
+        l2_hit: bool = False,
+        prefetch_hit: bool = False,
+        evicted_address: Optional[int] = None,
+        evicted_was_unused_prefetch: bool = False,
+    ) -> None:
+        self.access = access
+        self.block_address = block_address
+        self.set_index = set_index
+        self.l1_hit = l1_hit
+        self.l2_hit = l2_hit
+        self.prefetch_hit = prefetch_hit
+        self.evicted_address = evicted_address
+        self.evicted_was_unused_prefetch = evicted_was_unused_prefetch
 
     @property
     def l1_miss(self) -> bool:
@@ -44,15 +71,22 @@ class AccessOutcome:
         return not self.l1_hit
 
 
-@dataclass
 class PrefetchCommand:
     """A request to bring ``address`` into the L1D, displacing ``victim_address``."""
 
-    address: int
-    victim_address: Optional[int] = None
-    # Opaque tag the issuing predictor can use to match feedback callbacks
-    # (LT-cords stores the off-chip signature pointer here).
-    tag: Optional[object] = None
+    __slots__ = ("address", "victim_address", "tag")
+
+    def __init__(
+        self,
+        address: int,
+        victim_address: Optional[int] = None,
+        # Opaque tag the issuing predictor can use to match feedback callbacks
+        # (LT-cords stores the off-chip signature pointer here).
+        tag: Optional[object] = None,
+    ) -> None:
+        self.address = address
+        self.victim_address = victim_address
+        self.tag = tag
 
 
 @dataclass

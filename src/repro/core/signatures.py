@@ -22,12 +22,13 @@ from dataclasses import dataclass
 # dispersion works — the predictors only need a deterministic, well-mixed
 # fold of PC/tag values into a fixed number of bits.
 _HASH_MULTIPLIER = 0x9E3779B1
+_HASH_INCREMENT = 0x7F4A7C15
 _MASK_64 = (1 << 64) - 1
 
 
 def hash_combine(current: int, value: int) -> int:
     """Fold ``value`` into the running hash ``current`` (64-bit arithmetic)."""
-    return ((current ^ value) * _HASH_MULTIPLIER + 0x7F4A7C15) & _MASK_64
+    return ((current ^ value) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
 
 
 def fold_hash(value: int, bits: int) -> int:

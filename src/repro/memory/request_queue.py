@@ -9,22 +9,31 @@ when the L1/L2 bus is free."  This module models that structure.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Deque, List, Optional
 
 
-@dataclass
 class PrefetchRequest:
     """A pending prefetch: target block plus the predicted-dead victim.
 
     ``tag`` carries the issuing predictor's opaque bookkeeping token (see
-    :class:`repro.core.interface.PrefetchCommand`).
+    :class:`repro.core.interface.PrefetchCommand`).  A ``__slots__``
+    record: one is allocated per enqueued prefetch on the simulator's hot
+    path.
     """
 
-    address: int
-    victim_address: Optional[int] = None
-    enqueue_serial: int = 0
-    tag: Optional[object] = None
+    __slots__ = ("address", "victim_address", "enqueue_serial", "tag")
+
+    def __init__(
+        self,
+        address: int,
+        victim_address: Optional[int] = None,
+        enqueue_serial: int = 0,
+        tag: Optional[object] = None,
+    ) -> None:
+        self.address = address
+        self.victim_address = victim_address
+        self.enqueue_serial = enqueue_serial
+        self.tag = tag
 
 
 class PrefetchRequestQueue:
@@ -70,6 +79,19 @@ class PrefetchRequestQueue:
         self._queue.append(request)
         self.enqueued += 1
         return request
+
+    def note_immediate_issue(self) -> None:
+        """Account a request handed straight to execution, bypassing the queue.
+
+        Equivalent to :meth:`push` immediately followed by :meth:`pop` on
+        an empty queue (a lone request can never be dropped), without
+        materialising the :class:`PrefetchRequest`.  The simulator's fast
+        path uses this for the overwhelmingly common one-command case;
+        keeping the bookkeeping here keeps the counters single-sourced.
+        """
+        self._serial += 1
+        self.enqueued += 1
+        self.issued += 1
 
     def pop(self) -> Optional[PrefetchRequest]:
         """Issue (remove and return) the oldest request, or ``None`` if empty."""

@@ -67,10 +67,12 @@ class DBCPConfig:
         return cls(table_entries=None, **kwargs)
 
 
-@dataclass
 class _TableEntry:
-    predicted_address: int
-    confidence: int
+    __slots__ = ("predicted_address", "confidence")
+
+    def __init__(self, predicted_address: int, confidence: int) -> None:
+        self.predicted_address = predicted_address
+        self.confidence = confidence
 
 
 @dataclass
@@ -96,6 +98,10 @@ class DBCPPrefetcher(Prefetcher):
         self._table: "OrderedDict[int, _TableEntry]" = OrderedDict()
         self.dbcp_stats = DBCPStats()
         self._outstanding: Dict[int, int] = {}  # prefetched block address -> signature key
+        # Config values consulted on every committed reference (the config
+        # is frozen, so caching them as plain attributes is safe).
+        self._confidence_threshold = self.config.confidence_threshold
+        self._table_entries = self.config.table_entries
 
     # ------------------------------------------------------------------ table
     def __len__(self) -> int:
@@ -107,7 +113,7 @@ class DBCPPrefetcher(Prefetcher):
             existing.predicted_address = predicted_address
             self._table.move_to_end(key)
             return
-        if self.config.table_entries is not None and len(self._table) >= self.config.table_entries:
+        if self._table_entries is not None and len(self._table) >= self._table_entries:
             self._table.popitem(last=False)
             self.dbcp_stats.table_evictions += 1
         self._table[key] = _TableEntry(
@@ -116,31 +122,29 @@ class DBCPPrefetcher(Prefetcher):
         )
         self.dbcp_stats.signatures_recorded += 1
 
-    def _lookup(self, key: int) -> Optional[_TableEntry]:
-        entry = self._table.get(key)
-        if entry is not None:
-            self._table.move_to_end(key)
-            self.dbcp_stats.table_hits += 1
-        return entry
-
     # ------------------------------------------------------------------ protocol
     def on_access(self, outcome: AccessOutcome) -> List[PrefetchCommand]:
-        self.stats.accesses_observed += 1
+        stats = self.stats
+        stats.accesses_observed += 1
 
-        if outcome.l1_miss:
-            self.stats.misses_observed += 1
+        if not outcome.l1_hit:
+            stats.misses_observed += 1
             if outcome.evicted_address is not None:
                 key, predicted = self.history.observe_eviction(outcome.evicted_address, outcome.block_address)
                 self._record(key, predicted)
 
-        candidate_key = self.history.observe_access(outcome.access.pc, outcome.access.address)
-        entry = self._lookup(candidate_key)
+        access = outcome.access
+        candidate_key = self.history.observe_access(access.pc, access.address)
+        entry = self._table.get(candidate_key)
         if entry is None:
             return []
-        if entry.confidence < self.config.confidence_threshold:
+        # A table hit refreshes the entry's LRU position.
+        self._table.move_to_end(candidate_key)
+        self.dbcp_stats.table_hits += 1
+        if entry.confidence < self._confidence_threshold:
             self.dbcp_stats.low_confidence_suppressions += 1
             return []
-        self.stats.predictions_issued += 1
+        stats.predictions_issued += 1
         self._outstanding[entry.predicted_address] = candidate_key
         return [
             PrefetchCommand(

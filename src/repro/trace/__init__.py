@@ -5,10 +5,18 @@ The paper's predictors consume a stream of committed memory references
 :class:`~repro.trace.record.MemoryAccess` record, helpers for building,
 transforming, storing and summarising such streams, and the interleaving
 utilities used by the multi-programmed experiments (Figure 11).
+
+Streams carry two interchangeable views of the same references: the
+record view (``MemoryAccess`` objects, materialised lazily) and the
+compact columnar view (:class:`~repro.trace.stream.TraceColumns`,
+parallel ``array`` columns via :meth:`TraceStream.as_arrays`) that the
+workload generators emit directly and the fast simulation engine
+iterates — see :mod:`repro.trace.stream` for the details.
 """
 
 from repro.trace.record import MemoryAccess, AccessType
 from repro.trace.stream import (
+    TraceColumns,
     TraceStream,
     concat_traces,
     interleave_quantum,
@@ -21,6 +29,7 @@ from repro.trace.stats import TraceStatistics, compute_trace_statistics
 __all__ = [
     "AccessType",
     "MemoryAccess",
+    "TraceColumns",
     "TraceStream",
     "TraceReader",
     "TraceWriter",

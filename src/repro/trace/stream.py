@@ -1,59 +1,190 @@
-"""Trace streams and transformations.
+"""Trace streams, columnar storage and transformations.
 
-A :class:`TraceStream` is a thin wrapper over an iterable of
-:class:`~repro.trace.record.MemoryAccess` objects that also carries a name
-and optional metadata.  Transformations (address shifting, truncation,
-interleaving for multi-programmed runs) return new streams and never
-mutate the records of the source stream.
+A :class:`TraceStream` is a named sequence of
+:class:`~repro.trace.record.MemoryAccess` records plus optional metadata.
+Internally a stream is backed by either
+
+* a materialised list of :class:`MemoryAccess` objects (the classic
+  representation, produced when a stream is built from records), or
+* a :class:`TraceColumns` struct of parallel ``array`` columns
+  (``pc`` / ``address`` / ``is_write`` / ``icount``), the compact
+  representation the synthetic workload generators emit directly and the
+  fast simulation engine iterates.
+
+Both views are always available: :meth:`TraceStream.as_arrays` returns
+(and caches) the columns, while iteration / indexing / ``.accesses``
+materialise :class:`MemoryAccess` objects lazily.  A multi-million-access
+trace held columnar costs ~8 bytes per field per reference instead of
+one Python object per reference, and the simulator's hot loop reads the
+columns without constructing any record objects.
+
+Transformations (address shifting, truncation, interleaving for
+multi-programmed runs) return new streams and never mutate the records
+of the source stream.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
-from repro.trace.record import MemoryAccess
+from repro.trace.record import AccessType, MemoryAccess
+
+
+class TraceColumns:
+    """Parallel columns of one trace: ``pc``/``address``/``is_write``/``icount``.
+
+    ``pc``, ``address`` and ``icount`` are signed 64-bit ``array('q')``
+    columns (plain lists when a value does not fit 64 bits); ``is_write``
+    is an ``array('b')`` of 0/1 flags.  Columns are position-aligned:
+    element ``i`` of every column describes reference ``i``.
+    """
+
+    __slots__ = ("pc", "address", "is_write", "icount")
+
+    def __init__(self, pc, address, is_write, icount) -> None:
+        if not (len(pc) == len(address) == len(is_write) == len(icount)):
+            raise ValueError("trace columns must have equal lengths")
+        self.pc = pc
+        self.address = address
+        self.is_write = is_write
+        self.icount = icount
+
+    def __len__(self) -> int:
+        return len(self.address)
+
+    def slice(self, index: slice) -> "TraceColumns":
+        """Columns restricted to ``index`` (a ``slice`` object)."""
+        return TraceColumns(
+            self.pc[index], self.address[index], self.is_write[index], self.icount[index]
+        )
+
+    @classmethod
+    def from_records(cls, accesses: Sequence[MemoryAccess]) -> "TraceColumns":
+        """Build columns from materialised records.
+
+        Falls back to plain-list columns when a value overflows a signed
+        64-bit ``array`` element (externally supplied traces only).
+        """
+        try:
+            pc = array("q", (a.pc for a in accesses))
+            address = array("q", (a.address for a in accesses))
+            icount = array("q", (a.icount for a in accesses))
+        except OverflowError:
+            pc = [a.pc for a in accesses]
+            address = [a.address for a in accesses]
+            icount = [a.icount for a in accesses]
+        is_write = array("b", (1 if a.is_write else 0 for a in accesses))
+        return cls(pc, address, is_write, icount)
+
+
+def _records_from_columns(columns: TraceColumns) -> Iterator[MemoryAccess]:
+    """Lazily construct :class:`MemoryAccess` views of columnar data.
+
+    Column values were validated when the columns were built, so record
+    construction bypasses ``MemoryAccess.__init__``'s range checks.
+    """
+    new = MemoryAccess.__new__
+    load = AccessType.LOAD
+    store = AccessType.STORE
+    for pc, address, is_write, icount in zip(
+        columns.pc, columns.address, columns.is_write, columns.icount
+    ):
+        access = new(MemoryAccess)
+        access.pc = pc
+        access.address = address
+        access.access_type = store if is_write else load
+        access.icount = icount
+        yield access
 
 
 class TraceStream:
     """A named sequence of memory references.
 
-    The stream is materialised into a list on construction so it can be
-    iterated multiple times (the trace-driven experiments replay the same
-    trace under several predictor configurations).
+    The stream is fully materialised on construction (either as records
+    or as columns) so it can be iterated multiple times — the
+    trace-driven experiments replay the same trace under several
+    predictor configurations.
     """
 
     def __init__(
         self,
-        accesses: Iterable[MemoryAccess],
+        accesses: Iterable[MemoryAccess] = (),
         name: str = "trace",
         metadata: Optional[Dict[str, object]] = None,
+        *,
+        columns: Optional[TraceColumns] = None,
     ) -> None:
         self.name = name
-        self.accesses: List[MemoryAccess] = list(accesses)
         self.metadata: Dict[str, object] = dict(metadata or {})
+        self._columns: Optional[TraceColumns] = columns
+        self._accesses: Optional[List[MemoryAccess]] = None if columns is not None else list(accesses)
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: TraceColumns,
+        name: str = "trace",
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "TraceStream":
+        """Build a stream directly over columnar data (no record objects)."""
+        return cls(name=name, metadata=metadata, columns=columns)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def accesses(self) -> List[MemoryAccess]:
+        """The records as a list, materialised (and cached) on first use."""
+        if self._accesses is None:
+            self._accesses = list(_records_from_columns(self._columns))
+        return self._accesses
+
+    def as_arrays(self) -> TraceColumns:
+        """The columnar view, built (and cached) from records on first use."""
+        if self._columns is None:
+            self._columns = TraceColumns.from_records(self._accesses)
+        return self._columns
 
     def __iter__(self) -> Iterator[MemoryAccess]:
-        return iter(self.accesses)
+        if self._accesses is not None:
+            return iter(self._accesses)
+        return _records_from_columns(self._columns)
 
     def __len__(self) -> int:
-        return len(self.accesses)
+        if self._accesses is not None:
+            return len(self._accesses)
+        return len(self._columns)
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return TraceStream(self.accesses[index], name=self.name, metadata=self.metadata)
-        return self.accesses[index]
+            if self._accesses is None:
+                return TraceStream(
+                    name=self.name, metadata=self.metadata, columns=self._columns.slice(index)
+                )
+            return TraceStream(self._accesses[index], name=self.name, metadata=self.metadata)
+        if self._accesses is not None:
+            return self._accesses[index]
+        columns = self._columns
+        access = MemoryAccess.__new__(MemoryAccess)
+        access.pc = columns.pc[index]
+        access.address = columns.address[index]
+        access.access_type = AccessType.STORE if columns.is_write[index] else AccessType.LOAD
+        access.icount = columns.icount[index]
+        return access
 
     @property
     def instruction_count(self) -> int:
         """Total dynamic instruction count covered by the trace."""
-        if not self.accesses:
-            return 0
-        return self.accesses[-1].icount + 1
+        if self._accesses is not None:
+            if not self._accesses:
+                return 0
+            return self._accesses[-1].icount + 1
+        icount = self._columns.icount
+        return icount[-1] + 1 if len(icount) else 0
 
     def map(self, fn: Callable[[MemoryAccess], MemoryAccess], name: Optional[str] = None) -> "TraceStream":
         """Return a new stream with ``fn`` applied to every access."""
         return TraceStream(
-            (fn(a) for a in self.accesses),
+            (fn(a) for a in self),
             name=name or self.name,
             metadata=self.metadata,
         )
@@ -61,7 +192,7 @@ class TraceStream:
     def filter(self, predicate: Callable[[MemoryAccess], bool], name: Optional[str] = None) -> "TraceStream":
         """Return a new stream keeping only accesses where ``predicate`` holds."""
         return TraceStream(
-            (a for a in self.accesses if predicate(a)),
+            (a for a in self if predicate(a)),
             name=name or self.name,
             metadata=self.metadata,
         )
@@ -69,10 +200,12 @@ class TraceStream:
     def unique_blocks(self, block_size: int) -> int:
         """Number of distinct cache blocks touched by the trace."""
         mask = ~(block_size - 1)
-        return len({a.address & mask for a in self.accesses})
+        if self._columns is not None:
+            return len({a & mask for a in self._columns.address})
+        return len({a.address & mask for a in self._accesses})
 
     def __repr__(self) -> str:
-        return f"TraceStream(name={self.name!r}, accesses={len(self.accesses)})"
+        return f"TraceStream(name={self.name!r}, accesses={len(self)})"
 
 
 def limit_trace(trace: TraceStream, max_accesses: int) -> TraceStream:
@@ -81,7 +214,7 @@ def limit_trace(trace: TraceStream, max_accesses: int) -> TraceStream:
         raise ValueError("max_accesses must be non-negative")
     if max_accesses >= len(trace):
         return trace
-    return TraceStream(trace.accesses[:max_accesses], name=trace.name, metadata=trace.metadata)
+    return trace[:max_accesses]
 
 
 def shift_addresses(trace: TraceStream, offset: int, name: Optional[str] = None) -> TraceStream:
@@ -92,7 +225,19 @@ def shift_addresses(trace: TraceStream, offset: int, name: Optional[str] = None)
     """
     if offset < 0:
         raise ValueError("offset must be non-negative")
-    return trace.map(lambda a: a.with_address(a.address + offset), name=name or f"{trace.name}+0x{offset:x}")
+    shifted_name = name or f"{trace.name}+0x{offset:x}"
+    if trace._columns is not None and trace._accesses is None:
+        columns = trace._columns
+        try:
+            shifted = array("q", (a + offset for a in columns.address))
+        except OverflowError:
+            shifted = [a + offset for a in columns.address]
+        return TraceStream.from_columns(
+            TraceColumns(columns.pc, shifted, columns.is_write, columns.icount),
+            name=shifted_name,
+            metadata=trace.metadata,
+        )
+    return trace.map(lambda a: a.with_address(a.address + offset), name=shifted_name)
 
 
 def concat_traces(traces: Sequence[TraceStream], name: str = "concat") -> TraceStream:

@@ -5,11 +5,12 @@ from __future__ import annotations
 import random
 import zlib
 from abc import ABC, abstractmethod
+from array import array
+from itertools import islice
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Tuple
 
-from repro.trace.record import AccessType, MemoryAccess
-from repro.trace.stream import TraceStream
+from repro.trace.stream import TraceColumns, TraceStream
 
 # A raw reference produced by a pattern generator: (pc, address, is_write).
 RawReference = Tuple[int, int, bool]
@@ -103,25 +104,41 @@ class SyntheticWorkload(ABC):
         """Yield an unbounded stream of raw ``(pc, address, is_write)`` references."""
 
     def generate(self, num_accesses: Optional[int] = None) -> TraceStream:
-        """Materialise the first ``num_accesses`` references into a trace."""
+        """Materialise the first ``num_accesses`` references into a trace.
+
+        The trace is built directly in the compact columnar representation
+        (:class:`~repro.trace.stream.TraceColumns`) — no per-reference
+        :class:`MemoryAccess` objects are created; the record view stays
+        available lazily through the returned stream.
+        """
         limit = num_accesses if num_accesses is not None else self.config.num_accesses
         if limit <= 0:
             raise ValueError("num_accesses must be positive")
-        accesses = []
-        icount = 0.0
+        # islice(limit + 1) mirrors the historical consumption exactly: the
+        # old loop advanced the generator once past the last kept reference,
+        # and the per-workload RNG state after generate() depends on it.
+        refs = list(islice(self.references(), limit + 1))[:limit]
+        if refs:
+            pcs, addresses, writes = zip(*refs)
+        else:
+            pcs = addresses = writes = ()
+        pc_col = array("q", pcs)
+        address_col = array("q", addresses)
+        write_col = array("b", [1 if w else 0 for w in writes])
         spacing = self.config.instructions_per_access
-        for i, (pc, address, is_write) in enumerate(self.references()):
-            if i >= limit:
-                break
-            accesses.append(
-                MemoryAccess(
-                    pc=pc,
-                    address=address,
-                    access_type=AccessType.STORE if is_write else AccessType.LOAD,
-                    icount=int(icount),
-                )
-            )
-            icount += spacing
+        if spacing == int(spacing):
+            step = int(spacing)
+            icount_col = array("q", range(0, step * len(refs), step))
+        else:
+            # Fractional spacing: reproduce the historical float
+            # accumulation bit for bit (int(i * spacing) can differ from
+            # the running sum in the last ulp).
+            icount_col = array("q")
+            append_icount = icount_col.append
+            icount = 0.0
+            for _ in range(len(refs)):
+                append_icount(int(icount))
+                icount += spacing
         # Core-limited IPC: what the paper's core sustains once memory stalls
         # are removed (baseline IPC scaled by the perfect-L1 speedup).  The
         # synthetic trace carries no instruction-dependence information, so
@@ -131,8 +148,8 @@ class SyntheticWorkload(ABC):
             8.0,
             max(0.5, self.metadata.paper_ipc * (1.0 + self.metadata.paper_speedup_perfect_l1 / 100.0)),
         )
-        return TraceStream(
-            accesses,
+        return TraceStream.from_columns(
+            TraceColumns(pc_col, address_col, write_col, icount_col),
             name=self.name,
             metadata={
                 "suite": self.metadata.suite,

@@ -1,0 +1,56 @@
+"""End-to-end engine equivalence: fast vs legacy simulation results.
+
+For every (benchmark × predictor) pair used by the experiment drivers,
+the fast (array-backed, columnar) engine and the legacy (object-based)
+engine must produce bit-identical ``SimulationResult.to_dict()`` output.
+This is the acceptance gate of the fast-path rewrite: any behavioural
+drift in the cache model, the trace representation or the simulator loop
+shows up here as a counter mismatch.
+"""
+
+import pytest
+
+from repro.api import available_benchmarks, available_predictors, build_predictor
+from repro.sim.trace_driven import TraceDrivenSimulator, simulate_benchmark
+from repro.workloads.base import WorkloadConfig
+from repro.workloads.registry import get_workload
+
+#: Trace length for the exhaustive sweep: long enough to exercise misses,
+#: evictions, prefetch displacement and confidence feedback on every
+#: benchmark, short enough to keep the full 28x6 grid in tier-1 time.
+NUM_ACCESSES = 1500
+
+
+def _pairs():
+    # The parameter is named workload (not "benchmark") because the
+    # pytest-benchmark plugin reserves that funcarg name.
+    return [
+        pytest.param(benchmark, predictor, id=f"{benchmark}_{predictor}".replace("-", "_"))
+        for benchmark in available_benchmarks()
+        for predictor in available_predictors()
+    ]
+
+
+@pytest.mark.parametrize("workload,predictor", _pairs())
+def test_engines_bit_identical(workload, predictor):
+    fast = simulate_benchmark(
+        workload, build_predictor(predictor), num_accesses=NUM_ACCESSES, engine="fast"
+    )
+    legacy = simulate_benchmark(
+        workload, build_predictor(predictor), num_accesses=NUM_ACCESSES, engine="legacy"
+    )
+    assert fast.to_dict() == legacy.to_dict()
+
+
+@pytest.mark.parametrize("predictor", ["dbcp", "ltcords"])
+def test_engines_agree_on_longer_shared_trace(predictor):
+    """One deeper run per heavyweight predictor, replaying one shared trace."""
+    trace = get_workload("mcf", WorkloadConfig(num_accesses=20_000, seed=7)).generate()
+    fast = TraceDrivenSimulator(prefetcher=build_predictor(predictor), engine="fast").run(trace)
+    legacy = TraceDrivenSimulator(prefetcher=build_predictor(predictor), engine="legacy").run(trace)
+    assert fast.to_dict() == legacy.to_dict()
+
+
+def test_engine_argument_is_validated():
+    with pytest.raises(ValueError):
+        TraceDrivenSimulator(engine="warp")

@@ -1,6 +1,7 @@
 """Tests for the trace-driven simulator's accounting (Figure 8 categories)."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.interface import AccessOutcome, PrefetchCommand, Prefetcher
 from repro.memory.bus import TrafficCategory
@@ -42,6 +43,46 @@ class TestCoverageBreakdown:
         breakdown = CoverageBreakdown()
         assert breakdown.coverage == 0.0
         assert breakdown.train == 0
+
+    def test_excess_incorrect_is_capped_consistently(self):
+        # More unused prefetches than unconverted misses: the clamp keeps
+        # the three in-opportunity categories partitioning exactly 100%.
+        breakdown = CoverageBreakdown(base_misses=10, correct=7, early=0, incorrect_prefetches=50)
+        assert breakdown.capped_incorrect == 3
+        assert breakdown.train == 0
+        assert breakdown.coverage_pct + breakdown.incorrect_pct + breakdown.train_pct == pytest.approx(100.0)
+
+    @given(
+        data=st.integers(min_value=0, max_value=10**6).flatmap(
+            lambda base: st.tuples(
+                st.just(base),
+                st.integers(min_value=0, max_value=base),
+                st.integers(min_value=0, max_value=2 * 10**6),
+                st.integers(min_value=0, max_value=10**6),
+            )
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_categories_always_partition_the_opportunity(self, data):
+        base_misses, correct, incorrect, early = data
+        breakdown = CoverageBreakdown(
+            base_misses=base_misses,
+            correct=correct,
+            early=early,
+            incorrect_prefetches=incorrect,
+        )
+        # Raw-count invariants (the single-sourced clamp).
+        assert 0 <= breakdown.capped_incorrect <= breakdown.incorrect_prefetches
+        assert breakdown.train >= 0
+        assert breakdown.correct + breakdown.capped_incorrect + breakdown.train == base_misses
+        # Percentage invariants.
+        if base_misses:
+            assert (
+                breakdown.coverage_pct + breakdown.incorrect_pct + breakdown.train_pct
+                == pytest.approx(100.0)
+            )
+        else:
+            assert breakdown.coverage_pct == breakdown.incorrect_pct == breakdown.train_pct == 0.0
 
 
 class TestSimulatorAccounting:
