@@ -11,23 +11,42 @@ from typing import Dict, List, Optional
 
 from repro.cache.hierarchy import HierarchyConfig
 from repro.core.interface import Prefetcher
-from repro.core.ltcords import LTCordsConfig, LTCordsPrefetcher
-from repro.prefetchers.dbcp import DBCPConfig, DBCPPrefetcher
-from repro.prefetchers.ghb import GHBConfig, GHBPrefetcher
+from repro.core.ltcords import FastLTCordsPrefetcher, LTCordsConfig, LTCordsPrefetcher
+from repro.prefetchers.dbcp import DBCPConfig, DBCPPrefetcher, FastDBCPPrefetcher
+from repro.prefetchers.ghb import FastGHBPrefetcher, GHBConfig, GHBPrefetcher
 from repro.prefetchers.null import NullPrefetcher
-from repro.prefetchers.stride import StrideConfig, StridePrefetcher
+from repro.prefetchers.stride import FastStridePrefetcher, StrideConfig, StridePrefetcher
 from repro.sim.trace_driven import SimulationResult, simulate_benchmark
 from repro.workloads.base import SyntheticWorkload, WorkloadConfig
 from repro.workloads.registry import BENCHMARK_NAMES, get_workload
 
-_PREDICTOR_BUILDERS = {
-    "none": lambda **kwargs: NullPrefetcher(),
-    "ltcords": lambda **kwargs: LTCordsPrefetcher(kwargs.get("config") or LTCordsConfig()),
-    "dbcp": lambda **kwargs: DBCPPrefetcher(kwargs.get("config") or DBCPConfig()),
-    "dbcp-unlimited": lambda **kwargs: DBCPPrefetcher(DBCPConfig.unlimited()),
-    "ghb": lambda **kwargs: GHBPrefetcher(kwargs.get("config") or GHBConfig()),
-    "stride": lambda **kwargs: StridePrefetcher(kwargs.get("config") or StrideConfig()),
+#: Predictor classes by engine.  Fast and legacy variants are bit-identical
+#: (the engine-equivalence suite asserts it for every benchmark × predictor
+#: pair); "fast" is the default everywhere, "legacy" keeps the original
+#: object-based implementations for cross-checking and benchmarking.
+_PREDICTOR_CLASSES = {
+    "fast": {
+        "ltcords": FastLTCordsPrefetcher,
+        "dbcp": FastDBCPPrefetcher,
+        "ghb": FastGHBPrefetcher,
+        "stride": FastStridePrefetcher,
+    },
+    "legacy": {
+        "ltcords": LTCordsPrefetcher,
+        "dbcp": DBCPPrefetcher,
+        "ghb": GHBPrefetcher,
+        "stride": StridePrefetcher,
+    },
 }
+
+_DEFAULT_CONFIGS = {
+    "ltcords": LTCordsConfig,
+    "dbcp": DBCPConfig,
+    "ghb": GHBConfig,
+    "stride": StrideConfig,
+}
+
+_PREDICTOR_NAMES = ("dbcp", "dbcp-unlimited", "ghb", "ltcords", "none", "stride")
 
 
 def available_benchmarks() -> List[str]:
@@ -37,16 +56,30 @@ def available_benchmarks() -> List[str]:
 
 def available_predictors() -> List[str]:
     """Names accepted by :func:`build_predictor` and :func:`quick_simulation`."""
-    return sorted(_PREDICTOR_BUILDERS)
+    return list(_PREDICTOR_NAMES)
 
 
-def build_predictor(name: str, config: Optional[object] = None) -> Prefetcher:
-    """Construct a predictor by name (``ltcords``, ``dbcp``, ``dbcp-unlimited``, ``ghb``, ``stride``, ``none``)."""
+def build_predictor(name: str, config: Optional[object] = None, engine: str = "fast") -> Prefetcher:
+    """Construct a predictor by name (``ltcords``, ``dbcp``, ``dbcp-unlimited``, ``ghb``, ``stride``, ``none``).
+
+    ``engine`` selects the implementation family: ``"fast"`` (flat-state
+    predictors implementing the allocation-free per-access protocol, the
+    default) or ``"legacy"`` (the original object-based models).  Both
+    produce bit-identical simulation results.
+    """
     try:
-        builder = _PREDICTOR_BUILDERS[name]
+        classes = _PREDICTOR_CLASSES[engine]
+    except KeyError:
+        raise ValueError(f"engine must be 'fast' or 'legacy', got {engine!r}") from None
+    if name == "none":
+        return NullPrefetcher()
+    if name == "dbcp-unlimited":
+        return classes["dbcp"](DBCPConfig.unlimited())
+    try:
+        cls = classes[name]
     except KeyError:
         raise KeyError(f"unknown predictor {name!r}; available: {', '.join(available_predictors())}") from None
-    return builder(config=config)
+    return cls(config or _DEFAULT_CONFIGS[name]())
 
 
 def build_workload(name: str, num_accesses: int = 200_000, seed: int = 42) -> SyntheticWorkload:
@@ -61,19 +94,23 @@ def quick_simulation(
     seed: int = 42,
     predictor_config: Optional[object] = None,
     hierarchy_config: Optional["HierarchyConfig"] = None,
+    engine: str = "fast",
 ) -> SimulationResult:
     """Run one trace-driven simulation of ``predictor`` on ``benchmark``.
 
     ``predictor_config`` is forwarded to :func:`build_predictor` and
     ``hierarchy_config`` to :func:`simulate_benchmark`, so non-default
     predictor and cache configurations are honoured rather than dropped.
+    ``engine`` selects both the simulator loop and the predictor
+    implementation family (results are bit-identical either way).
     """
     return simulate_benchmark(
         benchmark,
-        prefetcher=build_predictor(predictor, predictor_config),
+        prefetcher=build_predictor(predictor, predictor_config, engine=engine),
         num_accesses=max_accesses,
         seed=seed,
         hierarchy_config=hierarchy_config,
+        engine=engine,
     )
 
 

@@ -32,14 +32,41 @@ DEFAULT_TOLERANCE = 0.25
 DEFAULT_BASELINE_NAME = "BENCH_baseline.json"
 
 
+#: Scenario pair the report's generation-vs-replay time split is derived
+#: from: both run mcf at the same scaled length, one timing only trace
+#: generation and the other timing only the DBCP replay.
+TIME_SPLIT_GENERATE = "trace.generate"
+TIME_SPLIT_REPLAY = "sim.dbcp.mcf.replay"
+
+
+def _time_split(results: Dict[str, BenchResult]) -> Optional[Dict[str, float]]:
+    """Trace-generation vs replay wall-time split, when both halves ran."""
+    generate = results.get(TIME_SPLIT_GENERATE)
+    replay = results.get(TIME_SPLIT_REPLAY)
+    if generate is None or replay is None:
+        return None
+    total = generate.wall_seconds + replay.wall_seconds
+    return {
+        "trace_generation_seconds": generate.wall_seconds,
+        "replay_seconds": replay.wall_seconds,
+        "generation_fraction": generate.wall_seconds / total if total else 0.0,
+    }
+
+
 def build_report(
     name: str,
     results: Dict[str, BenchResult],
     speedups: Dict[str, float],
     scale: float = 1.0,
 ) -> Dict[str, Any]:
-    """Assemble the JSON-safe report document."""
-    return {
+    """Assemble the JSON-safe report document.
+
+    When the run measured both halves of the generation/replay pair, the
+    report carries a ``time_split`` section quantifying what fraction of
+    one cold sweep point is trace generation — the cost the warm trace
+    store removes.
+    """
+    report = {
         "schema": SCHEMA_VERSION,
         "name": name,
         "created_unix": time.time(),
@@ -50,6 +77,10 @@ def build_report(
         "results": {scenario: result.to_dict() for scenario, result in results.items()},
         "speedups": speedups,
     }
+    split = _time_split(results)
+    if split is not None:
+        report["time_split"] = split
+    return report
 
 
 def write_report(report: Dict[str, Any], path: Union[str, Path]) -> Path:

@@ -289,6 +289,46 @@ _register(Scenario(
 ))
 
 
+def _temp_store_root(prefix: str) -> str:
+    """A throwaway trace-store root, removed when the bench process exits."""
+    import atexit
+    import shutil
+    import tempfile
+
+    root = tempfile.mkdtemp(prefix=prefix)
+    atexit.register(shutil.rmtree, root, ignore_errors=True)
+    return root
+
+
+def _build_trace_store_load(scale: float):
+    from repro.trace.store import TraceStore
+    from repro.workloads.base import WorkloadConfig
+
+    count = _scaled(200_000, scale)
+    config = WorkloadConfig(num_accesses=count, seed=42)
+    root = _temp_store_root("repro-bench-store-")
+
+    def make_task():
+        store = TraceStore(root)
+        store.load_or_generate("mcf", config)  # warm (untimed)
+
+        def task():
+            trace = store.load_or_generate("mcf", config)
+            return len(trace)
+
+        return task
+
+    return make_task, count
+
+
+_register(Scenario(
+    name="trace.store_load",
+    description="mmap load of a stored binary trace (mcf, warm store)",
+    build=_build_trace_store_load,
+    quick=True,
+))
+
+
 def _build_trace_columnar_iter(scale: float):
     from repro.workloads.base import WorkloadConfig
     from repro.workloads.registry import get_workload
@@ -331,14 +371,19 @@ def _build_simulation(benchmark: str, predictor: str, accesses: int, engine: str
         def make_task():
             # Workload/predictor construction happens inside the task:
             # the scenario times simulate_benchmark end to end, exactly
-            # what the experiment drivers pay per sweep point.
+            # what the experiment drivers pay per sweep point — which,
+            # like theirs, loads the trace from the store when warm (the
+            # first repeat warms it; min-of-N then measures the warm
+            # path; sweep.trace_cold covers per-point regeneration).
+            # The engine selects the full stack — simulator loop, cache
+            # model *and* predictor implementation family.
             def task():
                 from repro.api import build_predictor
                 from repro.sim.trace_driven import simulate_benchmark
 
                 return simulate_benchmark(
                     benchmark,
-                    prefetcher=build_predictor(predictor),
+                    prefetcher=build_predictor(predictor, engine=engine),
                     num_accesses=count,
                     seed=42,
                     engine=engine,
@@ -376,3 +421,110 @@ _register_simulation_pair("mcf", "dbcp", 200_000, quick=True)
 _register_simulation_pair("mcf", "none", 200_000, quick=True)
 _register_simulation_pair("em3d", "ltcords", 100_000, quick=False)
 _register_simulation_pair("swim", "ghb", 100_000, quick=False)
+# Predictor-focused pairs: GHB on an irregular pointer chase (index-table
+# and chain-walk pressure) and the stride RPT on its natural workload.
+_register_simulation_pair("mcf", "ghb", 100_000, quick=False)
+_register_simulation_pair("swim", "stride", 100_000, quick=False)
+
+
+def _build_dbcp_replay(scale: float):
+    from repro.workloads.base import WorkloadConfig
+    from repro.workloads.registry import get_workload
+
+    count = _scaled(200_000, scale)
+    trace = get_workload("mcf", WorkloadConfig(num_accesses=count, seed=42)).generate()
+
+    def make_task():
+        def task():
+            from repro.api import build_predictor
+            from repro.sim.trace_driven import TraceDrivenSimulator
+
+            return TraceDrivenSimulator(prefetcher=build_predictor("dbcp")).run(trace)
+
+        return task
+
+    return make_task, count
+
+
+_register(Scenario(
+    name="sim.dbcp.mcf.replay",
+    description="DBCP replay only (mcf, 200k accesses, trace prebuilt) — the "
+                "report's time_split pairs this with trace.generate",
+    build=_build_dbcp_replay,
+    quick=True,
+    repeats=4,
+))
+
+
+# ---------------------------------------------------------------------------
+# Repeated-sweep scenarios: trace store warm vs cold
+# ---------------------------------------------------------------------------
+
+#: Sweep shape of the warm/cold pair: several cache-resident benchmarks
+#: replayed without a predictor, i.e. the per-point cost profile of a
+#: Table-2-style baseline sweep, where trace generation dominates replay.
+_SWEEP_BENCHMARKS = ("crafty", "eon", "mesa", "sixtrack")
+
+
+def _build_sweep_warm(scale: float):
+    from repro.api import build_predictor
+    from repro.sim.trace_driven import TraceDrivenSimulator
+    from repro.trace.store import TraceStore
+    from repro.workloads.base import WorkloadConfig
+
+    count = _scaled(120_000, scale)
+    config = WorkloadConfig(num_accesses=count, seed=42)
+    root = _temp_store_root("repro-bench-sweep-")
+
+    def make_task():
+        store = TraceStore(root)
+        store.prewarm(_SWEEP_BENCHMARKS, [config])  # untimed
+
+        def task():
+            for benchmark in _SWEEP_BENCHMARKS:
+                trace = store.load_or_generate(benchmark, config)
+                TraceDrivenSimulator(prefetcher=build_predictor("none")).run(trace)
+
+        return task
+
+    return make_task, count * len(_SWEEP_BENCHMARKS)
+
+
+_register(Scenario(
+    name="sweep.trace_warm",
+    description=f"{len(_SWEEP_BENCHMARKS)}-benchmark baseline sweep, traces "
+                "mmap-loaded from a warm trace store",
+    build=_build_sweep_warm,
+    quick=True,
+))
+
+
+def _build_sweep_cold(scale: float):
+    from repro.api import build_predictor
+    from repro.sim.trace_driven import TraceDrivenSimulator
+    from repro.workloads.base import WorkloadConfig
+    from repro.workloads.registry import get_workload
+
+    count = _scaled(120_000, scale)
+    config = WorkloadConfig(num_accesses=count, seed=42)
+
+    def make_task():
+        def task():
+            # The pre-store world: every sweep point regenerates its trace.
+            for benchmark in _SWEEP_BENCHMARKS:
+                trace = get_workload(benchmark, config).generate()
+                TraceDrivenSimulator(prefetcher=build_predictor("none")).run(trace)
+
+        return task
+
+    return make_task, count * len(_SWEEP_BENCHMARKS)
+
+
+_register(Scenario(
+    name="sweep.trace_cold",
+    description=f"{len(_SWEEP_BENCHMARKS)}-benchmark baseline sweep, every "
+                "point regenerating its trace (no store)",
+    build=_build_sweep_cold,
+    quick=True,
+    speedup_of="sweep.trace_warm",
+))

@@ -205,21 +205,22 @@ class CacheHierarchy:
         stats = self.stats
         stats.prefetches_issued += 1
         l1 = self.l1
-        l2 = self.l2
-        # Residency probes inlined (this runs once per issued prefetch);
-        # the L1 probe's set/tag feed the assume-absent insert below so
-        # the set is scanned only once.
+        # The L1 residency probe is inlined (this runs once per issued
+        # prefetch); its set/tag feed the assume-absent insert below so
+        # the set is scanned only once.  The L2 is probed *through* its
+        # access call: a hit return means the block was resident (L2
+        # source), a miss return allocated it on the way in (memory
+        # source) — one set scan instead of a probe plus an access.
         l1_set = (address >> l1._offset_bits) & l1._set_mask
         l1_tag = address >> l1._tag_shift
         if l1_tag in l1._tags[l1_set]:
             return 0
-        if (address >> l2._tag_shift) in l2._tags[(address >> l2._offset_bits) & l2._set_mask]:
+        if self.l2.access_fast(address, False):
             stats.prefetches_from_l2 += 1
             source = 1
         else:
             stats.prefetches_from_memory += 1
             source = 2
-        l2.access_fast(address, False)  # refresh or allocate in L2 on the way in
         l1._insert_prefetch_absent(l1_set, l1_tag, address, victim_address)
         return source
 

@@ -44,12 +44,13 @@ def execute_point(point: PointSpec) -> ResultType:
         from repro.api import build_predictor
         from repro.sim.trace_driven import simulate_benchmark
 
-        # Workers regenerate the trace in the compact columnar form and
-        # replay it through the requested engine ("fast" by default;
-        # "legacy" points exist for cross-checking campaigns).
+        # Workers obtain the trace through the shared on-disk trace store
+        # (generated at most once per unique spec, then mmap-loaded — also
+        # across pool processes) and replay it through the requested engine
+        # ("fast" by default; "legacy" points exist for cross-checking).
         return simulate_benchmark(
             point.benchmark,
-            prefetcher=build_predictor(point.predictor, point.predictor_config),
+            prefetcher=build_predictor(point.predictor, point.predictor_config, engine=point.engine),
             num_accesses=point.num_accesses,
             seed=point.seed,
             hierarchy_config=point.hierarchy_config,

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.campaign.configs import decode_config, encode_config
 from repro.cache.hierarchy import HierarchyConfig
+from repro.trace.store import TRACE_FORMAT_VERSION
 from repro.version import __version__
 
 #: Simulator kinds a point may request.
@@ -110,11 +111,18 @@ class PointSpec:
     def key(self) -> str:
         """Stable content hash of this point plus the package version.
 
-        The version is folded in so that cache entries from older code are
-        never replayed against newer simulator behaviour.
+        The version is folded in so that cache entries from older code
+        are never replayed against newer simulator behaviour, and the
+        trace-store format version is folded in so that a format bump —
+        which retires every stored trace — also invalidates any cached
+        result that was computed from the retired format.
         """
         canonical = json.dumps(
-            {"point": self.to_dict(), "version": __version__},
+            {
+                "point": self.to_dict(),
+                "version": __version__,
+                "trace_format": TRACE_FORMAT_VERSION,
+            },
             sort_keys=True,
             separators=(",", ":"),
         )

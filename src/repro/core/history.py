@@ -197,3 +197,100 @@ class HistoryTable:
         """Clear all per-block state (used between independent simulations)."""
         for bucket in self._sets:
             bucket.clear()
+
+
+class FastHistoryTable:
+    """Flat-state history table used by the fast predictor engines.
+
+    Produces exactly the same signature keys as :class:`HistoryTable`
+    but keeps one flat ``[pc_trace_hash, previous_block]`` record per
+    tracked block in a single open-addressed map keyed by block address
+    (the (set, tag) pair of the legacy table is a bijection of the block
+    address, so the keying is equivalent).  The xor-fold of the 64-bit
+    raw hash down to the key width is closed-form for keys of 32 bits or
+    wider (at most two fold terms), removing the per-access fold loop.
+
+    Differences from the legacy table, none of which affect keys:
+
+    * ``stats.accesses`` is not counted (the fast engines settle
+      observation counts in bulk); eviction counters are maintained.
+    * per-block trace lengths are not tracked (nothing consumes them).
+    """
+
+    def __init__(
+        self,
+        cache_config: CacheConfig,
+        signature_config: Optional[SignatureConfig] = None,
+    ) -> None:
+        self.cache_config = cache_config
+        self.signature_config = signature_config or SignatureConfig()
+        #: block address -> [pc_trace_hash, previous_block]
+        self._blocks: Dict[int, list] = {}
+        self.stats = HistoryTableStats()
+        self._block_mask = ~(cache_config.block_size - 1)
+        self._key_bits = self.signature_config.trace_hash_bits
+        self._key_mask = (1 << self._key_bits) - 1
+
+    def _fold(self, raw: int) -> int:
+        bits = self._key_bits
+        if bits >= 32:
+            # raw < 2**64, so raw >> bits < 2**bits: exactly two fold terms.
+            return (raw & self._key_mask) ^ (raw >> bits)
+        key = 0
+        mask = self._key_mask
+        while raw:
+            key ^= raw & mask
+            raw >>= bits
+        return key
+
+    def tracked_blocks(self) -> int:
+        """Number of blocks with live history entries (for tests/inspection)."""
+        return len(self._blocks)
+
+    def observe_access(self, pc: int, address: int) -> int:
+        """Fold a committed access into the block's trace; return the candidate key."""
+        block = address & self._block_mask
+        entry = self._blocks.get(block)
+        if entry is None:
+            entry = [0, 0]
+            self._blocks[block] = entry
+        trace_hash = ((entry[0] ^ pc) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
+        entry[0] = trace_hash
+        raw = ((trace_hash ^ entry[1]) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
+        raw = ((raw ^ block) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
+        return self._fold(raw)
+
+    def peek_key(self, address: int) -> int:
+        """Candidate key for the block holding ``address`` without updating its trace."""
+        block = address & self._block_mask
+        entry = self._blocks.get(block)
+        trace_hash, previous = entry if entry is not None else (0, 0)
+        raw = ((trace_hash ^ previous) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
+        raw = ((raw ^ block) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
+        return self._fold(raw)
+
+    def observe_eviction(self, evicted_address: int, replacement_address: int) -> Tuple[int, int]:
+        """Record an eviction; return ``(signature_key, predicted_block_address)``."""
+        stats = self.stats
+        stats.evictions += 1
+        blocks = self._blocks
+        evicted_block = evicted_address & self._block_mask
+        entry = blocks.pop(evicted_block, None)
+        if entry is None:
+            trace_hash = previous = 0
+            stats.cold_evictions += 1
+            entry = [0, evicted_block]
+        else:
+            trace_hash = entry[0]
+            previous = entry[1]
+            entry[0] = 0
+            entry[1] = evicted_block
+        raw = ((trace_hash ^ previous) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
+        raw = ((raw ^ evicted_block) * _HASH_MULTIPLIER + _HASH_INCREMENT) & _MASK_64
+        # Recycle the retired record as the replacement's fresh entry.
+        blocks[replacement_address & self._block_mask] = entry
+        return self._fold(raw), replacement_address & self._block_mask
+
+    def reset(self) -> None:
+        """Clear all per-block state (used between independent simulations)."""
+        self._blocks.clear()

@@ -108,9 +108,27 @@ class PrefetcherStats:
 
 
 class Prefetcher(ABC):
-    """Abstract base class for all predictors."""
+    """Abstract base class for all predictors.
+
+    Predictors may additionally expose the *fast per-access protocol*: an
+    ``on_access_fast(pc, address, block_address, l1_hit, evicted_address)``
+    method returning a (possibly reused) sequence of
+    :class:`PrefetchCommand` objects.  When present, the fast simulation
+    engine calls it directly with plain integers — no
+    :class:`AccessOutcome` is built — reads the returned commands before
+    the next call, and settles ``stats.accesses_observed`` /
+    ``stats.misses_observed`` in bulk after the replay loop, so
+    ``on_access_fast`` must *not* maintain those two counters itself.
+    ``on_access`` remains the general entry point (legacy engine, timing
+    and multi-programmed simulators) and on fast predictors is a thin
+    wrapper that does count observations per call.
+    """
 
     name: str = "prefetcher"
+
+    #: Set to a bound method by predictors implementing the fast
+    #: per-access protocol; ``None`` means "drive me through on_access".
+    on_access_fast = None
 
     def __init__(self) -> None:
         self.stats = PrefetcherStats()

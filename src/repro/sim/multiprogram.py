@@ -143,9 +143,11 @@ def simulate_pair(
     ``num_accesses`` is the per-application trace length; ``quantum_instructions``
     is the (scaled) integer-application context-switch quantum.
     """
+    from repro.trace.store import load_or_generate_trace
+
     config = WorkloadConfig(num_accesses=num_accesses, seed=seed)
-    primary_trace = get_workload(primary, config).generate()
-    secondary_trace = shift_addresses(get_workload(secondary, config).generate(), DEFAULT_ADDRESS_SHIFT)
+    primary_trace = load_or_generate_trace(primary, config)
+    secondary_trace = shift_addresses(load_or_generate_trace(secondary, config), DEFAULT_ADDRESS_SHIFT)
 
     interleaved = interleave_quantum(
         [primary_trace, secondary_trace],

@@ -174,9 +174,10 @@ def simulate_speedup(
     system_config: Optional[SystemConfig] = None,
     perfect_l1: bool = False,
 ) -> TimingResult:
-    """Build the workload for ``benchmark`` and run one timing simulation."""
-    workload = get_workload(benchmark, WorkloadConfig(num_accesses=num_accesses, seed=seed))
-    trace = workload.generate()
+    """Obtain the trace for ``benchmark`` (via the trace store) and run one timing simulation."""
+    from repro.trace.store import load_or_generate_trace
+
+    trace = load_or_generate_trace(benchmark, WorkloadConfig(num_accesses=num_accesses, seed=seed))
     simulator = TimingSimulator(
         prefetcher=prefetcher,
         hierarchy_config=hierarchy_config,

@@ -46,9 +46,9 @@ from repro.memory.bus import BusModel, TrafficCategory
 from repro.memory.request_queue import PrefetchRequestQueue
 from repro.prefetchers.null import NullPrefetcher
 from repro.trace.record import AccessType, MemoryAccess
+from repro.trace.store import load_or_generate_trace
 from repro.trace.stream import TraceStream
 from repro.workloads.base import WorkloadConfig
-from repro.workloads.registry import get_workload
 
 #: ServiceLevel by the int code ``prefetch_into_l1_fast`` returns.
 _LEVEL_BY_CODE = (ServiceLevel.L1, ServiceLevel.L2, ServiceLevel.MEMORY)
@@ -286,6 +286,8 @@ class TraceDrivenSimulator:
         if self.engine == "fast":
             if type(self.prefetcher) is NullPrefetcher:
                 self._run_fast_baseline(trace)
+            elif self.prefetcher.on_access_fast is not None:
+                self._run_fast_direct(trace)
             else:
                 self._run_fast(trace)
         else:
@@ -466,6 +468,122 @@ class TraceDrivenSimulator:
             base_l2_hits, base_l2_misses, main_l1_hits, main_l2_hits, main_l2_misses,
         )
 
+    def _run_fast_direct(self, trace: TraceStream) -> None:
+        """Columnar loop for predictors implementing the fast per-access protocol.
+
+        The predictor is driven through ``on_access_fast`` with plain
+        integers, so no :class:`MemoryAccess` view or
+        :class:`AccessOutcome` is mutated per reference and the L1 set
+        index is never recomputed; the predictor's observation counters
+        (``accesses_observed`` / ``misses_observed``) are settled in bulk
+        after the loop.  Command buffers returned by the predictor may be
+        reused — each one is consumed before the next call.
+        """
+        columns = trace.as_arrays()
+        baseline = self.baseline
+        hierarchy = self.hierarchy
+        base_l1_access = baseline.l1.access_fast
+        base_l2_access = baseline.l2.access_fast
+        main_l1_access = hierarchy.l1.access_fast
+        main_l2_access = hierarchy.l2.access_fast
+        main_l1_last = hierarchy.l1.last
+        block_mask = self._block_mask
+
+        prefetcher = self.prefetcher
+        on_access_fast = prefetcher.on_access_fast
+        on_prefetch_used = prefetcher.on_prefetch_used
+        on_prefetch_installed = prefetcher.on_prefetch_installed
+        notify_unused = self._notify_unused_eviction
+        prefetched = self._prefetched
+        prefetched_pop = prefetched.pop
+        prefetch_into_l1 = hierarchy.prefetch_into_l1_fast
+        level_by_code = _LEVEL_BY_CODE
+        request_queue = self.request_queue
+        queue_push = request_queue.push
+        queue_pending = request_queue._queue
+        queue_note_immediate = request_queue.note_immediate_issue
+        execute_prefetches = self._execute_prefetches
+
+        base_misses = 0
+        correct = 0
+        early = 0
+        base_l2_hits = 0
+        base_l2_misses = 0
+        main_l1_hits = 0
+        main_l2_hits = 0
+        main_l2_misses = 0
+
+        for pc, address, is_write in zip(columns.pc, columns.address, columns.is_write):
+            code = main_l1_access(address, is_write)
+            if code:
+                main_l1_hits += 1
+            elif main_l2_access(address, 0):
+                main_l2_hits += 1
+            else:
+                main_l2_misses += 1
+
+            # Classify against the prediction opportunity.
+            if base_l1_access(address, is_write):
+                if not code:
+                    early += 1
+            else:
+                base_misses += 1
+                if code:
+                    correct += 1
+                if base_l2_access(address, 0):
+                    base_l2_hits += 1
+                else:
+                    base_l2_misses += 1
+
+            block_address = address & block_mask
+
+            # Feedback for prefetched blocks.
+            if code:
+                evicted_address = None
+                if code == 2:
+                    info = prefetched_pop(block_address, None)
+                    if info is not None:
+                        on_prefetch_used(block_address, info[0])
+            else:
+                evicted_address = main_l1_last.evicted_address
+                if main_l1_last.evicted_unused_prefetch:
+                    notify_unused(evicted_address)
+
+            commands = on_access_fast(pc, address, block_address, code, evicted_address)
+            if commands:
+                if len(commands) == 1 and not queue_pending:
+                    # Common case: one command into an empty queue, drained
+                    # immediately — skip the queue round-trip entirely and
+                    # execute inline (the body of _execute_prefetch_one
+                    # with every lookup hoisted).
+                    command = commands[0]
+                    queue_note_immediate()
+                    prefetch_address = command.address
+                    source = prefetch_into_l1(prefetch_address, command.victim_address)
+                    if source:
+                        prefetch_evicted = main_l1_last.evicted_address
+                        prefetch_block = prefetch_address & block_mask
+                        if main_l1_last.evicted_unused_prefetch:
+                            notify_unused(prefetch_evicted)
+                        tag = command.tag
+                        prefetched[prefetch_block] = (tag, level_by_code[source])
+                        on_prefetch_installed(prefetch_block, prefetch_evicted, tag=tag)
+                else:
+                    for command in commands:
+                        queue_push(command.address, command.victim_address, tag=command.tag)
+                    execute_prefetches()
+            elif queue_pending:
+                execute_prefetches()
+
+        num_accesses = len(columns)
+        self._settle_fast_run(
+            num_accesses, base_misses, correct, early,
+            base_l2_hits, base_l2_misses, main_l1_hits, main_l2_hits, main_l2_misses,
+        )
+        stats = prefetcher.stats
+        stats.accesses_observed += num_accesses
+        stats.misses_observed += num_accesses - main_l1_hits
+
     def _run_fast_baseline(self, trace: TraceStream) -> None:
         """Dedicated no-prefetcher path: both hierarchies, no predictor plumbing.
 
@@ -597,10 +715,18 @@ def simulate_benchmark(
     seed: int = 42,
     hierarchy_config: Optional[HierarchyConfig] = None,
     engine: str = "fast",
+    trace_store=None,
 ) -> SimulationResult:
-    """Convenience wrapper: build the workload, replay it, return the result."""
-    workload = get_workload(benchmark, WorkloadConfig(num_accesses=num_accesses, seed=seed))
-    trace = workload.generate()
+    """Convenience wrapper: obtain the workload trace, replay it, return the result.
+
+    The trace comes from the content-addressed on-disk store
+    (:mod:`repro.trace.store`): generated and persisted on first use,
+    ``mmap``-loaded afterwards.  ``trace_store`` overrides the default
+    store (resolved from ``REPRO_TRACE_DIR`` / ``REPRO_NO_TRACE_STORE``).
+    """
+    trace = load_or_generate_trace(
+        benchmark, WorkloadConfig(num_accesses=num_accesses, seed=seed), store=trace_store
+    )
     simulator = TraceDrivenSimulator(
         prefetcher=prefetcher, hierarchy_config=hierarchy_config, engine=engine
     )

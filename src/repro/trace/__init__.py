@@ -25,8 +25,22 @@ from repro.trace.stream import (
 )
 from repro.trace.io import TraceReader, TraceWriter, read_trace, write_trace
 from repro.trace.stats import TraceStatistics, compute_trace_statistics
+from repro.trace.store import (
+    TRACE_FORMAT_VERSION,
+    TraceStore,
+    TraceStoreError,
+    load_or_generate_trace,
+    read_trace_file,
+    write_trace_file,
+)
 
 __all__ = [
+    "TRACE_FORMAT_VERSION",
+    "TraceStore",
+    "TraceStoreError",
+    "load_or_generate_trace",
+    "read_trace_file",
+    "write_trace_file",
     "AccessType",
     "MemoryAccess",
     "TraceColumns",

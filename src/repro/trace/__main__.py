@@ -1,0 +1,94 @@
+"""``python -m repro.trace`` — inspect and manage the on-disk trace store.
+
+Examples::
+
+    python -m repro.trace list
+    python -m repro.trace prewarm --benchmark mcf em3d --accesses 200000
+    python -m repro.trace prewarm            # every benchmark, default length
+    python -m repro.trace clean
+
+The store root is ``.repro_traces`` (override with ``REPRO_TRACE_DIR``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.trace.store import TRACE_FORMAT_VERSION, TraceStore
+from repro.workloads.base import WorkloadConfig
+from repro.workloads.registry import BENCHMARK_NAMES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="List, prewarm or clean the content-addressed trace store.",
+    )
+    parser.add_argument("--root", default=None,
+                        help="store root (default .repro_traces or $REPRO_TRACE_DIR)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list stored traces")
+
+    prewarm = sub.add_parser("prewarm", help="generate and store traces ahead of a sweep")
+    prewarm.add_argument("--benchmark", nargs="+", default=None, metavar="NAME",
+                        help="benchmarks to warm (default: all)")
+    prewarm.add_argument("--accesses", type=int, nargs="+", default=[200_000],
+                        help="trace lengths to warm (default: 200000)")
+    prewarm.add_argument("--seed", type=int, nargs="+", default=[42],
+                        help="seeds to warm (default: 42)")
+
+    sub.add_parser("clean", help="delete every stored trace")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    store = TraceStore(args.root)
+
+    if args.command == "list":
+        entries = store.entries()
+        if not entries:
+            print(f"trace store {store.root} is empty (format v{TRACE_FORMAT_VERSION})")
+            return 0
+        print(f"{'benchmark':<12} {'accesses':>10} {'seed':>6} {'size':>10}  path")
+        for entry in entries:
+            print(
+                f"{entry.benchmark:<12} {entry.num_accesses:>10,} {entry.seed:>6} "
+                f"{entry.size_bytes / 1024:>8.0f}KB  {entry.path}"
+            )
+        total = store.size_bytes()
+        print(f"{len(entries)} trace(s), {total / (1 << 20):.1f}MB under {store.root}")
+        return 0
+
+    if args.command == "prewarm":
+        benchmarks = args.benchmark or BENCHMARK_NAMES
+        unknown = sorted(set(benchmarks) - set(BENCHMARK_NAMES))
+        if unknown:
+            print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        configs = [
+            WorkloadConfig(num_accesses=accesses, seed=seed)
+            for accesses in args.accesses
+            for seed in args.seed
+        ]
+        warmed = store.prewarm(benchmarks, configs)
+        stats = store.stats
+        print(
+            f"prewarmed {warmed} trace(s) under {store.root} "
+            f"(generated {stats.generated}, already stored {stats.hits + stats.prefix_hits})"
+        )
+        return 0
+
+    if args.command == "clean":
+        removed = store.clean()
+        print(f"removed {removed} stored trace(s) from {store.root}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,16 +38,19 @@ def looping_trace(num_blocks: int, iterations: int, block_size: int = 64, pc_per
 
 @pytest.fixture(autouse=True)
 def _isolated_repro_cache(tmp_path, monkeypatch):
-    """Keep every test hermetic: campaign results cache under a temp dir.
+    """Keep every test hermetic: campaign results cache and trace store
+    under temp dirs.
 
     Without this, any test that touches a campaign-backed experiment
-    driver would read/write ``.repro_cache/`` in the developer's working
-    directory, letting one test run's results leak into the next.
+    driver or a store-backed simulation would read/write
+    ``.repro_cache/`` / ``.repro_traces/`` in the developer's working
+    directory, letting one test run's on-disk state leak into the next.
     ``REPRO_JOBS=1`` keeps those tiny sweeps in-process instead of
     forking a worker pool per test; tests that exercise the pool path
     pass ``jobs=`` explicitly.
     """
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "repro_traces"))
     monkeypatch.setenv("REPRO_JOBS", "1")
 
 

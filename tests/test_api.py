@@ -3,11 +3,11 @@
 import pytest
 
 import repro
-from repro.core.ltcords import LTCordsPrefetcher
-from repro.prefetchers.dbcp import DBCPPrefetcher
-from repro.prefetchers.ghb import GHBPrefetcher
+from repro.core.ltcords import FastLTCordsPrefetcher, LTCordsPrefetcher
+from repro.prefetchers.dbcp import DBCPPrefetcher, FastDBCPPrefetcher
+from repro.prefetchers.ghb import FastGHBPrefetcher, GHBPrefetcher
 from repro.prefetchers.null import NullPrefetcher
-from repro.prefetchers.stride import StridePrefetcher
+from repro.prefetchers.stride import FastStridePrefetcher, StridePrefetcher
 
 
 class TestRegistries:
@@ -26,6 +26,21 @@ class TestBuilders:
     @pytest.mark.parametrize(
         "name,cls",
         [
+            ("ltcords", FastLTCordsPrefetcher),
+            ("dbcp", FastDBCPPrefetcher),
+            ("dbcp-unlimited", FastDBCPPrefetcher),
+            ("ghb", FastGHBPrefetcher),
+            ("stride", FastStridePrefetcher),
+            ("none", NullPrefetcher),
+        ],
+    )
+    def test_build_predictor(self, name, cls):
+        """The default engine builds the flat fast predictor implementations."""
+        assert isinstance(repro.build_predictor(name), cls)
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
             ("ltcords", LTCordsPrefetcher),
             ("dbcp", DBCPPrefetcher),
             ("dbcp-unlimited", DBCPPrefetcher),
@@ -34,12 +49,17 @@ class TestBuilders:
             ("none", NullPrefetcher),
         ],
     )
-    def test_build_predictor(self, name, cls):
-        assert isinstance(repro.build_predictor(name), cls)
+    def test_build_predictor_legacy(self, name, cls):
+        """engine="legacy" builds the original object-based implementations."""
+        assert isinstance(repro.build_predictor(name, engine="legacy"), cls)
 
     def test_unknown_predictor_rejected(self):
         with pytest.raises(KeyError):
             repro.build_predictor("markov")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            repro.build_predictor("dbcp", engine="warp")
 
     def test_build_workload(self):
         workload = repro.build_workload("swim", num_accesses=1000)

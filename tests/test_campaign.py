@@ -71,6 +71,17 @@ class TestPointSpec:
         b = PointSpec(benchmark="mcf", num_accesses=ACCESSES, seed=43)
         assert a.key() != b.key()
 
+    def test_key_folds_trace_format_version(self, monkeypatch):
+        """A trace-store format bump must invalidate every cached result."""
+        import repro.campaign.spec as spec_module
+
+        point = PointSpec(benchmark="mcf", num_accesses=ACCESSES)
+        before = point.key()
+        monkeypatch.setattr(
+            spec_module, "TRACE_FORMAT_VERSION", spec_module.TRACE_FORMAT_VERSION + 1
+        )
+        assert point.key() != before
+
     def test_validation(self):
         with pytest.raises(ValueError):
             PointSpec(benchmark="mcf", sim="bogus")

@@ -1,11 +1,13 @@
 """End-to-end engine equivalence: fast vs legacy simulation results.
 
 For every (benchmark × predictor) pair used by the experiment drivers,
-the fast (array-backed, columnar) engine and the legacy (object-based)
-engine must produce bit-identical ``SimulationResult.to_dict()`` output.
-This is the acceptance gate of the fast-path rewrite: any behavioural
-drift in the cache model, the trace representation or the simulator loop
-shows up here as a counter mismatch.
+the full fast stack (array-backed cache model, columnar loop, flat-state
+predictors) and the full legacy stack (object-based cache model, loop
+and predictors) must produce bit-identical ``SimulationResult.to_dict()``
+output.  This is the acceptance gate of the fast-path rewrite: any
+behavioural drift in the cache model, the trace representation, the
+simulator loop or a predictor's flat rewrite shows up here as a counter
+mismatch.
 """
 
 import pytest
@@ -34,10 +36,16 @@ def _pairs():
 @pytest.mark.parametrize("workload,predictor", _pairs())
 def test_engines_bit_identical(workload, predictor):
     fast = simulate_benchmark(
-        workload, build_predictor(predictor), num_accesses=NUM_ACCESSES, engine="fast"
+        workload,
+        build_predictor(predictor, engine="fast"),
+        num_accesses=NUM_ACCESSES,
+        engine="fast",
     )
     legacy = simulate_benchmark(
-        workload, build_predictor(predictor), num_accesses=NUM_ACCESSES, engine="legacy"
+        workload,
+        build_predictor(predictor, engine="legacy"),
+        num_accesses=NUM_ACCESSES,
+        engine="legacy",
     )
     assert fast.to_dict() == legacy.to_dict()
 
@@ -46,9 +54,26 @@ def test_engines_bit_identical(workload, predictor):
 def test_engines_agree_on_longer_shared_trace(predictor):
     """One deeper run per heavyweight predictor, replaying one shared trace."""
     trace = get_workload("mcf", WorkloadConfig(num_accesses=20_000, seed=7)).generate()
-    fast = TraceDrivenSimulator(prefetcher=build_predictor(predictor), engine="fast").run(trace)
-    legacy = TraceDrivenSimulator(prefetcher=build_predictor(predictor), engine="legacy").run(trace)
+    fast = TraceDrivenSimulator(
+        prefetcher=build_predictor(predictor, engine="fast"), engine="fast"
+    ).run(trace)
+    legacy = TraceDrivenSimulator(
+        prefetcher=build_predictor(predictor, engine="legacy"), engine="legacy"
+    ).run(trace)
     assert fast.to_dict() == legacy.to_dict()
+
+
+@pytest.mark.parametrize("predictor", ["dbcp", "ghb", "ltcords", "stride"])
+def test_fast_predictor_on_legacy_engine_matches(predictor):
+    """Mixed stacks agree too: fast predictors driven through AccessOutcome."""
+    trace = get_workload("gcc", WorkloadConfig(num_accesses=4000, seed=3)).generate()
+    mixed = TraceDrivenSimulator(
+        prefetcher=build_predictor(predictor, engine="fast"), engine="legacy"
+    ).run(trace)
+    legacy = TraceDrivenSimulator(
+        prefetcher=build_predictor(predictor, engine="legacy"), engine="legacy"
+    ).run(trace)
+    assert mixed.to_dict() == legacy.to_dict()
 
 
 def test_engine_argument_is_validated():
