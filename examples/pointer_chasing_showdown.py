@@ -4,10 +4,12 @@
 The paper's central motivation (Section 1) is that delta-correlating
 prefetchers such as the GHB PC/DC cannot capture irregular-but-repetitive
 access patterns — linked lists, trees, graphs — while last-touch address
-correlation can.  This example runs the pointer-intensive workloads
-(mcf and the three Olden benchmarks) under every predictor and prints a
-coverage comparison, then does the same for a regular strided workload
-(swim) to show the flip side.
+correlation can.  This example uses :meth:`repro.Session.compare` to run
+every predictor on the pointer-intensive workloads (mcf and the three
+Olden benchmarks) and prints a coverage comparison, then does the same
+for a regular strided workload (swim) to show the flip side.  All runs
+share one session, so repeated invocations are served from the result
+cache.
 
 Usage::
 
@@ -26,27 +28,26 @@ REGULAR_BENCHMARKS = ["swim"]
 PREDICTORS = ["ltcords", "dbcp-unlimited", "ghb", "stride"]
 
 
-def coverage_table(benchmarks, num_accesses: int) -> None:
+def coverage_table(session: repro.Session, benchmarks, num_accesses: int) -> None:
     header = f"{'benchmark':<10} " + " ".join(f"{p:>16}" for p in PREDICTORS)
     print(header)
     print("-" * len(header))
     for benchmark in benchmarks:
         metadata = benchmark_metadata(benchmark)
-        cells = []
-        for predictor in PREDICTORS:
-            result = repro.quick_simulation(benchmark, predictor, max_accesses=num_accesses)
-            cells.append(f"{100 * result.coverage:15.1f}%")
+        results = session.compare(benchmark, PREDICTORS, num_accesses=num_accesses)
+        cells = [f"{100 * results[predictor].coverage:15.1f}%" for predictor in PREDICTORS]
         print(f"{benchmark:<10} " + " ".join(cells) + f"    ({metadata.description})")
 
 
 def main() -> int:
     num_accesses = int(sys.argv[1]) if len(sys.argv) > 1 else 100_000
+    session = repro.Session()
 
     print("Coverage (fraction of baseline L1D misses eliminated)\n")
     print("Pointer-chasing workloads — irregular layout, repetitive traversals:")
-    coverage_table(POINTER_BENCHMARKS, num_accesses)
+    coverage_table(session, POINTER_BENCHMARKS, num_accesses)
     print("\nRegular strided workload — delta correlation also works here:")
-    coverage_table(REGULAR_BENCHMARKS, num_accesses)
+    coverage_table(session, REGULAR_BENCHMARKS, num_accesses)
     print(
         "\nExpected shape (paper, Table 3 / Figure 8): LT-cords and the DBCP"
         "\noracle cover the pointer-chasing workloads where GHB/stride get"

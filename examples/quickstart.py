@@ -6,9 +6,14 @@ Usage::
     python examples/quickstart.py [benchmark] [predictor]
 
 Defaults to the paper's flagship pointer-chasing benchmark (mcf) and the
-LT-cords predictor.  The script prints the Figure 8-style breakdown
-(correct / incorrect / train / early), prefetch accuracy, and the
-predictor's on-chip storage and off-chip signature traffic.
+LT-cords predictor.  The script drives the :class:`repro.Session` facade —
+one typed :class:`repro.RunSpec` describes the simulation, the session
+owns trace-store resolution and result caching (a second run of the same
+spec is served from ``.repro_cache/``) — and prints the Figure 8-style
+breakdown (correct / incorrect / train / early), prefetch accuracy, and
+the predictor's on-chip storage and off-chip signature traffic.
+
+The same run is one CLI call: ``python -m repro run mcf --predictor ltcords``.
 """
 
 from __future__ import annotations
@@ -30,7 +35,9 @@ def main() -> int:
         return 1
 
     print(f"Simulating {predictor} on the synthetic '{benchmark}' workload ...")
-    result = repro.quick_simulation(benchmark, predictor, max_accesses=120_000)
+    session = repro.Session()
+    spec = repro.RunSpec(benchmark=benchmark, predictor=predictor, num_accesses=120_000)
+    result = session.run(spec)
 
     breakdown = result.breakdown
     print(f"\nBenchmark            : {result.benchmark}")

@@ -3,9 +3,14 @@
 
 This is the batch driver behind EXPERIMENTS.md: it runs each experiment
 module on the selected benchmark set and prints the corresponding table.
-By default it uses the representative benchmark subset; pass ``--full``
+All campaign-backed experiments share one :class:`repro.Session`, so
+sweeps are parallel, cached and incremental across invocations.  By
+default it uses the representative benchmark subset; pass ``--full``
 (or set ``REPRO_FULL=1``) to sweep all 28 benchmarks, and ``--accesses N``
 to change the per-benchmark trace length.
+
+Individual figures are also one CLI call away:
+``python -m repro figures fig8`` (add ``--quick`` for a smoke run).
 
 Usage::
 
@@ -18,6 +23,7 @@ import argparse
 import os
 import time
 
+import repro
 from repro.experiments import (
     fig2_deadtime,
     fig4_dbcp_sensitivity,
@@ -34,33 +40,40 @@ from repro.experiments import (
     table3_speedup,
 )
 
+SESSION = repro.Session()
+
 EXPERIMENTS = {
     "table1": ("Table 1: system configuration", lambda args: table1_config.format_results(table1_config.run())),
     "table2": ("Table 2: baseline miss rates and IPC",
-               lambda args: table2_baseline.format_results(table2_baseline.run(num_accesses=args.accesses))),
+               lambda args: table2_baseline.format_results(
+                   table2_baseline.run(num_accesses=args.accesses, session=SESSION))),
     "fig2": ("Figure 2: dead-time CDF",
              lambda args: fig2_deadtime.format_results(fig2_deadtime.run(num_accesses=args.accesses))),
     "fig4": ("Figure 4: DBCP table-size sensitivity",
              lambda args: fig4_dbcp_sensitivity.format_results(
-                 fig4_dbcp_sensitivity.run(num_accesses=args.accesses))),
+                 fig4_dbcp_sensitivity.run(num_accesses=args.accesses, session=SESSION))),
     "fig6": ("Figure 6: temporal correlation",
              lambda args: fig6_temporal.format_results(fig6_temporal.run(num_accesses=args.accesses))),
     "fig7": ("Figure 7: last-touch vs miss order",
              lambda args: fig7_order_disparity.format_results(fig7_order_disparity.run(num_accesses=args.accesses))),
     "fig8": ("Figure 8: LT-cords vs unlimited DBCP",
-             lambda args: fig8_coverage.format_results(fig8_coverage.run(num_accesses=args.accesses))),
+             lambda args: fig8_coverage.format_results(
+                 fig8_coverage.run(num_accesses=args.accesses, session=SESSION))),
     "fig9": ("Figure 9: signature-cache sensitivity",
              lambda args: fig9_sigcache.format_results(
-                 fig9_sigcache.run(benchmarks=["mcf", "swim"], num_accesses=args.accesses))),
+                 fig9_sigcache.run(benchmarks=["mcf", "swim"], num_accesses=args.accesses, session=SESSION))),
     "fig10": ("Figure 10: off-chip storage sensitivity",
-              lambda args: fig10_storage.format_results(fig10_storage.run(num_accesses=args.accesses))),
+              lambda args: fig10_storage.format_results(
+                  fig10_storage.run(num_accesses=args.accesses, session=SESSION))),
     "fig11": ("Figure 11: multi-programmed coverage",
               lambda args: fig11_multiprogram.format_results(
-                  fig11_multiprogram.run(pairings=(("swim", "gzip"), ("mcf", "gzip"))))),
+                  fig11_multiprogram.run(pairings=(("swim", "gzip"), ("mcf", "gzip")), session=SESSION))),
     "table3": ("Table 3: speedups",
-               lambda args: table3_speedup.format_results(table3_speedup.run(num_accesses=args.accesses))),
+               lambda args: table3_speedup.format_results(
+                   table3_speedup.run(num_accesses=args.accesses, session=SESSION))),
     "fig12": ("Figure 12: bus-utilisation breakdown",
-              lambda args: fig12_bandwidth.format_results(fig12_bandwidth.run(num_accesses=args.accesses))),
+              lambda args: fig12_bandwidth.format_results(
+                  fig12_bandwidth.run(num_accesses=args.accesses, session=SESSION))),
     "sec59": ("Section 5.9: power comparison",
               lambda args: sec59_power.format_results(sec59_power.run())),
 }

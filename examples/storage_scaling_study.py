@@ -10,6 +10,10 @@ Reproduces the argument of Sections 2.1 and 5.4 on a scaled workload:
 3. print the on-chip storage LT-cords actually needs next to what an
    equally-covering DBCP table would require.
 
+The sweeps run through the :class:`repro.Session` facade, each point a
+plain :class:`repro.RunSpec` carrying its predictor configuration — so
+every point is cached and a re-run of the script is near-instant.
+
 Usage::
 
     python examples/storage_scaling_study.py [benchmark] [num_accesses]
@@ -19,40 +23,41 @@ from __future__ import annotations
 
 import sys
 
-from repro.core.ltcords import LTCordsConfig, LTCordsPrefetcher
+import repro
+from repro.core.ltcords import LTCordsConfig
 from repro.core.signature_cache import SignatureCacheConfig
 from repro.prefetchers.dbcp import DBCPConfig, DBCPPrefetcher
-from repro.sim.trace_driven import TraceDrivenSimulator
-from repro.workloads.base import WorkloadConfig
-from repro.workloads.registry import get_workload
 
 
 def main() -> int:
     benchmark = sys.argv[1] if len(sys.argv) > 1 else "mcf"
     num_accesses = int(sys.argv[2]) if len(sys.argv) > 2 else 120_000
-    trace = get_workload(benchmark, WorkloadConfig(num_accesses=num_accesses)).generate()
+    session = repro.Session()
     signature_bytes = DBCPConfig().signature_config.stored_bytes
 
     print(f"Workload: {benchmark} ({num_accesses} references)\n")
 
-    oracle = TraceDrivenSimulator(prefetcher=DBCPPrefetcher(DBCPConfig.unlimited())).run(trace)
+    oracle = session.run(benchmark, predictor="dbcp-unlimited", num_accesses=num_accesses)
     print(f"DBCP with unlimited on-chip storage: coverage {100 * oracle.coverage:.1f}%\n")
 
     print("1) DBCP coverage vs on-chip correlation-table size (Figure 4)")
     for entries in (1024, 4096, 16384, 65536):
-        result = TraceDrivenSimulator(prefetcher=DBCPPrefetcher(DBCPConfig(table_entries=entries))).run(trace)
+        result = session.run(
+            benchmark, predictor="dbcp",
+            predictor_config=DBCPConfig(table_entries=entries),
+            num_accesses=num_accesses,
+        )
         size_kb = entries * signature_bytes / 1024
         relative = 100 * result.coverage / oracle.coverage if oracle.coverage else 0.0
         print(f"   table {size_kb:8.0f} KB : coverage {100 * result.coverage:5.1f}%  "
               f"({relative:5.1f}% of achievable)")
 
     print("\n2) LT-cords coverage vs signature-cache size (Figure 9)")
-    best = None
     for entries in (1024, 4096, 16384, 32768):
         config = LTCordsConfig(signature_cache_config=SignatureCacheConfig(num_entries=entries, associativity=2))
-        prefetcher = LTCordsPrefetcher(config)
-        result = TraceDrivenSimulator(prefetcher=prefetcher).run(trace)
-        best = result if best is None or result.coverage > best.coverage else best
+        result = session.run(
+            benchmark, predictor="ltcords", predictor_config=config, num_accesses=num_accesses
+        )
         print(f"   signature cache {entries:6d} entries "
               f"({config.signature_cache_config.storage_bytes(config.signature_config) / 1024:5.0f} KB on chip): "
               f"coverage {100 * result.coverage:5.1f}%")
@@ -61,9 +66,12 @@ def main() -> int:
     ltcords_config = LTCordsConfig()
     print(f"   LT-cords total on-chip state : {ltcords_config.on_chip_storage_bytes() / 1024:.0f} KB "
           f"(+ {ltcords_config.storage_config.storage_bytes / (1 << 20):.0f} MB of ordinary off-chip DRAM)")
-    unlimited_entries = DBCPPrefetcher(DBCPConfig.unlimited())
-    TraceDrivenSimulator(prefetcher=unlimited_entries).run(trace)
-    dbcp_bytes = unlimited_entries.table_utilization_bytes()
+    # Replay the oracle with a concrete predictor instance to measure how
+    # much correlation state it accumulated (instance runs bypass the cache).
+    unlimited = DBCPPrefetcher(DBCPConfig.unlimited())
+    session.run(benchmark, predictor="dbcp-unlimited", num_accesses=num_accesses,
+                prefetcher=unlimited, engine="legacy")
+    dbcp_bytes = unlimited.table_utilization_bytes()
     print(f"   Equivalent DBCP on-chip table: {dbcp_bytes / 1024:.0f} KB of correlation data for this scaled "
           f"trace alone (grows with footprint; 80-160 MB for the paper's full-size workloads)")
     return 0

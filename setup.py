@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.2.0",
+    version="1.3.0",
     description="Reproduction of Last-Touch Correlated Data Streaming (LT-cords), ISPASS 2007",
     python_requires=">=3.9",
     package_dir={"": "src"},

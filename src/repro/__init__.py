@@ -15,6 +15,17 @@ Quickstart
 >>> result = quick_simulation("mcf", predictor="ltcords", max_accesses=50_000)
 >>> 0.0 <= result.coverage <= 1.0
 True
+
+The :class:`Session` facade is the full-featured front door — cached
+single runs, predictor comparisons, and parallel sweeps all driven by
+one serializable :class:`RunSpec` type::
+
+>>> from repro import Session
+>>> session = Session()
+>>> result = session.run("mcf", predictor="dbcp", num_accesses=50_000)
+
+and ``python -m repro`` exposes the same machinery on the command line
+(``run`` / ``sweep`` / ``figures`` / ``bench`` / ``trace`` / ``info``).
 """
 
 from repro.api import (
@@ -25,14 +36,21 @@ from repro.api import (
     quick_simulation,
     run_campaign,
 )
+from repro.registry import register_config_class, register_predictor, register_workload
+from repro.run import RunSpec, Session
 from repro.version import __version__
 
 __all__ = [
     "__version__",
+    "RunSpec",
+    "Session",
     "available_benchmarks",
     "available_predictors",
     "build_predictor",
     "build_workload",
     "quick_simulation",
+    "register_config_class",
+    "register_predictor",
+    "register_workload",
     "run_campaign",
 ]

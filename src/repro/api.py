@@ -1,85 +1,43 @@
 """Top-level convenience API.
 
-These helpers are what the examples and most downstream users touch: a
-registry of predictors, a registry of benchmarks, and a one-call
-trace-driven simulation.
+These helpers are what the examples and most downstream users touch:
+registry lookups for predictors and benchmarks, and a one-call
+trace-driven simulation.  All of them are thin shims over the public
+plugin registries (:mod:`repro.registry`) and the :class:`repro.run.Session`
+facade — the same machinery the campaign engine and the ``python -m repro``
+CLI are built on.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.cache.hierarchy import HierarchyConfig
 from repro.core.interface import Prefetcher
-from repro.core.ltcords import FastLTCordsPrefetcher, LTCordsConfig, LTCordsPrefetcher
-from repro.prefetchers.dbcp import DBCPConfig, DBCPPrefetcher, FastDBCPPrefetcher
-from repro.prefetchers.ghb import FastGHBPrefetcher, GHBConfig, GHBPrefetcher
-from repro.prefetchers.null import NullPrefetcher
-from repro.prefetchers.stride import FastStridePrefetcher, StrideConfig, StridePrefetcher
-from repro.sim.trace_driven import SimulationResult, simulate_benchmark
+from repro.registry import build_predictor, predictor_names, workload_names
+from repro.run import RunSpec, Session
+from repro.sim.trace_driven import SimulationResult
 from repro.workloads.base import SyntheticWorkload, WorkloadConfig
-from repro.workloads.registry import BENCHMARK_NAMES, get_workload
+from repro.workloads.registry import get_workload
 
-#: Predictor classes by engine.  Fast and legacy variants are bit-identical
-#: (the engine-equivalence suite asserts it for every benchmark × predictor
-#: pair); "fast" is the default everywhere, "legacy" keeps the original
-#: object-based implementations for cross-checking and benchmarking.
-_PREDICTOR_CLASSES = {
-    "fast": {
-        "ltcords": FastLTCordsPrefetcher,
-        "dbcp": FastDBCPPrefetcher,
-        "ghb": FastGHBPrefetcher,
-        "stride": FastStridePrefetcher,
-    },
-    "legacy": {
-        "ltcords": LTCordsPrefetcher,
-        "dbcp": DBCPPrefetcher,
-        "ghb": GHBPrefetcher,
-        "stride": StridePrefetcher,
-    },
-}
-
-_DEFAULT_CONFIGS = {
-    "ltcords": LTCordsConfig,
-    "dbcp": DBCPConfig,
-    "ghb": GHBConfig,
-    "stride": StrideConfig,
-}
-
-_PREDICTOR_NAMES = ("dbcp", "dbcp-unlimited", "ghb", "ltcords", "none", "stride")
+__all__ = [
+    "available_benchmarks",
+    "available_predictors",
+    "build_predictor",
+    "build_workload",
+    "quick_simulation",
+    "run_campaign",
+]
 
 
 def available_benchmarks() -> List[str]:
-    """Names of every synthetic benchmark (matching the paper's Table 2)."""
-    return list(BENCHMARK_NAMES)
+    """Names of every registered benchmark (the paper's 28 plus any plugins)."""
+    return workload_names()
 
 
 def available_predictors() -> List[str]:
     """Names accepted by :func:`build_predictor` and :func:`quick_simulation`."""
-    return list(_PREDICTOR_NAMES)
-
-
-def build_predictor(name: str, config: Optional[object] = None, engine: str = "fast") -> Prefetcher:
-    """Construct a predictor by name (``ltcords``, ``dbcp``, ``dbcp-unlimited``, ``ghb``, ``stride``, ``none``).
-
-    ``engine`` selects the implementation family: ``"fast"`` (flat-state
-    predictors implementing the allocation-free per-access protocol, the
-    default) or ``"legacy"`` (the original object-based models).  Both
-    produce bit-identical simulation results.
-    """
-    try:
-        classes = _PREDICTOR_CLASSES[engine]
-    except KeyError:
-        raise ValueError(f"engine must be 'fast' or 'legacy', got {engine!r}") from None
-    if name == "none":
-        return NullPrefetcher()
-    if name == "dbcp-unlimited":
-        return classes["dbcp"](DBCPConfig.unlimited())
-    try:
-        cls = classes[name]
-    except KeyError:
-        raise KeyError(f"unknown predictor {name!r}; available: {', '.join(available_predictors())}") from None
-    return cls(config or _DEFAULT_CONFIGS[name]())
+    return predictor_names()
 
 
 def build_workload(name: str, num_accesses: int = 200_000, seed: int = 42) -> SyntheticWorkload:
@@ -98,20 +56,21 @@ def quick_simulation(
 ) -> SimulationResult:
     """Run one trace-driven simulation of ``predictor`` on ``benchmark``.
 
-    ``predictor_config`` is forwarded to :func:`build_predictor` and
-    ``hierarchy_config`` to :func:`simulate_benchmark`, so non-default
-    predictor and cache configurations are honoured rather than dropped.
-    ``engine`` selects both the simulator loop and the predictor
-    implementation family (results are bit-identical either way).
+    Thin shim over the :class:`~repro.run.Session` facade: the arguments
+    become a trace :class:`~repro.run.RunSpec` executed uncached, with
+    output bit-identical to the historical direct path.  Use a
+    :class:`~repro.run.Session` directly for cached, sweep-capable runs.
     """
-    return simulate_benchmark(
-        benchmark,
-        prefetcher=build_predictor(predictor, predictor_config, engine=engine),
+    spec = RunSpec(
+        benchmark=benchmark,
+        predictor=predictor,
+        predictor_config=predictor_config,
+        hierarchy_config=hierarchy_config,
         num_accesses=max_accesses,
         seed=seed,
-        hierarchy_config=hierarchy_config,
         engine=engine,
     )
+    return Session(use_cache=False).run(spec)
 
 
 def run_campaign(spec, jobs: Optional[int] = None, use_cache: bool = True, cache=None):

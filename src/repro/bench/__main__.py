@@ -11,6 +11,10 @@ A quick/full run writes ``BENCH_<name>.json`` and, when a baseline file
 exists (``BENCH_baseline.json`` by default), diffs the run against it
 and exits non-zero if any scenario's calibration-normalised throughput
 regressed more than the tolerance (25% by default).
+
+The same subcommand is mounted under the unified CLI as
+``python -m repro bench ...`` (see :mod:`repro.cli`);
+:func:`configure_parser` / :func:`run_cli` are the shared pieces.
 """
 
 from __future__ import annotations
@@ -33,11 +37,8 @@ from repro.bench.report import (
 from repro.bench.scenarios import derive_speedups, get_scenario, run_scenarios, scenario_names
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench",
-        description="Time repro micro/macro benchmarks and diff against a baseline.",
-    )
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the bench flags to ``parser`` (shared with ``python -m repro bench``)."""
     parser.add_argument("--list", action="store_true", help="list scenarios and exit")
     parser.add_argument("--quick", action="store_true",
                         help="run only the quick scenario set (the CI smoke set)")
@@ -57,16 +58,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help=f"also write the results as {DEFAULT_BASELINE_NAME}")
     parser.add_argument("--no-compare", action="store_true",
                         help="skip the baseline diff")
-    return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = _build_parser()
-    args = parser.parse_args(argv)
+def run_cli(args: argparse.Namespace) -> int:
+    """Execute a parsed bench invocation (invalid values raise ``ValueError``)."""
     if args.repeats is not None and args.repeats < 1:
-        parser.error("--repeats must be at least 1")
+        raise ValueError("--repeats must be at least 1")
     if args.scale <= 0:
-        parser.error("--scale must be positive")
+        raise ValueError("--scale must be positive")
 
     if args.list:
         for name in scenario_names():
@@ -116,6 +115,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     comparison = compare_reports(report, load_report(baseline_path), tolerance=args.tolerance)
     print(format_comparison(comparison))
     return 0 if comparison.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Time repro micro/macro benchmarks and diff against a baseline.",
+    )
+    configure_parser(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_cli(args)
+    except ValueError as error:
+        parser.error(str(error))
 
 
 if __name__ == "__main__":

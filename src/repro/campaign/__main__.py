@@ -18,33 +18,27 @@ Regenerate a paper figure/table through the campaign engine::
 Drop all cached results and artifacts::
 
     python -m repro.campaign clean
+
+The implementations are shared with the unified CLI (:mod:`repro.cli`):
+``run <name>`` is ``python -m repro figures <name>``, a bare ``run`` is
+``python -m repro sweep``, and ``list`` is a compact ``python -m repro
+info``.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import sys
 from typing import List, Optional
 
 from repro.campaign.artifacts import ArtifactStore
 from repro.campaign.cache import ResultCache
-from repro.campaign.runner import CampaignRunner
-from repro.campaign.spec import DEFAULT_NUM_ACCESSES, PredictorVariant, SweepSpec
-
-#: Paper figure/table campaigns runnable by name.  Each entry is the
-#: experiment-driver module (exposing ``run``/``format_results``) and a
-#: one-line description.
-NAMED_CAMPAIGNS = {
-    "fig4": ("repro.experiments.fig4_dbcp_sensitivity", "DBCP coverage vs correlation-table size"),
-    "fig8": ("repro.experiments.fig8_coverage", "LT-cords coverage vs unlimited DBCP"),
-    "fig9": ("repro.experiments.fig9_sigcache", "Coverage vs signature-cache size"),
-    "fig10": ("repro.experiments.fig10_storage", "Coverage vs off-chip sequence storage"),
-    "fig11": ("repro.experiments.fig11_multiprogram", "Multi-programmed coverage retention"),
-    "fig12": ("repro.experiments.fig12_bandwidth", "Memory-bus utilisation breakdown"),
-    "table2": ("repro.experiments.table2_baseline", "Baseline miss rates and IPC"),
-    "table3": ("repro.experiments.table3_speedup", "Speedup over the baseline processor"),
-}
+from repro.cli import (
+    NAMED_CAMPAIGNS,
+    configure_sweep_parser,
+    run_named_campaign,
+    run_sweep_cli,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,13 +52,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run a named campaign or an ad-hoc grid")
     run.add_argument("name", nargs="?", help=f"named campaign ({', '.join(NAMED_CAMPAIGNS)})")
-    run.add_argument("--benchmarks", nargs="+", help="benchmarks to sweep (default: representative subset)")
-    run.add_argument("--predictors", nargs="+", default=["ltcords"], help="predictors to cross with (ad-hoc grids)")
-    run.add_argument("--num-accesses", nargs="+", type=int, default=None, help="trace lengths to sweep")
-    run.add_argument("--seeds", nargs="+", type=int, default=None, help="workload seeds to sweep")
-    run.add_argument("--jobs", type=int, default=None, help="worker processes (default: REPRO_JOBS or CPU count)")
-    run.add_argument("--no-cache", action="store_true", help="bypass the result cache")
-    run.add_argument("--no-artifacts", action="store_true", help="skip writing JSON/CSV artifacts")
+    configure_sweep_parser(run)
 
     clean = sub.add_parser("clean", help="delete cached results and artifacts")
     clean.add_argument("--results-only", action="store_true", help="keep artifacts")
@@ -90,62 +78,6 @@ def _cmd_list() -> int:
     return 0
 
 
-def _run_named(args: argparse.Namespace) -> int:
-    module_name, description = NAMED_CAMPAIGNS[args.name]
-    module = importlib.import_module(module_name)
-    kwargs = {"runner": CampaignRunner(jobs=args.jobs, use_cache=not args.no_cache)}
-    if args.benchmarks is not None:
-        if args.name == "fig11":
-            raise ValueError("fig11 sweeps benchmark pairings; --benchmarks does not apply")
-        kwargs["benchmarks"] = args.benchmarks
-    if args.num_accesses is not None:
-        if len(args.num_accesses) != 1:
-            raise ValueError("named campaigns take exactly one --num-accesses value")
-        kwargs["num_accesses"] = args.num_accesses[0]
-    if args.seeds is not None:
-        if len(args.seeds) != 1:
-            raise ValueError("named campaigns take exactly one --seeds value")
-        kwargs["seed"] = args.seeds[0]
-    print(f"Running campaign {args.name!r} — {description}")
-    print(module.format_results(module.run(**kwargs)))
-    return 0
-
-
-def _run_adhoc(args: argparse.Namespace) -> int:
-    from repro.experiments.common import format_table, selected_benchmarks
-
-    benchmarks = selected_benchmarks(args.benchmarks)
-    spec = SweepSpec(
-        name="adhoc-" + "-".join(args.predictors),
-        benchmarks=benchmarks,
-        variants=[PredictorVariant(predictor) for predictor in args.predictors],
-        num_accesses=args.num_accesses if args.num_accesses is not None else [DEFAULT_NUM_ACCESSES],
-        seeds=args.seeds if args.seeds is not None else [42],
-    )
-    runner = CampaignRunner(jobs=args.jobs, use_cache=not args.no_cache)
-    print(f"Running {len(spec)} points over {len(benchmarks)} benchmarks (jobs={runner.jobs}) ...")
-    campaign = runner.run(spec)
-    print(format_table(
-        ["benchmark", "predictor", "accesses", "seed", "coverage", "accuracy"],
-        [
-            (
-                point.benchmark, point.predictor, point.num_accesses, point.seed,
-                f"{100 * result.coverage:.1f}%", f"{100 * result.prefetch_accuracy:.1f}%",
-            )
-            for point, result in campaign.items()
-        ],
-    ))
-    print(
-        f"\n{len(campaign)} points in {campaign.elapsed_seconds:.2f}s "
-        f"({campaign.cached_count} cached, {campaign.computed_count} computed, "
-        f"jobs={campaign.jobs})"
-    )
-    if not args.no_artifacts:
-        for path in ArtifactStore().write(campaign):
-            print(f"wrote {path}")
-    return 0
-
-
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.name:
         if args.name not in NAMED_CAMPAIGNS:
@@ -154,8 +86,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
-        return _run_named(args)
-    return _run_adhoc(args)
+        from repro.run import Session
+
+        if args.num_accesses is not None and len(args.num_accesses) != 1:
+            raise ValueError("named campaigns take exactly one --num-accesses value")
+        if args.seeds is not None and len(args.seeds) != 1:
+            raise ValueError("named campaigns take exactly one --seeds value")
+        return run_named_campaign(
+            args.name,
+            benchmarks=args.benchmarks,
+            num_accesses=args.num_accesses[0] if args.num_accesses else None,
+            seed=args.seeds[0] if args.seeds else None,
+            session=Session(engine=args.engine, jobs=args.jobs, use_cache=not args.no_cache),
+        )
+    return run_sweep_cli(args)
 
 
 def _cmd_clean(args: argparse.Namespace) -> int:

@@ -8,45 +8,32 @@ registered class name::
 
     {"__config__": "DBCPConfig", "table_entries": 2048, ...}
 
-and reconstructs the exact object on the way back.  Only the registered
+and reconstructs the exact object on the way back.  Only registered
 configuration classes are accepted — encoding an unknown object is an
 error rather than a silent, unstable ``repr`` (the encoded form also
 feeds the cache key, which must be deterministic).
+
+The class registry itself lives in :mod:`repro.registry`
+(:data:`~repro.registry.CONFIG_CLASSES`): predictor configs are added
+when their predictor registers, third-party configs via
+:func:`~repro.registry.register_config_class`, and the cache/hierarchy
+infrastructure classes are added below.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Type
+from typing import Any, Dict
 
 from repro.cache.config import CacheConfig
 from repro.cache.hierarchy import HierarchyConfig
-from repro.core.ltcords import LTCordsConfig
-from repro.core.sequence_storage import SequenceStorageConfig
-from repro.core.signature_cache import SignatureCacheConfig
-from repro.core.signatures import SignatureConfig
-from repro.prefetchers.dbcp import DBCPConfig
-from repro.prefetchers.ghb import GHBConfig
-from repro.prefetchers.stride import StrideConfig
+from repro.registry import CONFIG_CLASSES, register_config_class
 
 #: Marker key identifying an encoded configuration dataclass.
 CONFIG_TAG = "__config__"
 
-#: Every configuration class the campaign layer knows how to transport.
-CONFIG_CLASSES: Dict[str, Type[Any]] = {
-    cls.__name__: cls
-    for cls in (
-        CacheConfig,
-        HierarchyConfig,
-        SignatureConfig,
-        SignatureCacheConfig,
-        SequenceStorageConfig,
-        LTCordsConfig,
-        DBCPConfig,
-        GHBConfig,
-        StrideConfig,
-    )
-}
+for _cls in (CacheConfig, HierarchyConfig):
+    register_config_class(_cls)
 
 
 def encode_config(value: Any) -> Any:
@@ -63,14 +50,14 @@ def encode_config(value: Any) -> Any:
     if isinstance(value, dict):
         return {str(key): encode_config(item) for key, item in value.items()}
     cls_name = type(value).__name__
-    if dataclasses.is_dataclass(value) and cls_name in CONFIG_CLASSES:
+    if dataclasses.is_dataclass(value) and CONFIG_CLASSES.get(cls_name) is type(value):
         encoded: Dict[str, Any] = {CONFIG_TAG: cls_name}
         for field in dataclasses.fields(value):
             encoded[field.name] = encode_config(getattr(value, field.name))
         return encoded
     raise TypeError(
-        f"cannot encode {cls_name!r} for a campaign point; register it in "
-        "repro.campaign.configs.CONFIG_CLASSES"
+        f"cannot encode {cls_name!r} for a campaign point; register it with "
+        "repro.registry.register_config_class"
     )
 
 

@@ -39,60 +39,72 @@ def default_jobs() -> int:
 
 
 def execute_point(point: PointSpec) -> ResultType:
-    """Run one simulation point in-process and return its result object."""
-    if point.sim == "trace":
-        from repro.api import build_predictor
-        from repro.sim.trace_driven import simulate_benchmark
+    """Run one simulation point in-process and return its result object.
 
-        # Workers obtain the trace through the shared on-disk trace store
-        # (generated at most once per unique spec, then mmap-loaded — also
-        # across pool processes) and replay it through the requested engine
-        # ("fast" by default; "legacy" points exist for cross-checking).
-        return simulate_benchmark(
-            point.benchmark,
-            prefetcher=build_predictor(point.predictor, point.predictor_config, engine=point.engine),
-            num_accesses=point.num_accesses,
-            seed=point.seed,
-            hierarchy_config=point.hierarchy_config,
-            engine=point.engine,
-        )
-    if point.sim == "timing":
-        from repro.api import build_predictor
-        from repro.sim.timing import simulate_speedup
+    Delegates to :func:`repro.run.execute_spec`, the single dispatch
+    between specs and the simulator implementations (shared with the
+    :class:`repro.run.Session` facade).  Imported lazily to keep the
+    runner importable without the facade layer.
+    """
+    from repro.run import execute_spec
 
-        prefetcher = None
-        if point.predictor != "none":
-            prefetcher = build_predictor(point.predictor, point.predictor_config)
-        return simulate_speedup(
-            point.benchmark,
-            prefetcher=prefetcher,
-            num_accesses=point.num_accesses,
-            seed=point.seed,
-            hierarchy_config=point.hierarchy_config,
-            perfect_l1=point.perfect_l1,
-        )
-    if point.sim == "multiprogram":
-        from repro.sim.multiprogram import simulate_pair
+    return execute_spec(point)
 
-        if point.predictor != "ltcords":
-            raise ValueError("multiprogram points currently support only the ltcords predictor")
-        return simulate_pair(
-            point.benchmark,
-            point.secondary,
-            num_accesses=point.num_accesses,
-            quantum_instructions=point.quantum_instructions,
-            max_switches=point.max_switches,
-            seed=point.seed,
-            hierarchy_config=point.hierarchy_config,
-            ltcords_config=point.predictor_config,
-        )
-    raise ValueError(f"unknown sim kind {point.sim!r}")
+
+def _plugin_modules(point: PointSpec) -> List[str]:
+    """Modules outside the package that provide this point's registry entries.
+
+    Spawn-start pool workers (macOS/Windows default) import ``repro``
+    fresh, so third-party predictors/workloads registered by the parent
+    process would be unknown there.  Shipping the providing module names
+    with the payload lets the worker re-import them — re-running their
+    ``register_*`` calls — before decoding the point.  Plugins defined in
+    ``__main__`` cannot be re-imported and are omitted (they still work
+    on fork-start platforms and with ``jobs=1``).
+    """
+    from repro.registry import predictor_entry, workload_entry
+
+    modules = set()
+    try:
+        entry = predictor_entry(point.predictor)
+    except KeyError:
+        entry = None
+    if entry is not None:
+        for cls in set(entry.engines.values()):
+            modules.add(cls.__module__)
+        if entry.config_class is not None:
+            modules.add(entry.config_class.__module__)
+    for benchmark in (point.benchmark, point.secondary):
+        if benchmark:
+            try:
+                modules.add(workload_entry(benchmark).factory.__module__)
+            except KeyError:
+                pass
+    for config in (point.predictor_config, point.hierarchy_config):
+        if config is not None:
+            modules.add(type(config).__module__)
+    return sorted(
+        module for module in modules
+        if module and module != "__main__"
+        and module != "repro" and not module.startswith("repro.")
+    )
 
 
 def _execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Process-pool worker: decode a point, run it, return the encoded result."""
-    point = PointSpec.from_dict(payload)
-    return result_to_dict(point.sim, execute_point(point))
+    import importlib
+
+    from repro.run import execute_spec
+
+    for module in payload.get("plugins", ()):
+        importlib.import_module(module)
+    point = PointSpec.from_dict(payload["point"])
+    trace_store = None
+    if payload.get("trace_root") is not None:
+        from repro.trace.store import TraceStore
+
+        trace_store = TraceStore(payload["trace_root"])
+    return result_to_dict(point.sim, execute_spec(point, trace_store=trace_store))
 
 
 @dataclass
@@ -139,21 +151,34 @@ class CampaignRunner:
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         use_cache: bool = True,
+        trace_store: Optional[object] = None,
     ) -> None:
         self.jobs = jobs if jobs is not None else default_jobs()
         if self.jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.cache = cache if cache is not None else ResultCache()
         self.use_cache = use_cache and not cache_disabled()
+        #: TraceStore override threaded into every point execution (both
+        #: the serial path and, by root path, the pool workers); ``None``
+        #: keeps the ambient resolution (REPRO_TRACE_DIR etc.).
+        self.trace_store = trace_store
 
-    def run(self, spec: Union[SweepSpec, Sequence[PointSpec], Iterable[PointSpec]]) -> CampaignResult:
-        """Execute every point of ``spec``, reusing cached results."""
+    def run(
+        self,
+        spec: Union[SweepSpec, Sequence[PointSpec], Iterable[PointSpec]],
+        name: Optional[str] = None,
+    ) -> CampaignResult:
+        """Execute every point of ``spec``, reusing cached results.
+
+        ``name`` overrides the campaign name recorded on the result (bare
+        point lists default to ``"adhoc"``).
+        """
         if isinstance(spec, SweepSpec):
-            name = spec.name
+            name = name if name is not None else spec.name
             points = spec.points()
         else:
             points = list(spec)
-            name = "adhoc"
+            name = name if name is not None else "adhoc"
         started = time.monotonic()
 
         results: List[Optional[ResultType]] = [None] * len(points)
@@ -174,10 +199,20 @@ class CampaignRunner:
 
         workers = min(self.jobs, len(pending))
         if workers <= 1:
+            from repro.run import execute_spec
+
             for index in pending:
-                finish(index, execute_point(points[index]))
+                finish(index, execute_spec(points[index], trace_store=self.trace_store))
         else:
-            payloads = [points[index].to_dict() for index in pending]
+            trace_root = str(getattr(self.trace_store, "root")) if self.trace_store is not None else None
+            payloads = [
+                {
+                    "point": points[index].to_dict(),
+                    "plugins": _plugin_modules(points[index]),
+                    "trace_root": trace_root,
+                }
+                for index in pending
+            ]
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 for index, encoded in zip(pending, pool.map(_execute_point_payload, payloads)):
                     finish(index, result_from_dict(points[index].sim, encoded))

@@ -1,0 +1,403 @@
+"""The unified ``python -m repro`` command line.
+
+One front door for the whole reproduction, with subcommands sharing flag
+parsing and output formatting::
+
+    python -m repro info                       # registries, cache, trace store
+    python -m repro run mcf --predictor dbcp --accesses 20000
+    python -m repro run mcf --sim timing --perfect-l1
+    python -m repro sweep --benchmarks mcf swim --predictors ltcords ghb
+    python -m repro figures fig8 --quick       # paper figures/tables
+    python -m repro bench --quick              # perf harness (repro.bench)
+    python -m repro trace list                 # trace store (repro.trace)
+
+``run`` and ``sweep`` drive the :class:`repro.run.Session` facade;
+``figures`` runs the named experiment drivers; ``bench`` and ``trace``
+mount the existing harness CLIs as subcommands.  The per-subsystem entry
+points (``python -m repro.campaign`` etc.) remain and share these
+implementations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaign.spec import DEFAULT_NUM_ACCESSES, PredictorVariant, SweepSpec
+from repro.registry import ENGINE_NAMES, predictor_entry
+from repro.run import RunSpec, Session
+from repro.version import __version__
+
+#: Paper figure/table campaigns runnable by name (``figures`` subcommand
+#: and ``python -m repro.campaign run <name>``).  Each entry is the
+#: experiment-driver module (exposing ``run``/``format_results``) and a
+#: one-line description.
+NAMED_CAMPAIGNS = {
+    "fig4": ("repro.experiments.fig4_dbcp_sensitivity", "DBCP coverage vs correlation-table size"),
+    "fig8": ("repro.experiments.fig8_coverage", "LT-cords coverage vs unlimited DBCP"),
+    "fig9": ("repro.experiments.fig9_sigcache", "Coverage vs signature-cache size"),
+    "fig10": ("repro.experiments.fig10_storage", "Coverage vs off-chip sequence storage"),
+    "fig11": ("repro.experiments.fig11_multiprogram", "Multi-programmed coverage retention"),
+    "fig12": ("repro.experiments.fig12_bandwidth", "Memory-bus utilisation breakdown"),
+    "table2": ("repro.experiments.table2_baseline", "Baseline miss rates and IPC"),
+    "table3": ("repro.experiments.table3_speedup", "Speedup over the baseline processor"),
+}
+
+#: Trace length the ``--quick`` figure mode uses when none is given.
+QUICK_FIGURE_ACCESSES = 20_000
+
+
+# ---------------------------------------------------------------------------
+# Shared formatting (also used by python -m repro.campaign).
+# ---------------------------------------------------------------------------
+
+def format_table(headers, rows) -> str:
+    """Fixed-width text table (re-exported from the experiments layer)."""
+    from repro.experiments.common import format_table as _format_table
+
+    return _format_table(headers, rows)
+
+
+def format_result(result: Any) -> str:
+    """Human-readable summary of any simulation result kind."""
+    lines: List[str] = []
+    if hasattr(result, "breakdown") and hasattr(result, "prefetch_accuracy"):
+        # SimulationResult (functional trace-driven run).
+        b = result.breakdown
+        lines += [
+            f"benchmark            : {result.benchmark}",
+            f"predictor            : {result.predictor}",
+            f"references simulated : {result.num_accesses}",
+            f"baseline L1D misses  : {result.baseline_l1_misses} "
+            f"({100 * result.baseline_l1_miss_rate:.1f}% of accesses)",
+            f"baseline L2 miss rate: {100 * result.baseline_l2_miss_rate:.1f}%",
+            "opportunity breakdown (Figure 8 categories):",
+            f"  correct   : {b.coverage_pct:6.1f}%",
+            f"  incorrect : {b.incorrect_pct:6.1f}%",
+            f"  train     : {b.train_pct:6.1f}%",
+            f"  early     : {b.early_pct:6.1f}% (above 100%)",
+            f"prefetches issued/used: {result.prefetches_issued} / {result.prefetches_used} "
+            f"({100 * result.prefetch_accuracy:.1f}% accuracy)",
+        ]
+    elif hasattr(result, "ipc"):
+        # TimingResult.
+        lines += [
+            f"benchmark   : {result.benchmark}",
+            f"predictor   : {result.predictor}",
+            f"accesses    : {result.accesses}",
+            f"IPC         : {result.ipc:.3f}",
+            f"cycles      : {result.cycles:.0f}",
+            f"L1D misses  : {result.l1_misses} ({100 * result.l1_miss_rate:.1f}%)",
+            f"L2 misses   : {result.l2_misses}",
+        ]
+    elif hasattr(result, "primary_coverage"):
+        # MultiProgramResult.
+        lines += [
+            f"pairing               : {result.primary} + {result.secondary}",
+            f"{result.primary} coverage    : {100 * result.primary_coverage:.1f}% "
+            f"(standalone {100 * result.primary_standalone_coverage:.1f}%)",
+            f"{result.secondary} coverage    : {100 * result.secondary_coverage:.1f}% "
+            f"(standalone {100 * result.secondary_standalone_coverage:.1f}%)",
+            f"context switches      : {result.context_switches}",
+        ]
+    else:  # pragma: no cover - new result kinds format themselves via to_dict
+        lines.append(json.dumps(result.to_dict(), indent=2))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# run
+# ---------------------------------------------------------------------------
+
+def configure_run_parser(parser: argparse.ArgumentParser) -> None:
+    """Flags for running one simulation point through the Session facade."""
+    parser.add_argument("benchmark", help="benchmark name (see `info`)")
+    parser.add_argument("--predictor", default="ltcords", help="predictor name (default ltcords)")
+    parser.add_argument("--accesses", type=int, default=DEFAULT_NUM_ACCESSES,
+                        help=f"trace length (default {DEFAULT_NUM_ACCESSES})")
+    parser.add_argument("--seed", type=int, default=42, help="workload seed (default 42)")
+    parser.add_argument("--engine", choices=list(ENGINE_NAMES), default="fast",
+                        help="simulation engine (default fast)")
+    parser.add_argument("--sim", choices=["trace", "timing", "multiprogram"], default="trace",
+                        help="simulator kind (default trace)")
+    parser.add_argument("--perfect-l1", action="store_true",
+                        help="timing only: model a perfect L1D instead of a predictor")
+    parser.add_argument("--secondary", default=None,
+                        help="multiprogram only: co-scheduled benchmark")
+    parser.add_argument("--quantum-instructions", type=int, default=20_000,
+                        help="multiprogram only: context-switch quantum (default 20000)")
+    parser.add_argument("--max-switches", type=int, default=60,
+                        help="multiprogram only: context switches (default 60)")
+    parser.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the result as JSON instead of a summary")
+
+
+def run_point_cli(args: argparse.Namespace) -> int:
+    """Run one point (``python -m repro run ...``)."""
+    spec = RunSpec(
+        benchmark=args.benchmark,
+        predictor=args.predictor,
+        num_accesses=args.accesses,
+        seed=args.seed,
+        engine=args.engine,
+        sim=args.sim,
+        perfect_l1=args.perfect_l1,
+        secondary=args.secondary,
+        quantum_instructions=args.quantum_instructions,
+        max_switches=args.max_switches,
+    )
+    session = Session(use_cache=not args.no_cache)
+    started = time.monotonic()
+    result = session.run(spec)
+    elapsed = time.monotonic() - started
+    if args.as_json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_result(result))
+        print(f"elapsed     : {elapsed:.2f}s")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# sweep
+# ---------------------------------------------------------------------------
+
+def configure_sweep_parser(parser: argparse.ArgumentParser) -> None:
+    """Flags for an ad-hoc benchmark x predictor grid (shared with repro.campaign)."""
+    parser.add_argument("--benchmarks", nargs="+",
+                        help="benchmarks to sweep (default: representative subset)")
+    parser.add_argument("--predictors", nargs="+", default=["ltcords"],
+                        help="predictors to cross with (default: ltcords)")
+    parser.add_argument("--num-accesses", nargs="+", type=int, default=None,
+                        help="trace lengths to sweep")
+    parser.add_argument("--seeds", nargs="+", type=int, default=None,
+                        help="workload seeds to sweep")
+    parser.add_argument("--engine", choices=list(ENGINE_NAMES), default="fast",
+                        help="simulation engine for every point (default fast)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or CPU count)")
+    parser.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    parser.add_argument("--no-artifacts", action="store_true",
+                        help="skip writing JSON/CSV artifacts")
+
+
+def run_sweep_cli(args: argparse.Namespace) -> int:
+    """Run an ad-hoc grid through the Session facade and print a summary table."""
+    from repro.campaign.artifacts import ArtifactStore
+    from repro.experiments.common import selected_benchmarks
+
+    benchmarks = selected_benchmarks(args.benchmarks)
+    for predictor in args.predictors:
+        predictor_entry(predictor)  # fail fast with the available-names message
+    spec = SweepSpec(
+        name="adhoc-" + "-".join(args.predictors),
+        benchmarks=benchmarks,
+        variants=[PredictorVariant(predictor) for predictor in args.predictors],
+        num_accesses=args.num_accesses if args.num_accesses is not None else [DEFAULT_NUM_ACCESSES],
+        seeds=args.seeds if args.seeds is not None else [42],
+    )
+    session = Session(engine=args.engine, jobs=args.jobs, use_cache=not args.no_cache)
+    print(f"Running {len(spec)} points over {len(benchmarks)} benchmarks "
+          f"(jobs={session.runner.jobs}) ...")
+    campaign = session.sweep(spec)
+    print(format_table(
+        ["benchmark", "predictor", "accesses", "seed", "coverage", "accuracy"],
+        [
+            (
+                point.benchmark, point.predictor, point.num_accesses, point.seed,
+                f"{100 * result.coverage:.1f}%", f"{100 * result.prefetch_accuracy:.1f}%",
+            )
+            for point, result in campaign.items()
+        ],
+    ))
+    print(
+        f"\n{len(campaign)} points in {campaign.elapsed_seconds:.2f}s "
+        f"({campaign.cached_count} cached, {campaign.computed_count} computed, "
+        f"jobs={campaign.jobs})"
+    )
+    if not args.no_artifacts:
+        for path in ArtifactStore().write(campaign):
+            print(f"wrote {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# figures
+# ---------------------------------------------------------------------------
+
+def configure_figures_parser(parser: argparse.ArgumentParser) -> None:
+    """Flags for regenerating the paper's figures/tables by name."""
+    parser.add_argument("name", choices=sorted(NAMED_CAMPAIGNS) + ["all"],
+                        help="figure/table to regenerate (or 'all')")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"small smoke configuration (quick benchmark subset, "
+                             f"{QUICK_FIGURE_ACCESSES} accesses)")
+    parser.add_argument("--benchmarks", nargs="+", help="benchmarks to sweep")
+    parser.add_argument("--accesses", type=int, default=None, help="trace length per point")
+    parser.add_argument("--seed", type=int, default=None, help="workload seed")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or CPU count)")
+    parser.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+
+
+def run_named_campaign(
+    name: str,
+    benchmarks: Optional[List[str]] = None,
+    num_accesses: Optional[int] = None,
+    seed: Optional[int] = None,
+    session: Optional[Session] = None,
+    quick: bool = False,
+) -> int:
+    """Run one named figure/table driver and print its formatted results.
+
+    ``quick`` substitutes the quick benchmark subset and a short trace
+    length for anything not explicitly overridden (figure 11 sweeps
+    fixed benchmark pairings, so only the trace length applies there).
+    """
+    from repro.experiments.common import QUICK_BENCHMARKS
+
+    module_name, description = NAMED_CAMPAIGNS[name]
+    module = importlib.import_module(module_name)
+    kwargs: Dict[str, Any] = {"session": session if session is not None else Session()}
+    if quick:
+        if benchmarks is None and name != "fig11":
+            benchmarks = list(QUICK_BENCHMARKS)
+        if num_accesses is None:
+            num_accesses = QUICK_FIGURE_ACCESSES
+    if benchmarks is not None:
+        if name == "fig11":
+            raise ValueError("fig11 sweeps benchmark pairings; --benchmarks does not apply")
+        kwargs["benchmarks"] = benchmarks
+    if num_accesses is not None:
+        kwargs["num_accesses"] = num_accesses
+    if seed is not None:
+        kwargs["seed"] = seed
+    print(f"Running campaign {name!r} — {description}")
+    print(module.format_results(module.run(**kwargs)))
+    return 0
+
+
+def run_figures_cli(args: argparse.Namespace) -> int:
+    """Run one or all named figure/table campaigns."""
+    names = sorted(NAMED_CAMPAIGNS) if args.name == "all" else [args.name]
+    session = Session(jobs=args.jobs, use_cache=not args.no_cache)
+    for name in names:
+        benchmarks = args.benchmarks
+        if name == "fig11" and args.name == "all":
+            benchmarks = None  # fig11 has fixed pairings; don't reject an 'all' run
+        run_named_campaign(
+            name,
+            benchmarks=benchmarks,
+            num_accesses=args.accesses,
+            seed=args.seed,
+            session=session,
+            quick=args.quick,
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# info
+# ---------------------------------------------------------------------------
+
+def run_info_cli(args: argparse.Namespace) -> int:
+    """Print the environment snapshot: registries, cache, and trace store."""
+    session = Session()
+    info = session.info()
+    print(f"repro {info['version']} — Ferdman & Falsafi, ISPASS 2007 reproduction")
+    print()
+    print("Predictors:")
+    print(format_table(
+        ["name", "description"],
+        [(name, description) for name, description in sorted(info["predictors"].items())],
+    ))
+    print()
+    total = sum(len(names) for names in info["benchmarks"].values())
+    print(f"Benchmarks ({total}):")
+    for suite in sorted(info["benchmarks"]):
+        print(f"  {suite:<8}: {', '.join(sorted(info['benchmarks'][suite]))}")
+    print()
+    print("Figures/tables (python -m repro figures <name>):")
+    print(format_table(
+        ["name", "description"],
+        [(name, description) for name, (_, description) in sorted(NAMED_CAMPAIGNS.items())],
+    ))
+    print()
+    cache, store = info["cache"], info["trace_store"]
+    cache_state = "" if cache["enabled"] else " [disabled]"
+    store_state = "" if store["enabled"] else " [disabled]"
+    print(f"Result cache: {cache['root']} ({cache['entries']} entries, "
+          f"{cache['bytes']} bytes){cache_state}")
+    print(f"Trace store : {store['root']} ({store['entries']} traces, "
+          f"{store['bytes']} bytes, format v{store['format_version']}){store_state}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser assembly and dispatch.
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """The unified parser: every subsystem mounted as one subcommand."""
+    from repro.bench import __main__ as bench_cli
+    from repro.trace import __main__ as trace_cli
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduction of Last-Touch Correlated Data Streaming (ISPASS 2007).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    configure_run_parser(sub.add_parser(
+        "run", help="run one simulation point (cached)",
+        description="Run one simulation point through the Session facade."))
+    configure_sweep_parser(sub.add_parser(
+        "sweep", help="run an ad-hoc benchmark x predictor grid",
+        description="Run a cached, parallel sweep over a benchmark x predictor grid."))
+    configure_figures_parser(sub.add_parser(
+        "figures", help="regenerate a paper figure/table",
+        description="Run the named figure/table experiment drivers."))
+    bench_cli.configure_parser(sub.add_parser(
+        "bench", help="performance harness (repro.bench)",
+        description="Time repro micro/macro benchmarks and diff against a baseline."))
+    trace_cli.configure_parser(sub.add_parser(
+        "trace", help="trace-store management (repro.trace)",
+        description="List, prewarm or clean the content-addressed trace store."))
+    sub.add_parser(
+        "info", help="show registries, cache and trace-store state",
+        description="Show predictors, benchmarks, named figures, cache and trace-store state.")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Unified CLI entry point (``python -m repro``)."""
+    from repro.bench import __main__ as bench_cli
+    from repro.trace import __main__ as trace_cli
+
+    dispatch: Dict[str, Callable[[argparse.Namespace], int]] = {
+        "run": run_point_cli,
+        "sweep": run_sweep_cli,
+        "figures": run_figures_cli,
+        "bench": bench_cli.run_cli,
+        "trace": trace_cli.run_cli,
+        "info": run_info_cli,
+    }
+    args = build_parser().parse_args(argv)
+    try:
+        return dispatch[args.command](args)
+    except (KeyError, ValueError) as error:
+        # Bad benchmark/predictor names, malformed REPRO_JOBS, etc.: show
+        # the message, not a traceback.
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,13 +11,18 @@ pattern family; set the environment variable ``REPRO_FULL=1`` (or pass
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
 
+# Single-sourced from the spec layer (long enough for three to four
+# outer-loop iterations of the largest workloads); re-exported here for
+# the experiment drivers.
+from repro.campaign.spec import DEFAULT_NUM_ACCESSES
 from repro.workloads.registry import BENCHMARK_NAMES
 
-#: Default per-benchmark trace length for experiment runs (long enough for
-#: three to four outer-loop iterations of the largest workloads).
-DEFAULT_NUM_ACCESSES = 150_000
+if TYPE_CHECKING:
+    from repro.campaign.runner import CampaignResult, CampaignRunner
+    from repro.campaign.spec import PointSpec, SweepSpec
+    from repro.run import Session
 
 #: Small, fast subset used by the pytest-benchmark harnesses.
 QUICK_BENCHMARKS: List[str] = ["mcf", "swim", "em3d", "gzip"]
@@ -46,6 +51,25 @@ def selected_benchmarks(benchmarks: Optional[Sequence[str]] = None) -> List[str]
     if os.environ.get("REPRO_FULL", "").strip() in {"1", "true", "yes"}:
         return list(BENCHMARK_NAMES)
     return list(REPRESENTATIVE_BENCHMARKS)
+
+
+def run_sweep(
+    spec: "SweepSpec | Sequence[PointSpec]",
+    runner: "Optional[CampaignRunner]" = None,
+    session: "Optional[Session]" = None,
+) -> "CampaignResult":
+    """Execute a driver's sweep through the :class:`~repro.run.Session` facade.
+
+    Every figure/table driver funnels its campaign through here, so the
+    facade owns caching and parallelism for all of them.  An explicit
+    ``runner`` (the drivers' historical parameter) is adopted by the
+    session; passing both prefers the session.
+    """
+    from repro.run import Session
+
+    if session is None:
+        session = Session(runner=runner) if runner is not None else Session()
+    return session.sweep(spec)
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.campaign.runner import CampaignRunner
+
 from repro.campaign.spec import PredictorVariant, SweepSpec
 from repro.core.ltcords import LTCordsConfig
 from repro.core.sequence_storage import SequenceStorageConfig
-from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
+from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, run_sweep, selected_benchmarks
+if TYPE_CHECKING:
+    from repro.run import Session
 
 #: Off-chip capacities swept, in signatures.  The paper sweeps 2M..32M for
 #: full-size benchmarks; the scaled traces create tens of thousands of
@@ -65,6 +68,7 @@ def run(
     seed: int = 42,
     fragment_size: int = 512,
     runner: Optional[CampaignRunner] = None,
+    session: Optional["Session"] = None,
 ) -> StorageSweep:
     """Sweep the number of off-chip frames (capacity = frames x fragment size)."""
     spec = sweep(
@@ -75,7 +79,7 @@ def run(
         fragment_size=fragment_size,
     )
     names = list(spec.benchmarks)
-    campaign = (runner or CampaignRunner()).run(spec)
+    campaign = run_sweep(spec, runner=runner, session=session)
     coverage: Dict[str, List[float]] = {name: [] for name in names}
     for capacity in capacities:
         for name in names:

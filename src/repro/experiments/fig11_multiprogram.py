@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, TYPE_CHECKING, Tuple
 
 from repro.campaign.runner import CampaignRunner
+
 from repro.campaign.spec import PointSpec, SweepSpec
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, run_sweep
 from repro.sim.multiprogram import MultiProgramResult
+if TYPE_CHECKING:
+    from repro.run import Session
 
 #: The benchmark pairings shown in Figure 11 of the paper (primary, secondary).
 DEFAULT_PAIRINGS: Tuple[Tuple[str, str], ...] = (
@@ -63,6 +66,7 @@ def run(
     max_switches: int = 60,
     seed: int = 42,
     runner: Optional[CampaignRunner] = None,
+    session: Optional["Session"] = None,
 ) -> List[MultiProgramRow]:
     """Simulate each pairing under shared LT-cords structures."""
     spec = sweep(
@@ -72,7 +76,7 @@ def run(
         max_switches=max_switches,
         seed=seed,
     )
-    campaign = (runner or CampaignRunner()).run(spec)
+    campaign = run_sweep(spec, runner=runner, session=session)
     return [MultiProgramRow(result=result) for result in campaign.results]
 
 

@@ -11,12 +11,15 @@ reports the same normalised metric for the average and worst benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.campaign.runner import CampaignRunner
+
 from repro.campaign.spec import PredictorVariant, SweepSpec
-from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
+from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, run_sweep, selected_benchmarks
 from repro.prefetchers.dbcp import DBCPConfig
+if TYPE_CHECKING:
+    from repro.run import Session
 
 #: Default sweep of correlation-table capacities (in signatures).  The
 #: paper sweeps 160KB..320MB (~32K..64M signatures at 5 bytes each); the
@@ -62,11 +65,12 @@ def run(
     num_accesses: int = DEFAULT_NUM_ACCESSES,
     seed: int = 42,
     runner: Optional[CampaignRunner] = None,
+    session: Optional["Session"] = None,
 ) -> DBCPSensitivityResult:
     """Sweep DBCP table sizes and normalise coverage to the unlimited table."""
     spec = sweep(benchmarks, table_sizes=table_sizes, num_accesses=num_accesses, seed=seed)
     names = list(spec.benchmarks)
-    campaign = (runner or CampaignRunner()).run(spec)
+    campaign = run_sweep(spec, runner=runner, session=session)
 
     unlimited = {name: campaign.one(benchmark=name, label="unlimited").coverage for name in names}
     # Benchmarks with no achievable coverage cannot be normalised; drop them.

@@ -3,14 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.campaign.runner import CampaignRunner
+
 from repro.campaign.spec import PredictorVariant, SweepSpec
 from repro.core.ltcords import LTCordsConfig
 from repro.core.sequence_storage import SequenceStorageConfig
 from repro.core.signature_cache import SignatureCacheConfig
-from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
+from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, run_sweep, selected_benchmarks
+if TYPE_CHECKING:
+    from repro.run import Session
 
 #: Signature-cache sizes swept (entries).  The paper sweeps 128 .. 128K.
 DEFAULT_SIZES = (128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
@@ -63,6 +66,7 @@ def run(
     seed: int = 42,
     associativity: int = 8,
     runner: Optional[CampaignRunner] = None,
+    session: Optional["Session"] = None,
 ) -> SignatureCacheSweep:
     """Sweep signature-cache sizes, normalising to the largest size swept.
 
@@ -74,7 +78,7 @@ def run(
         benchmarks, sizes=sizes, num_accesses=num_accesses, seed=seed, associativity=associativity
     )
     names = list(spec.benchmarks)
-    campaign = (runner or CampaignRunner()).run(spec)
+    campaign = run_sweep(spec, runner=runner, session=session)
     per_benchmark: Dict[str, Dict[int, float]] = {name: {} for name in names}
     for size in sizes:
         for name in names:

@@ -7,15 +7,18 @@ prefetcher, a realistic (2MB-table) DBCP, and a baseline with a 4MB L2.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.cache.config import L2_4MB_CONFIG
 from repro.cache.hierarchy import HierarchyConfig
 from repro.campaign.runner import CampaignRunner
+
 from repro.campaign.spec import PointSpec, SweepSpec
-from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, selected_benchmarks
+from repro.experiments.common import DEFAULT_NUM_ACCESSES, format_table, run_sweep, selected_benchmarks
 from repro.prefetchers.dbcp import DBCPConfig
 from repro.workloads.registry import benchmark_metadata
+if TYPE_CHECKING:
+    from repro.run import Session
 
 CONFIGURATIONS = ("perfect-l1", "ltcords", "ghb", "dbcp", "4mb-l2")
 
@@ -95,10 +98,11 @@ def run(
     seed: int = 42,
     configurations: Sequence[str] = CONFIGURATIONS,
     runner: Optional[CampaignRunner] = None,
+    session: Optional["Session"] = None,
 ) -> List[SpeedupRow]:
     """Measure Table 3's speedups for each benchmark and configuration."""
     spec = sweep(benchmarks, num_accesses=num_accesses, seed=seed, configurations=configurations)
-    campaign = (runner or CampaignRunner()).run(spec)
+    campaign = run_sweep(spec, runner=runner, session=session)
     rows: List[SpeedupRow] = []
     for name in selected_benchmarks(benchmarks):
         baseline = campaign.one(benchmark=name, label="baseline")

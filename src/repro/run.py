@@ -1,0 +1,296 @@
+"""The unified run facade: :class:`RunSpec` + :class:`Session`.
+
+Every simulation entry point in the package routes through this module.
+A :class:`RunSpec` (the campaign layer's :class:`~repro.campaign.spec.PointSpec`
+under its facade name) pins down one simulation completely — benchmark,
+predictor and config, hierarchy, trace length, seed, simulator kind, and
+engine — and round-trips losslessly through JSON.  A :class:`Session`
+owns everything *around* a spec: engine selection, trace-store
+resolution, result caching, and sweep execution::
+
+    from repro import RunSpec, Session
+
+    session = Session()
+    result = session.run("mcf", predictor="dbcp", num_accesses=50_000)
+    table = session.compare("mcf", ["ltcords", "ghb", "stride"])
+    campaign = session.sweep(sweep_spec)          # cached, parallel
+
+The classic helpers (``quick_simulation``, ``simulate_speedup``,
+``simulate_pair``) are thin shims over this facade with their historical
+signatures and bit-identical output; the campaign runner's
+``execute_point`` delegates to :func:`execute_spec` so in-process,
+pooled, and facade execution share one dispatch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.campaign.cache import ResultCache, ResultType, cache_disabled
+from repro.campaign.runner import CampaignResult, CampaignRunner
+from repro.campaign.spec import PointSpec, SweepSpec
+from repro.registry import build_predictor
+
+#: The facade name for a fully-specified simulation point.  ``RunSpec`` is
+#: a thin alias of :class:`~repro.campaign.spec.PointSpec` — one class,
+#: one serialisation, one cache key — so specs flow between single runs,
+#: sweeps, the process pool, and the on-disk caches without conversion.
+RunSpec = PointSpec
+
+SpecLike = Union[str, PointSpec]
+
+
+def execute_spec(
+    spec: PointSpec,
+    *,
+    prefetcher: Optional[object] = None,
+    system_config: Optional[object] = None,
+    trace_store: Optional[object] = None,
+) -> ResultType:
+    """Run one simulation spec in-process and return its result object.
+
+    This is the single dispatch point between a spec and the simulator
+    implementations; the campaign worker and :meth:`Session.run` both
+    land here.  ``prefetcher`` overrides the predictor the spec would
+    build (used by the classic instance-based shims; such runs are not
+    cacheable because the spec no longer captures the predictor state),
+    ``system_config`` feeds the timing model, and ``trace_store``
+    overrides the default on-disk trace store.
+    """
+    if spec.sim == "trace":
+        from repro.sim.trace_driven import simulate_benchmark
+
+        # The trace comes from the shared on-disk trace store (generated
+        # at most once per unique spec, then mmap-loaded — also across
+        # pool processes) and replays through the requested engine.
+        return simulate_benchmark(
+            spec.benchmark,
+            prefetcher=prefetcher
+            if prefetcher is not None
+            else build_predictor(spec.predictor, spec.predictor_config, engine=spec.engine),
+            num_accesses=spec.num_accesses,
+            seed=spec.seed,
+            hierarchy_config=spec.hierarchy_config,
+            engine=spec.engine,
+            trace_store=trace_store,
+        )
+    if spec.sim == "timing":
+        from repro.sim.timing import _simulate_speedup
+
+        if prefetcher is None and spec.predictor != "none":
+            prefetcher = build_predictor(spec.predictor, spec.predictor_config)
+        return _simulate_speedup(
+            spec.benchmark,
+            prefetcher=prefetcher,
+            num_accesses=spec.num_accesses,
+            seed=spec.seed,
+            hierarchy_config=spec.hierarchy_config,
+            system_config=system_config,
+            perfect_l1=spec.perfect_l1,
+            trace_store=trace_store,
+        )
+    if spec.sim == "multiprogram":
+        from repro.sim.multiprogram import _simulate_pair
+
+        if spec.predictor != "ltcords":
+            raise ValueError("multiprogram points currently support only the ltcords predictor")
+        return _simulate_pair(
+            spec.benchmark,
+            spec.secondary,
+            num_accesses=spec.num_accesses,
+            quantum_instructions=spec.quantum_instructions,
+            max_switches=spec.max_switches,
+            seed=spec.seed,
+            hierarchy_config=spec.hierarchy_config,
+            ltcords_config=spec.predictor_config,
+            trace_store=trace_store,
+        )
+    raise ValueError(f"unknown sim kind {spec.sim!r}")
+
+
+class Session:
+    """Facade owning engine selection, caching, and trace-store resolution.
+
+    Parameters
+    ----------
+    engine:
+        Default simulation engine applied to specs built from keyword
+        form (``session.run("mcf", ...)``); explicit :class:`RunSpec`
+        objects keep their own engine.  ``None`` keeps the spec default
+        (``"fast"``).
+    jobs:
+        Worker processes for :meth:`sweep` (default: ``REPRO_JOBS`` or
+        the CPU count; single runs always execute in-process).
+    cache / use_cache:
+        Result-cache overrides; caching also honours ``REPRO_NO_CACHE``.
+    trace_store:
+        A :class:`~repro.trace.store.TraceStore` overriding the default
+        resolution (``REPRO_TRACE_DIR`` / ``REPRO_NO_TRACE_STORE``).
+    runner:
+        A prebuilt :class:`CampaignRunner` to adopt (its cache settings
+        win); used by the experiment drivers' back-compat paths.
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        use_cache: bool = True,
+        trace_store: Optional[object] = None,
+        runner: Optional[CampaignRunner] = None,
+    ) -> None:
+        self.engine = engine
+        self.jobs = jobs
+        self.trace_store = trace_store
+        self._runner = runner
+        if runner is not None:
+            self._cache: Optional[ResultCache] = runner.cache
+            self.use_cache = runner.use_cache
+        else:
+            self._cache = cache
+            self.use_cache = use_cache and not cache_disabled()
+
+    # ------------------------------------------------------------------ plumbing
+    @property
+    def cache(self) -> ResultCache:
+        """The result cache (created lazily so cache-off sessions touch no disk)."""
+        if self._cache is None:
+            self._cache = ResultCache()
+        return self._cache
+
+    @property
+    def runner(self) -> CampaignRunner:
+        """The campaign runner :meth:`sweep` executes through (built lazily)."""
+        if self._runner is None:
+            self._runner = CampaignRunner(
+                jobs=self.jobs,
+                cache=self.cache if self.use_cache else None,
+                use_cache=self.use_cache,
+                trace_store=self.trace_store,
+            )
+        return self._runner
+
+    def spec(self, spec: SpecLike, **overrides: Any) -> PointSpec:
+        """Normalise a benchmark name or existing spec into a :class:`RunSpec`.
+
+        Keyword overrides replace fields; the session's default ``engine``
+        applies only when the caller did not choose one.
+        """
+        if isinstance(spec, PointSpec):
+            return dataclasses.replace(spec, **overrides) if overrides else spec
+        if self.engine is not None and overrides.get("sim", "trace") == "trace":
+            # Only trace points have an engine choice (timing/multiprogram
+            # specs reject a non-default engine).
+            overrides.setdefault("engine", self.engine)
+        return RunSpec(benchmark=spec, **overrides)
+
+    # ------------------------------------------------------------------ execution
+    def run(
+        self,
+        spec: SpecLike,
+        *,
+        prefetcher: Optional[object] = None,
+        system_config: Optional[object] = None,
+        use_cache: Optional[bool] = None,
+        **overrides: Any,
+    ) -> ResultType:
+        """Run one simulation point, serving and feeding the result cache.
+
+        ``spec`` is a :class:`RunSpec` or a benchmark name plus keyword
+        fields (``session.run("mcf", predictor="dbcp")``).  Runs with a
+        ``prefetcher`` instance or a ``system_config`` override bypass the
+        cache (the spec alone no longer determines the result), as do
+        specs whose configs are not registered for serialisation.
+        """
+        spec = self.spec(spec, **overrides)
+        cacheable = (
+            (self.use_cache if use_cache is None else use_cache and not cache_disabled())
+            and prefetcher is None
+            and system_config is None
+        )
+        if cacheable:
+            try:
+                cached = self.cache.get(spec)
+            except TypeError:
+                # Spec carries an unregistered config class: uncacheable.
+                cacheable = False
+            else:
+                if cached is not None:
+                    return cached
+        result = execute_spec(
+            spec,
+            prefetcher=prefetcher,
+            system_config=system_config,
+            trace_store=self.trace_store,
+        )
+        if cacheable:
+            self.cache.put(spec, result)
+        return result
+
+    def sweep(
+        self,
+        spec: Union[SweepSpec, Sequence[PointSpec], Iterable[PointSpec]],
+    ) -> CampaignResult:
+        """Execute a :class:`SweepSpec` (or a bare list of points) through the
+        campaign runner: cache-first, then fanned out across the process pool.
+
+        Mirroring how :meth:`run` treats keyword-form specs, the session's
+        default ``engine`` is applied to the trace points a
+        :class:`SweepSpec` generates (its grid has no engine axis), while
+        explicit point lists keep each point's own engine — so fast-vs-
+        legacy cross-check lists survive intact.  The session's trace
+        store is threaded into both the serial path and the pool workers.
+        """
+        if self.engine is None or not isinstance(spec, SweepSpec):
+            return self.runner.run(spec)
+        points = [
+            dataclasses.replace(point, engine=self.engine)
+            if point.sim == "trace" and point.engine != self.engine
+            else point
+            for point in spec.points()
+        ]
+        return self.runner.run(points, name=spec.name)
+
+    def compare(
+        self,
+        benchmark: str,
+        predictors: Sequence[str] = ("ltcords", "dbcp", "ghb", "stride"),
+        **overrides: Any,
+    ) -> Dict[str, ResultType]:
+        """Run several predictors on one benchmark; results keyed by predictor name."""
+        return {name: self.run(benchmark, predictor=name, **overrides) for name in predictors}
+
+    # ------------------------------------------------------------------ introspection
+    def info(self) -> Dict[str, Any]:
+        """Environment snapshot: version, registries, cache and trace-store state."""
+        from repro.registry import predictor_entry, predictor_names, workload_entry, workload_names
+        from repro.trace.store import TRACE_FORMAT_VERSION, TraceStore, store_disabled
+        from repro.version import __version__
+
+        suites: Dict[str, List[str]] = {}
+        for name in workload_names():
+            suites.setdefault(workload_entry(name).metadata.suite, []).append(name)
+        store = self.trace_store if self.trace_store is not None else TraceStore()
+        return {
+            "version": __version__,
+            "predictors": {
+                name: predictor_entry(name).description for name in predictor_names()
+            },
+            "benchmarks": suites,
+            "cache": {
+                "root": str(self.cache.root),
+                "enabled": self.use_cache,
+                "entries": self.cache.entry_count(),
+                "bytes": self.cache.size_bytes(),
+            },
+            "trace_store": {
+                "root": str(store.root),
+                "enabled": not store_disabled(),
+                "format_version": TRACE_FORMAT_VERSION,
+                "entries": len(store.entries()),
+                "bytes": store.size_bytes(),
+            },
+        }

@@ -128,7 +128,7 @@ def _coverage_by_app(
     return coverage(0), coverage(1)
 
 
-def simulate_pair(
+def _simulate_pair(
     primary: str,
     secondary: str,
     num_accesses: int = 120_000,
@@ -137,17 +137,16 @@ def simulate_pair(
     seed: int = 42,
     hierarchy_config: Optional[HierarchyConfig] = None,
     ltcords_config: Optional[LTCordsConfig] = None,
+    trace_store: Optional[object] = None,
 ) -> MultiProgramResult:
-    """Simulate ``primary`` co-scheduled with ``secondary`` under shared LT-cords state.
-
-    ``num_accesses`` is the per-application trace length; ``quantum_instructions``
-    is the (scaled) integer-application context-switch quantum.
-    """
+    """Multi-programmed-simulation implementation (``repro.run.execute_spec`` target)."""
     from repro.trace.store import load_or_generate_trace
 
     config = WorkloadConfig(num_accesses=num_accesses, seed=seed)
-    primary_trace = load_or_generate_trace(primary, config)
-    secondary_trace = shift_addresses(load_or_generate_trace(secondary, config), DEFAULT_ADDRESS_SHIFT)
+    primary_trace = load_or_generate_trace(primary, config, store=trace_store)
+    secondary_trace = shift_addresses(
+        load_or_generate_trace(secondary, config, store=trace_store), DEFAULT_ADDRESS_SHIFT
+    )
 
     interleaved = interleave_quantum(
         [primary_trace, secondary_trace],
@@ -182,3 +181,38 @@ def simulate_pair(
         secondary_standalone_coverage=standalone[secondary],
         context_switches=max_switches,
     )
+
+
+def simulate_pair(
+    primary: str,
+    secondary: str,
+    num_accesses: int = 120_000,
+    quantum_instructions: int = 20_000,
+    max_switches: int = 60,
+    seed: int = 42,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    ltcords_config: Optional[LTCordsConfig] = None,
+) -> MultiProgramResult:
+    """Simulate ``primary`` co-scheduled with ``secondary`` under shared LT-cords state.
+
+    ``num_accesses`` is the per-application trace length; ``quantum_instructions``
+    is the (scaled) integer-application context-switch quantum.  Thin shim
+    over the :class:`repro.run.Session` facade: the pairing is expressed
+    as a multiprogram :class:`~repro.run.RunSpec` and executed uncached,
+    bit-identical to the historical direct path.
+    """
+    from repro.run import RunSpec, Session
+
+    spec = RunSpec(
+        benchmark=primary,
+        secondary=secondary,
+        sim="multiprogram",
+        predictor="ltcords",
+        predictor_config=ltcords_config,
+        num_accesses=num_accesses,
+        quantum_instructions=quantum_instructions,
+        max_switches=max_switches,
+        seed=seed,
+        hierarchy_config=hierarchy_config,
+    )
+    return Session(use_cache=False).run(spec)

@@ -165,6 +165,31 @@ class TimingSimulator:
         )
 
 
+def _simulate_speedup(
+    benchmark: str,
+    prefetcher: Optional[Prefetcher] = None,
+    num_accesses: int = 100_000,
+    seed: int = 42,
+    hierarchy_config: Optional[HierarchyConfig] = None,
+    system_config: Optional[SystemConfig] = None,
+    perfect_l1: bool = False,
+    trace_store: Optional[object] = None,
+) -> TimingResult:
+    """Timing-simulation implementation (``repro.run.execute_spec`` target)."""
+    from repro.trace.store import load_or_generate_trace
+
+    trace = load_or_generate_trace(
+        benchmark, WorkloadConfig(num_accesses=num_accesses, seed=seed), store=trace_store
+    )
+    simulator = TimingSimulator(
+        prefetcher=prefetcher,
+        hierarchy_config=hierarchy_config,
+        system_config=system_config,
+        perfect_l1=perfect_l1,
+    )
+    return simulator.run(trace)
+
+
 def simulate_speedup(
     benchmark: str,
     prefetcher: Optional[Prefetcher] = None,
@@ -174,14 +199,23 @@ def simulate_speedup(
     system_config: Optional[SystemConfig] = None,
     perfect_l1: bool = False,
 ) -> TimingResult:
-    """Obtain the trace for ``benchmark`` (via the trace store) and run one timing simulation."""
-    from repro.trace.store import load_or_generate_trace
+    """Obtain the trace for ``benchmark`` (via the trace store) and run one timing simulation.
 
-    trace = load_or_generate_trace(benchmark, WorkloadConfig(num_accesses=num_accesses, seed=seed))
-    simulator = TimingSimulator(
-        prefetcher=prefetcher,
+    Thin shim over the :class:`repro.run.Session` facade: the call is
+    expressed as a timing :class:`~repro.run.RunSpec` and executed
+    uncached (a passed ``prefetcher`` instance or ``system_config`` is
+    not captured by the spec), producing output bit-identical to the
+    historical direct path.
+    """
+    from repro.run import RunSpec, Session
+
+    spec = RunSpec(
+        benchmark=benchmark,
+        predictor=getattr(prefetcher, "name", "none") if prefetcher is not None else "none",
+        num_accesses=num_accesses,
+        seed=seed,
         hierarchy_config=hierarchy_config,
-        system_config=system_config,
+        sim="timing",
         perfect_l1=perfect_l1,
     )
-    return simulator.run(trace)
+    return Session(use_cache=False).run(spec, prefetcher=prefetcher, system_config=system_config)

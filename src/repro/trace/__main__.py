@@ -8,6 +8,10 @@ Examples::
     python -m repro.trace clean
 
 The store root is ``.repro_traces`` (override with ``REPRO_TRACE_DIR``).
+
+The same subcommand is mounted under the unified CLI as
+``python -m repro trace ...`` (see :mod:`repro.cli`);
+:func:`configure_parser` / :func:`run_cli` are the shared pieces.
 """
 
 from __future__ import annotations
@@ -18,17 +22,17 @@ from typing import List, Optional
 
 from repro.trace.store import TRACE_FORMAT_VERSION, TraceStore
 from repro.workloads.base import WorkloadConfig
-from repro.workloads.registry import BENCHMARK_NAMES
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.trace",
-        description="List, prewarm or clean the content-addressed trace store.",
-    )
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the trace-store flags and subcommands to ``parser``.
+
+    The subcommand lands in ``args.trace_command`` so the parser nests
+    cleanly under the unified CLI's own subcommand tree.
+    """
     parser.add_argument("--root", default=None,
                         help="store root (default .repro_traces or $REPRO_TRACE_DIR)")
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="trace_command", required=True)
 
     sub.add_parser("list", help="list stored traces")
 
@@ -41,14 +45,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="seeds to warm (default: 42)")
 
     sub.add_parser("clean", help="delete every stored trace")
-    return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+def run_cli(args: argparse.Namespace) -> int:
+    """Execute a parsed trace-store invocation."""
     store = TraceStore(args.root)
+    command = args.trace_command
 
-    if args.command == "list":
+    if command == "list":
         entries = store.entries()
         if not entries:
             print(f"trace store {store.root} is empty (format v{TRACE_FORMAT_VERSION})")
@@ -63,9 +67,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"{len(entries)} trace(s), {total / (1 << 20):.1f}MB under {store.root}")
         return 0
 
-    if args.command == "prewarm":
-        benchmarks = args.benchmark or BENCHMARK_NAMES
-        unknown = sorted(set(benchmarks) - set(BENCHMARK_NAMES))
+    if command == "prewarm":
+        # Validate against the live registry so plugin workloads
+        # registered by the caller's environment prewarm too.
+        from repro.registry import workload_names
+
+        available = workload_names()
+        benchmarks = args.benchmark or available
+        unknown = sorted(set(benchmarks) - set(available))
         if unknown:
             print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
             return 2
@@ -82,12 +91,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 0
 
-    if args.command == "clean":
+    if command == "clean":
         removed = store.clean()
         print(f"removed {removed} stored trace(s) from {store.root}")
         return 0
 
-    raise AssertionError(f"unhandled command {args.command!r}")
+    raise AssertionError(f"unhandled command {command!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="List, prewarm or clean the content-addressed trace store.",
+    )
+    configure_parser(parser)
+    return run_cli(parser.parse_args(argv))
 
 
 if __name__ == "__main__":

@@ -1,18 +1,31 @@
 """The benchmark registry: one synthetic workload per paper benchmark.
 
-Each entry pairs the benchmark's :class:`WorkloadMetadata` (including the
-paper's Table 2 / Table 3 numbers, kept for paper-vs-measured reporting)
-with a factory that builds the calibrated synthetic workload.  Footprints
-are scaled to the simulator's cache sizes (64KB L1D / 1MB L2) so that each
-benchmark lands in the right qualitative band: which level it stresses,
-whether its reference sequence repeats, and whether its layout is regular
+Each factory below is registered through the public plugin registry
+(:func:`repro.registry.register_workload`) with the benchmark's
+:class:`WorkloadMetadata` — including the paper's Table 2 / Table 3
+numbers, kept for paper-vs-measured reporting.  Footprints are scaled to
+the simulator's cache sizes (64KB L1D / 1MB L2) so that each benchmark
+lands in the right qualitative band: which level it stresses, whether its
+reference sequence repeats, and whether its layout is regular
 (delta-friendly) or irregular (address-correlation territory).
+
+Third-party benchmarks register the same way::
+
+    from repro.registry import register_workload
+
+    @register_workload(WorkloadMetadata(name="mybench", suite="custom", ...))
+    def _mybench(meta, cfg):
+        return PointerChaseWorkload(meta, cfg, num_nodes=1 << 16)
+
+Table 2 tuples are (L1 miss %, L2 miss %, IPC); Table 3 tuples are
+(% speedup for Perfect L1, LT-cords, GHB, DBCP, 4MB L2).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
+from repro.registry import register_workload, workload_entry, workload_names
 from repro.workloads.base import SyntheticWorkload, WorkloadConfig, WorkloadMetadata
 from repro.workloads.olden import BarnesHutWorkload, Em3dWorkload, TreeAddWorkload
 from repro.workloads.spec_like import (
@@ -24,8 +37,6 @@ from repro.workloads.spec_like import (
     StreamingWorkload,
     StridedLoopWorkload,
 )
-
-WorkloadFactory = Callable[[WorkloadMetadata, Optional[WorkloadConfig]], SyntheticWorkload]
 
 
 def _meta(
@@ -57,6 +68,8 @@ def _meta(
 # in DESIGN.md; the registry is the single place they are defined.
 # ---------------------------------------------------------------------------
 
+@register_workload(_meta("ammp", "SPECfp", "molecular dynamics: neighbour-list pointer chasing plus hashed bins",
+                         (15, 24, 1.07), (212, 95, 46, 100, 22)))
 def _ammp(meta, cfg):
     return MixedWorkload(
         meta,
@@ -68,54 +81,78 @@ def _ammp(meta, cfg):
     )
 
 
+@register_workload(_meta("applu", "SPECfp", "parabolic/elliptic PDE solver: repeated multi-array sweeps",
+                         (34, 68, 1.53), (162, 39, 40, 0, 4)))
 def _applu(meta, cfg):
     return StridedLoopWorkload(meta, cfg, num_arrays=4, blocks_per_array=4096, accesses_per_block=3)
 
 
+@register_workload(_meta("apsi", "SPECfp", "pollutant-distribution model: small arrays with heavy reuse",
+                         (6, 16, 2.69), (26, 9, 2, 0, 0)))
 def _apsi(meta, cfg):
     return StridedLoopWorkload(meta, cfg, num_arrays=3, blocks_per_array=1024, accesses_per_block=16)
 
 
+@register_workload(_meta("art", "SPECfp", "neural-network image recognition: indirect weight gathers",
+                         (60, 63, 0.72), (301, 197, 16, 24, 91)))
 def _art(meta, cfg):
     return IndirectGatherWorkload(meta, cfg, num_entries=24576, target_blocks=20480)
 
 
+@register_workload(_meta("bzip2", "SPECint", "block-sorting compression: hashed/randomised table accesses",
+                         (4, 21, 1.56), (43, 4, 6, 0, 22)))
 def _bzip2(meta, cfg):
     return HashedWorkload(meta, cfg, footprint_blocks=4096, hot_blocks=256, hot_accesses_per_probe=15.0)
 
 
+@register_workload(_meta("crafty", "SPECint", "chess: cache-resident hot set",
+                         (0, 2, 2.24), (3, 1, 0, 0, 0)))
 def _crafty(meta, cfg):
     return HotSetWorkload(meta, cfg, hot_blocks=384, cold_blocks=4096, cold_fraction=0.003)
 
 
+@register_workload(_meta("eon", "SPECint", "probabilistic ray tracer: cache-resident hot set",
+                         (0, 0, 1.94), (1, 0, 0, 0, 0)))
 def _eon(meta, cfg):
     return HotSetWorkload(meta, cfg, hot_blocks=320, cold_blocks=2048, cold_fraction=0.002)
 
 
+@register_workload(_meta("equake", "SPECfp", "seismic wave propagation: sparse-matrix indirect gathers",
+                         (31, 85, 0.68), (470, 267, 113, 0, 2)))
 def _equake(meta, cfg):
     return IndirectGatherWorkload(
         meta, cfg, num_entries=16384, target_blocks=18432, write_target=True, extra_sequential_blocks=4096
     )
 
 
+@register_workload(_meta("facerec", "SPECfp", "face recognition: repeated image-array sweeps",
+                         (22, 42, 2.04), (141, 76, 60, 58, 56)))
 def _facerec(meta, cfg):
     return StridedLoopWorkload(meta, cfg, num_arrays=3, blocks_per_array=4096, accesses_per_block=4)
 
 
+@register_workload(_meta("fma3d", "SPECfp", "finite-element crash simulation: multi-array sweeps",
+                         (11, 62, 1.74), (155, 108, 65, 0, 0)))
 def _fma3d(meta, cfg):
     return StridedLoopWorkload(meta, cfg, num_arrays=4, blocks_per_array=2048, accesses_per_block=6)
 
 
+@register_workload(_meta("galgel", "SPECfp", "fluid dynamics: moderate-footprint array sweeps",
+                         (17, 16, 3.13), (67, 31, 16, 16, 47)))
 def _galgel(meta, cfg):
     return StridedLoopWorkload(meta, cfg, num_arrays=3, blocks_per_array=3072, accesses_per_block=5)
 
 
+@register_workload(_meta("gap", "SPECint", "group theory: regular streaming with little data reuse",
+                         (2, 54, 1.07), (65, 0, 46, 0, 1)))
 def _gap(meta, cfg):
     return StreamingWorkload(
         meta, cfg, region_blocks=1 << 17, accesses_per_block=4, hot_blocks=512, hot_accesses_per_block=12
     )
 
 
+@register_workload(_meta("gcc", "SPECint", "compiler: pointer-linked IR traversal plus hot bookkeeping",
+                         (38, 3, 2.71), (29, 22, 5, 6, 7)))
 def _gcc(meta, cfg):
     return MixedWorkload(
         meta,
@@ -127,26 +164,38 @@ def _gcc(meta, cfg):
     )
 
 
+@register_workload(_meta("gzip", "SPECint", "LZ77 compression: hashed dictionary probes",
+                         (5, 2, 1.55), (17, 0, 0, 0, 0)))
 def _gzip(meta, cfg):
     return HashedWorkload(meta, cfg, footprint_blocks=2048, hot_blocks=256, hot_accesses_per_probe=8.0)
 
 
+@register_workload(_meta("lucas", "SPECfp", "Lucas-Lehmer primality: very large FFT-style array sweeps",
+                         (44, 67, 1.25), (211, 27, 49, 0, 0)))
 def _lucas(meta, cfg):
     return StridedLoopWorkload(meta, cfg, num_arrays=2, blocks_per_array=12288, accesses_per_block=2)
 
 
+@register_workload(_meta("mcf", "SPECint", "vehicle scheduling: network-simplex pointer chasing over a large graph",
+                         (53, 67, 0.08), (1637, 385, 143, 465, 245)))
 def _mcf(meta, cfg):
     return PointerChaseWorkload(meta, cfg, num_nodes=24576, fields_per_node=2, num_chains=6)
 
 
+@register_workload(_meta("mesa", "SPECfp", "software OpenGL: cache-resident hot set with a moderate cold region",
+                         (2, 25, 3.76), (9, 3, 2, 1, 0)))
 def _mesa(meta, cfg):
     return HotSetWorkload(meta, cfg, hot_blocks=640, cold_blocks=12288, cold_fraction=0.02)
 
 
+@register_workload(_meta("mgrid", "SPECfp", "multigrid solver: repeated grid sweeps",
+                         (18, 49, 1.56), (156, 88, 114, 0, 1)))
 def _mgrid(meta, cfg):
     return StridedLoopWorkload(meta, cfg, num_arrays=3, blocks_per_array=4096, accesses_per_block=5)
 
 
+@register_workload(_meta("parser", "SPECint", "natural-language parser: dictionary pointers plus hashed lookups",
+                         (6, 17, 1.14), (67, 15, 22, 2, 28)))
 def _parser(meta, cfg):
     return MixedWorkload(
         meta,
@@ -159,22 +208,32 @@ def _parser(meta, cfg):
     )
 
 
+@register_workload(_meta("perlbmk", "SPECint", "perl interpreter: cache-resident hot set",
+                         (2, 14, 1.58), (31, 3, 7, 4, 5)))
 def _perlbmk(meta, cfg):
     return HotSetWorkload(meta, cfg, hot_blocks=512, cold_blocks=8192, cold_fraction=0.02)
 
 
+@register_workload(_meta("sixtrack", "SPECfp", "accelerator design: cache-resident hot set",
+                         (1, 74, 4.29), (10, 3, 0, 7, 1)))
 def _sixtrack(meta, cfg):
     return HotSetWorkload(meta, cfg, hot_blocks=512, cold_blocks=20480, cold_fraction=0.01)
 
 
+@register_workload(_meta("swim", "SPECfp", "shallow-water model: large repeated multi-array sweeps",
+                         (49, 59, 1.18), (338, 242, 43, 0, 0)))
 def _swim(meta, cfg):
     return StridedLoopWorkload(meta, cfg, num_arrays=3, blocks_per_array=8192, accesses_per_block=2)
 
 
+@register_workload(_meta("twolf", "SPECint", "place and route: randomised move evaluation (hash-like)",
+                         (15, 12, 0.84), (89, 0, -8, 0, 56)))
 def _twolf(meta, cfg):
     return HashedWorkload(meta, cfg, footprint_blocks=3072, hot_blocks=256, hot_accesses_per_probe=3.5)
 
 
+@register_workload(_meta("vortex", "SPECint", "object database: mostly-resident working set with pointer lookups",
+                         (4, 16, 3.11), (54, 3, 0, 3, 1)))
 def _vortex(meta, cfg):
     return MixedWorkload(
         meta,
@@ -186,117 +245,57 @@ def _vortex(meta, cfg):
     )
 
 
+@register_workload(_meta("wupwise", "SPECfp", "lattice QCD: array sweeps with heavy per-element reuse",
+                         (9, 72, 2.66), (93, 40, 51, 0, 0)))
 def _wupwise(meta, cfg):
     return StridedLoopWorkload(meta, cfg, num_arrays=3, blocks_per_array=2048, accesses_per_block=8)
 
 
+@register_workload(_meta("bh", "Olden", "Barnes-Hut n-body: per-body walks of a pointer-linked spatial tree",
+                         (7, 94, 0.67), (262, 206, 2, 153, 8)))
 def _bh(meta, cfg):
     return BarnesHutWorkload(
         meta, cfg, num_bodies=512, num_cells=16384, cells_per_body=20, stack_accesses_per_cell=6
     )
 
 
+@register_workload(_meta("em3d", "Olden", "electromagnetic propagation over a bipartite pointer graph",
+                         (67, 87, 0.50), (439, 247, 33, 0, 12)))
 def _em3d(meta, cfg):
     return Em3dWorkload(meta, cfg, nodes_per_side=8192, degree=3)
 
 
+@register_workload(_meta("treeadd", "Olden", "recursive sum over a large binary tree",
+                         (5, 92, 0.24), (266, 224, 179, 0, 0)))
 def _treeadd(meta, cfg):
     return TreeAddWorkload(meta, cfg, num_nodes=12288, stack_accesses_per_node=6, stack_blocks=128)
 
 
 # ---------------------------------------------------------------------------
-# Registry.  Table 2 tuples are (L1 miss %, L2 miss %, IPC); Table 3 tuples
-# are (% speedup for Perfect L1, LT-cords, GHB, DBCP, 4MB L2).
+# Derived name lists (snapshots of the paper's benchmark set; dynamically
+# registered benchmarks are visible through repro.registry.workload_names).
 # ---------------------------------------------------------------------------
 
-_REGISTRY: Dict[str, Tuple[WorkloadMetadata, WorkloadFactory]] = {}
+BENCHMARK_NAMES: List[str] = workload_names()
 
 
-def _register(meta: WorkloadMetadata, factory: WorkloadFactory) -> None:
-    if meta.name in _REGISTRY:
-        raise ValueError(f"benchmark {meta.name!r} registered twice")
-    _REGISTRY[meta.name] = (meta, factory)
+def _suite_names(suite: str) -> List[str]:
+    return sorted(n for n in BENCHMARK_NAMES if workload_entry(n).metadata.suite == suite)
 
 
-_register(_meta("ammp", "SPECfp", "molecular dynamics: neighbour-list pointer chasing plus hashed bins",
-                (15, 24, 1.07), (212, 95, 46, 100, 22)), _ammp)
-_register(_meta("applu", "SPECfp", "parabolic/elliptic PDE solver: repeated multi-array sweeps",
-                (34, 68, 1.53), (162, 39, 40, 0, 4)), _applu)
-_register(_meta("apsi", "SPECfp", "pollutant-distribution model: small arrays with heavy reuse",
-                (6, 16, 2.69), (26, 9, 2, 0, 0)), _apsi)
-_register(_meta("art", "SPECfp", "neural-network image recognition: indirect weight gathers",
-                (60, 63, 0.72), (301, 197, 16, 24, 91)), _art)
-_register(_meta("bzip2", "SPECint", "block-sorting compression: hashed/randomised table accesses",
-                (4, 21, 1.56), (43, 4, 6, 0, 22)), _bzip2)
-_register(_meta("crafty", "SPECint", "chess: cache-resident hot set",
-                (0, 2, 2.24), (3, 1, 0, 0, 0)), _crafty)
-_register(_meta("eon", "SPECint", "probabilistic ray tracer: cache-resident hot set",
-                (0, 0, 1.94), (1, 0, 0, 0, 0)), _eon)
-_register(_meta("equake", "SPECfp", "seismic wave propagation: sparse-matrix indirect gathers",
-                (31, 85, 0.68), (470, 267, 113, 0, 2)), _equake)
-_register(_meta("facerec", "SPECfp", "face recognition: repeated image-array sweeps",
-                (22, 42, 2.04), (141, 76, 60, 58, 56)), _facerec)
-_register(_meta("fma3d", "SPECfp", "finite-element crash simulation: multi-array sweeps",
-                (11, 62, 1.74), (155, 108, 65, 0, 0)), _fma3d)
-_register(_meta("galgel", "SPECfp", "fluid dynamics: moderate-footprint array sweeps",
-                (17, 16, 3.13), (67, 31, 16, 16, 47)), _galgel)
-_register(_meta("gap", "SPECint", "group theory: regular streaming with little data reuse",
-                (2, 54, 1.07), (65, 0, 46, 0, 1)), _gap)
-_register(_meta("gcc", "SPECint", "compiler: pointer-linked IR traversal plus hot bookkeeping",
-                (38, 3, 2.71), (29, 22, 5, 6, 7)), _gcc)
-_register(_meta("gzip", "SPECint", "LZ77 compression: hashed dictionary probes",
-                (5, 2, 1.55), (17, 0, 0, 0, 0)), _gzip)
-_register(_meta("lucas", "SPECfp", "Lucas-Lehmer primality: very large FFT-style array sweeps",
-                (44, 67, 1.25), (211, 27, 49, 0, 0)), _lucas)
-_register(_meta("mcf", "SPECint", "vehicle scheduling: network-simplex pointer chasing over a large graph",
-                (53, 67, 0.08), (1637, 385, 143, 465, 245)), _mcf)
-_register(_meta("mesa", "SPECfp", "software OpenGL: cache-resident hot set with a moderate cold region",
-                (2, 25, 3.76), (9, 3, 2, 1, 0)), _mesa)
-_register(_meta("mgrid", "SPECfp", "multigrid solver: repeated grid sweeps",
-                (18, 49, 1.56), (156, 88, 114, 0, 1)), _mgrid)
-_register(_meta("parser", "SPECint", "natural-language parser: dictionary pointers plus hashed lookups",
-                (6, 17, 1.14), (67, 15, 22, 2, 28)), _parser)
-_register(_meta("perlbmk", "SPECint", "perl interpreter: cache-resident hot set",
-                (2, 14, 1.58), (31, 3, 7, 4, 5)), _perlbmk)
-_register(_meta("sixtrack", "SPECfp", "accelerator design: cache-resident hot set",
-                (1, 74, 4.29), (10, 3, 0, 7, 1)), _sixtrack)
-_register(_meta("swim", "SPECfp", "shallow-water model: large repeated multi-array sweeps",
-                (49, 59, 1.18), (338, 242, 43, 0, 0)), _swim)
-_register(_meta("twolf", "SPECint", "place and route: randomised move evaluation (hash-like)",
-                (15, 12, 0.84), (89, 0, -8, 0, 56)), _twolf)
-_register(_meta("vortex", "SPECint", "object database: mostly-resident working set with pointer lookups",
-                (4, 16, 3.11), (54, 3, 0, 3, 1)), _vortex)
-_register(_meta("wupwise", "SPECfp", "lattice QCD: array sweeps with heavy per-element reuse",
-                (9, 72, 2.66), (93, 40, 51, 0, 0)), _wupwise)
-_register(_meta("bh", "Olden", "Barnes-Hut n-body: per-body walks of a pointer-linked spatial tree",
-                (7, 94, 0.67), (262, 206, 2, 153, 8)), _bh)
-_register(_meta("em3d", "Olden", "electromagnetic propagation over a bipartite pointer graph",
-                (67, 87, 0.50), (439, 247, 33, 0, 12)), _em3d)
-_register(_meta("treeadd", "Olden", "recursive sum over a large binary tree",
-                (5, 92, 0.24), (266, 224, 179, 0, 0)), _treeadd)
-
-
-BENCHMARK_NAMES: List[str] = sorted(_REGISTRY)
-SPEC_INT_BENCHMARKS: List[str] = sorted(n for n, (m, _) in _REGISTRY.items() if m.suite == "SPECint")
-SPEC_FP_BENCHMARKS: List[str] = sorted(n for n, (m, _) in _REGISTRY.items() if m.suite == "SPECfp")
-OLDEN_BENCHMARKS: List[str] = sorted(n for n, (m, _) in _REGISTRY.items() if m.suite == "Olden")
+SPEC_INT_BENCHMARKS: List[str] = _suite_names("SPECint")
+SPEC_FP_BENCHMARKS: List[str] = _suite_names("SPECfp")
+OLDEN_BENCHMARKS: List[str] = _suite_names("Olden")
 
 
 def benchmark_metadata(name: str) -> WorkloadMetadata:
     """Metadata (including the paper's reported numbers) for ``name``."""
-    try:
-        return _REGISTRY[name][0]
-    except KeyError:
-        raise KeyError(f"unknown benchmark {name!r}; available: {', '.join(BENCHMARK_NAMES)}") from None
+    return workload_entry(name).metadata
 
 
 def get_workload(name: str, config: Optional[WorkloadConfig] = None) -> SyntheticWorkload:
     """Build the synthetic workload for benchmark ``name``."""
-    try:
-        meta, factory = _REGISTRY[name]
-    except KeyError:
-        raise KeyError(f"unknown benchmark {name!r}; available: {', '.join(BENCHMARK_NAMES)}") from None
-    return factory(meta, config)
+    return workload_entry(name).build(config)
 
 
 def iter_benchmarks(
@@ -304,8 +303,8 @@ def iter_benchmarks(
     config: Optional[WorkloadConfig] = None,
 ) -> Iterator[SyntheticWorkload]:
     """Yield workloads for every benchmark (optionally restricted to one suite)."""
-    for name in BENCHMARK_NAMES:
-        meta, factory = _REGISTRY[name]
-        if suite is not None and meta.suite != suite:
+    for name in workload_names():
+        entry = workload_entry(name)
+        if suite is not None and entry.metadata.suite != suite:
             continue
-        yield factory(meta, config)
+        yield entry.build(config)
