@@ -36,12 +36,15 @@ from repro.api import (
     quick_simulation,
     run_campaign,
 )
+from repro.multicore import MulticoreResult, MulticoreSpec
 from repro.registry import register_config_class, register_predictor, register_workload
 from repro.run import RunSpec, Session
 from repro.version import __version__
 
 __all__ = [
     "__version__",
+    "MulticoreResult",
+    "MulticoreSpec",
     "RunSpec",
     "Session",
     "available_benchmarks",

@@ -427,6 +427,52 @@ _register_simulation_pair("mcf", "ghb", 100_000, quick=False)
 _register_simulation_pair("swim", "stride", 100_000, quick=False)
 
 
+def _build_multicore(benchmarks, predictor: str, accesses: int, engine: str):
+    def build(scale: float):
+        count = _scaled(accesses, scale)
+
+        def make_task():
+            # Times the whole co-run end to end (trace loads warm after
+            # the first repeat, like the single-core sim scenarios).
+            def task():
+                from repro.multicore import MulticoreSpec, simulate_multicore
+
+                return simulate_multicore(MulticoreSpec(
+                    benchmarks=benchmarks,
+                    predictors=(predictor,),
+                    num_accesses=count,
+                    seed=42,
+                    engine=engine,
+                ))
+
+            return task
+
+        return make_task, count * len(benchmarks)
+
+    return build
+
+
+_register(Scenario(
+    name="sim.multicore.2x",
+    description="2-core shared-L2 co-run (mcf+art, dbcp, 60k accesses/core), fast engine",
+    build=_build_multicore(("mcf", "art"), "dbcp", 60_000, "fast"),
+    repeats=3,
+))
+_register(Scenario(
+    name="sim.multicore.2x.legacy",
+    description="2-core shared-L2 co-run (mcf+art, dbcp, 60k accesses/core), legacy engine",
+    build=_build_multicore(("mcf", "art"), "dbcp", 60_000, "legacy"),
+    repeats=3,
+    speedup_of="sim.multicore.2x",
+))
+_register(Scenario(
+    name="sim.multicore.4x",
+    description="4-core shared-L2 co-run (mcf+art+swim+gzip, ltcords, 40k accesses/core)",
+    build=_build_multicore(("mcf", "art", "swim", "gzip"), "ltcords", 40_000, "fast"),
+    repeats=3,
+))
+
+
 def _build_dbcp_replay(scale: float):
     from repro.workloads.base import WorkloadConfig
     from repro.workloads.registry import get_workload

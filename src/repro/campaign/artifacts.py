@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Union
 from repro.campaign.cache import default_cache_dir, result_to_dict
 from repro.campaign.runner import CampaignResult
 from repro.campaign.spec import PointSpec
+from repro.multicore.result import MulticoreResult
 from repro.sim.multiprogram import MultiProgramResult
 from repro.sim.timing import TimingResult
 from repro.sim.trace_driven import SimulationResult
@@ -51,15 +52,30 @@ def _headline_metrics(result: Any) -> Dict[str, Any]:
             "primary_standalone_coverage": result.primary_standalone_coverage,
             "retention": result.primary_coverage_retention,
         }
+    if isinstance(result, MulticoreResult):
+        return {
+            "coverage": result.coverage,
+            "prefetch_accuracy": result.prefetch_accuracy,
+            "shared_l2_miss_rate": result.shared_l2_miss_rate,
+            "cross_core_evictions": result.cross_core_evictions,
+            "prefetch_cross_core_evictions": result.total_prefetch_cross_core_evictions,
+        }
     raise TypeError(f"unknown result type {type(result).__name__}")
 
 
 def _point_columns(point: PointSpec) -> Dict[str, Any]:
-    """Identifying CSV columns for one point."""
+    """Identifying CSV columns for one point (any spec shape)."""
+    benchmarks = getattr(point, "benchmarks", None)
+    if benchmarks:
+        benchmark = "+".join(benchmarks)
+        predictor = "/".join(point.core_predictors)
+    else:
+        benchmark = point.benchmark
+        predictor = point.predictor
     return {
-        "benchmark": point.benchmark,
-        "secondary": point.secondary or "",
-        "predictor": point.predictor,
+        "benchmark": benchmark,
+        "secondary": getattr(point, "secondary", None) or "",
+        "predictor": predictor,
         "label": point.label or "",
         "sim": point.sim,
         "num_accesses": point.num_accesses,

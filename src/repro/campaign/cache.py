@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.campaign.spec import PointSpec
+from repro.multicore.result import MulticoreResult
 from repro.sim.multiprogram import MultiProgramResult
 from repro.sim.timing import TimingResult
 from repro.sim.trace_driven import SimulationResult
@@ -34,9 +35,10 @@ RESULT_CLASSES = {
     "trace": SimulationResult,
     "timing": TimingResult,
     "multiprogram": MultiProgramResult,
+    "multicore": MulticoreResult,
 }
 
-ResultType = Union[SimulationResult, TimingResult, MultiProgramResult]
+ResultType = Union[SimulationResult, TimingResult, MultiProgramResult, MulticoreResult]
 
 
 def default_cache_dir() -> Path:

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.campaign.cache import ResultCache, ResultType, cache_disabled, result_from_dict, result_to_dict
-from repro.campaign.spec import PointSpec, SweepSpec
+from repro.campaign.spec import PointSpec, SweepSpec, spec_from_dict
 
 
 def default_jobs() -> int:
@@ -61,26 +61,41 @@ def _plugin_modules(point: PointSpec) -> List[str]:
     ``register_*`` calls — before decoding the point.  Plugins defined in
     ``__main__`` cannot be re-imported and are omitted (they still work
     on fork-start platforms and with ``jobs=1``).
+
+    Works on any spec shape: single-predictor :class:`PointSpec` fields
+    and the per-core plural fields of a multicore spec are both read.
     """
     from repro.registry import predictor_entry, workload_entry
 
     modules = set()
-    try:
-        entry = predictor_entry(point.predictor)
-    except KeyError:
-        entry = None
-    if entry is not None:
+    predictors = list(getattr(point, "core_predictors", ()) or ())
+    if not predictors:
+        predictors = [getattr(point, "predictor", None)]
+    for name in predictors:
+        if not name:
+            continue
+        try:
+            entry = predictor_entry(name)
+        except KeyError:
+            continue
         for cls in set(entry.engines.values()):
             modules.add(cls.__module__)
         if entry.config_class is not None:
             modules.add(entry.config_class.__module__)
-    for benchmark in (point.benchmark, point.secondary):
+    benchmarks = list(getattr(point, "benchmarks", ()) or ())
+    if not benchmarks:
+        benchmarks = [getattr(point, "benchmark", None), getattr(point, "secondary", None)]
+    for benchmark in benchmarks:
         if benchmark:
             try:
                 modules.add(workload_entry(benchmark).factory.__module__)
             except KeyError:
                 pass
-    for config in (point.predictor_config, point.hierarchy_config):
+    configs = list(getattr(point, "core_predictor_configs", ()) or ())
+    if not configs:
+        configs = [getattr(point, "predictor_config", None)]
+    configs.append(getattr(point, "hierarchy_config", None))
+    for config in configs:
         if config is not None:
             modules.add(type(config).__module__)
     return sorted(
@@ -98,7 +113,7 @@ def _execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     for module in payload.get("plugins", ()):
         importlib.import_module(module)
-    point = PointSpec.from_dict(payload["point"])
+    point = spec_from_dict(payload["point"])
     trace_store = None
     if payload.get("trace_root") is not None:
         from repro.trace.store import TraceStore

@@ -129,6 +129,22 @@ class PointSpec:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def spec_from_dict(data: Dict[str, Any], label: Optional[str] = None):
+    """Decode any spec kind from its ``to_dict`` payload.
+
+    The ``sim`` discriminator selects the class: ``"multicore"`` payloads
+    rebuild a :class:`~repro.multicore.spec.MulticoreSpec` (imported
+    lazily to keep this module dependency-light), everything else a
+    :class:`PointSpec`.  Pool workers and any other spec-transport layer
+    should decode through here rather than ``PointSpec.from_dict``.
+    """
+    if data.get("sim") == "multicore":
+        from repro.multicore.spec import MulticoreSpec
+
+        return MulticoreSpec.from_dict(data, label=label)
+    return PointSpec.from_dict(data, label=label)
+
+
 @dataclass(frozen=True)
 class PredictorVariant:
     """One predictor axis value: a predictor name, its config, and a label."""

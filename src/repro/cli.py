@@ -94,6 +94,29 @@ def format_result(result: Any) -> str:
             f"L1D misses  : {result.l1_misses} ({100 * result.l1_miss_rate:.1f}%)",
             f"L2 misses   : {result.l2_misses}",
         ]
+    elif hasattr(result, "per_core"):
+        # MulticoreResult.
+        lines.append(
+            f"cores                : {result.num_cores} "
+            f"({result.interleave} interleave)"
+        )
+        for index, core in enumerate(result.per_core):
+            lines.append(
+                f"  core{index} {result.benchmarks[index]}/{core.predictor}: "
+                f"coverage {100 * core.coverage:.1f}%, "
+                f"accuracy {100 * core.prefetch_accuracy:.1f}%, "
+                f"L1D miss rate {100 * core.baseline_l1_miss_rate:.1f}% (baseline)"
+            )
+        lines += [
+            f"aggregate coverage   : {100 * result.coverage:.1f}% "
+            f"({100 * result.prefetch_accuracy:.1f}% accuracy)",
+            f"shared L2            : {result.shared_l2_accesses} accesses, "
+            f"{100 * result.shared_l2_miss_rate:.1f}% miss rate",
+            f"cross-core evictions : {result.cross_core_evictions} "
+            f"(prefetch-caused per core: {result.prefetch_cross_core_evictions})",
+            f"bus                  : {sum(result.bus_bytes.values())} bytes, "
+            f"occupancy {100 * result.bus_occupancy():.1f}% (est. at 1 IPC)",
+        ]
     elif hasattr(result, "primary_coverage"):
         # MultiProgramResult.
         lines += [
@@ -115,8 +138,18 @@ def format_result(result: Any) -> str:
 
 def configure_run_parser(parser: argparse.ArgumentParser) -> None:
     """Flags for running one simulation point through the Session facade."""
-    parser.add_argument("benchmark", help="benchmark name (see `info`)")
-    parser.add_argument("--predictor", default="ltcords", help="predictor name (default ltcords)")
+    parser.add_argument("benchmark",
+                        help="benchmark name (see `info`); a comma-separated list "
+                             "(e.g. mcf,art) co-runs one benchmark per core through "
+                             "the shared-L2 multicore simulator")
+    parser.add_argument("--predictor", default="ltcords",
+                        help="predictor name (default ltcords); comma-separate for "
+                             "a heterogeneous per-core mix in multicore runs")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="co-run N cores over a shared L2 (benchmark names cycle "
+                             "to fill the cores)")
+    parser.add_argument("--interleave", choices=["rr", "icount"], default="rr",
+                        help="multicore only: core interleaving policy (default rr)")
     parser.add_argument("--accesses", type=int, default=DEFAULT_NUM_ACCESSES,
                         help=f"trace length (default {DEFAULT_NUM_ACCESSES})")
     parser.add_argument("--seed", type=int, default=42, help="workload seed (default 42)")
@@ -137,20 +170,64 @@ def configure_run_parser(parser: argparse.ArgumentParser) -> None:
                         help="print the result as JSON instead of a summary")
 
 
-def run_point_cli(args: argparse.Namespace) -> int:
-    """Run one point (``python -m repro run ...``)."""
-    spec = RunSpec(
-        benchmark=args.benchmark,
-        predictor=args.predictor,
+def _multicore_spec_from_args(args: argparse.Namespace):
+    """Build a :class:`~repro.multicore.MulticoreSpec` from run-subcommand flags."""
+    from repro.multicore import MulticoreSpec, expand_core_benchmarks
+    from repro.registry import workload_entry
+
+    if args.sim != "trace":
+        raise ValueError("--cores applies to the trace-driven simulator only")
+    if args.perfect_l1 or args.secondary is not None:
+        raise ValueError("--perfect-l1/--secondary do not apply to multicore runs")
+    if args.quantum_instructions != 20_000 or args.max_switches != 60:
+        raise ValueError(
+            "--quantum-instructions/--max-switches are multiprogram flags; "
+            "multicore interleaving is controlled by --interleave"
+        )
+    names = [name for name in args.benchmark.split(",") if name]
+    for name in names:
+        workload_entry(name)  # fail fast with the available-names message
+    if args.cores is not None and args.cores < len(names):
+        raise ValueError(
+            f"--cores {args.cores} is smaller than the {len(names)} per-core "
+            f"benchmarks given; drop --cores or name at most that many"
+        )
+    predictors = tuple(name for name in args.predictor.split(",") if name)
+    benchmarks = expand_core_benchmarks(names, args.cores if args.cores is not None else len(names))
+    if len(predictors) not in (1, len(benchmarks)):
+        raise ValueError(
+            f"--predictor must name one predictor or one per core "
+            f"({len(benchmarks)}), got {len(predictors)}"
+        )
+    return MulticoreSpec(
+        benchmarks=benchmarks,
+        predictors=predictors,
         num_accesses=args.accesses,
         seed=args.seed,
         engine=args.engine,
-        sim=args.sim,
-        perfect_l1=args.perfect_l1,
-        secondary=args.secondary,
-        quantum_instructions=args.quantum_instructions,
-        max_switches=args.max_switches,
+        interleave=args.interleave,
     )
+
+
+def run_point_cli(args: argparse.Namespace) -> int:
+    """Run one point (``python -m repro run ...``)."""
+    if args.cores is not None or "," in args.benchmark:
+        spec = _multicore_spec_from_args(args)
+    else:
+        if args.interleave != "rr":
+            raise ValueError("--interleave applies to multicore runs only (pass --cores)")
+        spec = RunSpec(
+            benchmark=args.benchmark,
+            predictor=args.predictor,
+            num_accesses=args.accesses,
+            seed=args.seed,
+            engine=args.engine,
+            sim=args.sim,
+            perfect_l1=args.perfect_l1,
+            secondary=args.secondary,
+            quantum_instructions=args.quantum_instructions,
+            max_switches=args.max_switches,
+        )
     session = Session(use_cache=not args.no_cache)
     started = time.monotonic()
     result = session.run(spec)
@@ -170,9 +247,16 @@ def run_point_cli(args: argparse.Namespace) -> int:
 def configure_sweep_parser(parser: argparse.ArgumentParser) -> None:
     """Flags for an ad-hoc benchmark x predictor grid (shared with repro.campaign)."""
     parser.add_argument("--benchmarks", nargs="+",
-                        help="benchmarks to sweep (default: representative subset)")
+                        help="benchmarks to sweep (default: representative subset); "
+                             "with --cores, each entry may be a comma-separated "
+                             "per-core group (e.g. mcf,art)")
     parser.add_argument("--predictors", nargs="+", default=["ltcords"],
                         help="predictors to cross with (default: ltcords)")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="sweep shared-L2 multicore co-runs of N cores instead of "
+                             "single-core points (single names co-run with themselves)")
+    parser.add_argument("--interleave", choices=["rr", "icount"], default="rr",
+                        help="multicore sweeps only: core interleaving policy (default rr)")
     parser.add_argument("--num-accesses", nargs="+", type=int, default=None,
                         help="trace lengths to sweep")
     parser.add_argument("--seeds", nargs="+", type=int, default=None,
@@ -186,34 +270,89 @@ def configure_sweep_parser(parser: argparse.ArgumentParser) -> None:
                         help="skip writing JSON/CSV artifacts")
 
 
+def _multicore_sweep_points(args: argparse.Namespace) -> List[Any]:
+    """Materialise a multicore co-run grid from sweep-subcommand flags."""
+    from repro.multicore import MulticoreSpec, expand_core_benchmarks
+    from repro.experiments.common import selected_benchmarks
+    from repro.registry import workload_entry
+
+    entries = args.benchmarks if args.benchmarks else selected_benchmarks(None)
+    cores = args.cores if args.cores is not None else 1
+    points: List[Any] = []
+    for entry in entries:
+        names = [name for name in entry.split(",") if name]
+        for name in names:
+            workload_entry(name)  # fail fast with the available-names message
+        if args.cores is not None and args.cores < len(names):
+            raise ValueError(
+                f"--cores {args.cores} is smaller than the {len(names)} per-core "
+                f"benchmarks in group {entry!r}"
+            )
+        group = expand_core_benchmarks(names, cores)
+        for predictor in args.predictors:
+            for accesses in (args.num_accesses if args.num_accesses is not None
+                             else [DEFAULT_NUM_ACCESSES]):
+                for seed in (args.seeds if args.seeds is not None else [42]):
+                    points.append(MulticoreSpec(
+                        benchmarks=group,
+                        predictors=(predictor,),
+                        num_accesses=accesses,
+                        seed=seed,
+                        engine=args.engine,
+                        interleave=args.interleave,
+                        label=entry,
+                    ))
+    return points
+
+
+def _sweep_row(point: Any, result: Any) -> tuple:
+    """One summary-table row for any (spec, result) kind."""
+    benchmarks = getattr(point, "benchmarks", None)
+    if benchmarks:
+        benchmark, predictor = "+".join(benchmarks), "/".join(sorted(set(point.core_predictors)))
+    else:
+        benchmark, predictor = point.benchmark, point.predictor
+    return (
+        benchmark, predictor, point.num_accesses, point.seed,
+        f"{100 * result.coverage:.1f}%", f"{100 * result.prefetch_accuracy:.1f}%",
+    )
+
+
 def run_sweep_cli(args: argparse.Namespace) -> int:
     """Run an ad-hoc grid through the Session facade and print a summary table."""
     from repro.campaign.artifacts import ArtifactStore
     from repro.experiments.common import selected_benchmarks
 
-    benchmarks = selected_benchmarks(args.benchmarks)
     for predictor in args.predictors:
         predictor_entry(predictor)  # fail fast with the available-names message
-    spec = SweepSpec(
-        name="adhoc-" + "-".join(args.predictors),
-        benchmarks=benchmarks,
-        variants=[PredictorVariant(predictor) for predictor in args.predictors],
-        num_accesses=args.num_accesses if args.num_accesses is not None else [DEFAULT_NUM_ACCESSES],
-        seeds=args.seeds if args.seeds is not None else [42],
+    multicore = getattr(args, "cores", None) is not None or any(
+        "," in entry for entry in (args.benchmarks or ())
     )
     session = Session(engine=args.engine, jobs=args.jobs, use_cache=not args.no_cache)
-    print(f"Running {len(spec)} points over {len(benchmarks)} benchmarks "
-          f"(jobs={session.runner.jobs}) ...")
-    campaign = session.sweep(spec)
+    sweep_name = None
+    if multicore:
+        points = _multicore_sweep_points(args)
+        spec: Any = points
+        cores = args.cores if args.cores is not None else 1
+        sweep_name = f"adhoc-{cores}x-" + "-".join(args.predictors)
+        count, groups = len(points), len({p.benchmarks for p in points})
+        print(f"Running {count} multicore co-runs over {groups} core groups "
+              f"(jobs={session.runner.jobs}) ...")
+    else:
+        benchmarks = selected_benchmarks(args.benchmarks)
+        spec = SweepSpec(
+            name="adhoc-" + "-".join(args.predictors),
+            benchmarks=benchmarks,
+            variants=[PredictorVariant(predictor) for predictor in args.predictors],
+            num_accesses=args.num_accesses if args.num_accesses is not None else [DEFAULT_NUM_ACCESSES],
+            seeds=args.seeds if args.seeds is not None else [42],
+        )
+        print(f"Running {len(spec)} points over {len(benchmarks)} benchmarks "
+              f"(jobs={session.runner.jobs}) ...")
+    campaign = session.sweep(spec, name=sweep_name)
     print(format_table(
         ["benchmark", "predictor", "accesses", "seed", "coverage", "accuracy"],
-        [
-            (
-                point.benchmark, point.predictor, point.num_accesses, point.seed,
-                f"{100 * result.coverage:.1f}%", f"{100 * result.prefetch_accuracy:.1f}%",
-            )
-            for point, result in campaign.items()
-        ],
+        [_sweep_row(point, result) for point, result in campaign.items()],
     ))
     print(
         f"\n{len(campaign)} points in {campaign.elapsed_seconds:.2f}s "

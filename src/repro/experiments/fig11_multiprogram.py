@@ -1,4 +1,20 @@
-"""Figure 11 — LT-cords coverage in a multi-programmed environment."""
+"""Figure 11 — LT-cords coverage in a multi-programmed environment.
+
+Two models of co-scheduling are reported side by side:
+
+* the **pairwise (context-switching) mode** — the historical
+  approximation: one core, quantum-interleaved traces with shifted
+  address ranges, shared LT-cords structures
+  (:mod:`repro.sim.multiprogram`); and
+* the **shared-L2 mode** — the :mod:`repro.multicore` co-run: two cores
+  with private L1s and per-core LT-cords prefetchers genuinely
+  contending for one L2 and one bus, which additionally surfaces the
+  structural interference (cross-core evictions) the pairwise mode
+  cannot see.
+
+Both modes measure the paper's question — how much standalone coverage
+survives co-scheduling — against the same standalone baselines.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +25,8 @@ from repro.campaign.runner import CampaignRunner
 
 from repro.campaign.spec import PointSpec, SweepSpec
 from repro.experiments.common import format_table, run_sweep
-from repro.sim.multiprogram import MultiProgramResult
+from repro.multicore import MulticoreResult, MulticoreSpec
+from repro.sim.multiprogram import MultiProgramResult, coverage_retention
 if TYPE_CHECKING:
     from repro.run import Session
 
@@ -25,14 +42,29 @@ DEFAULT_PAIRINGS: Tuple[Tuple[str, str], ...] = (
 
 @dataclass
 class MultiProgramRow:
-    """Coverage of a primary benchmark standalone and paired with another."""
+    """One pairing's coverage: standalone, pairwise-paired, and shared-L2."""
 
     result: MultiProgramResult
+    #: The shared-L2 co-run of the same pairing (``None`` when the
+    #: shared-L2 mode was not swept).
+    shared: Optional[MulticoreResult] = None
 
     @property
     def label(self) -> str:
         """``primary w/ secondary`` label matching the paper's x-axis."""
         return f"{self.result.primary} w/ {self.result.secondary}"
+
+    @property
+    def shared_primary_coverage(self) -> float:
+        """Primary coverage under genuine shared-L2 contention."""
+        return self.shared.per_core[0].coverage if self.shared is not None else 0.0
+
+    @property
+    def shared_primary_retention(self) -> float:
+        """Shared-L2 primary coverage relative to the standalone run."""
+        return coverage_retention(
+            self.shared_primary_coverage, self.result.primary_standalone_coverage
+        )
 
 
 def sweep(
@@ -41,9 +73,13 @@ def sweep(
     quantum_instructions: int = 20_000,
     max_switches: int = 60,
     seed: int = 42,
+    shared_l2: bool = True,
 ) -> SweepSpec:
-    """Declarative Figure 11 sweep: one multiprogram point per pairing."""
-    points = [
+    """Declarative Figure 11 sweep: per pairing, one multiprogram point
+    (pairwise mode) and — unless ``shared_l2=False`` — one 2-core
+    multicore co-run (shared-L2 mode)."""
+    pairings = tuple(pairings if pairings is not None else DEFAULT_PAIRINGS)
+    points: List[object] = [
         PointSpec(
             benchmark=primary,
             secondary=secondary,
@@ -54,8 +90,19 @@ def sweep(
             seed=seed,
             label=f"{primary}+{secondary}",
         )
-        for primary, secondary in (pairings if pairings is not None else DEFAULT_PAIRINGS)
+        for primary, secondary in pairings
     ]
+    if shared_l2:
+        points.extend(
+            MulticoreSpec(
+                benchmarks=(primary, secondary),
+                predictors=("ltcords",),
+                num_accesses=num_accesses,
+                seed=seed,
+                label=f"{primary}+{secondary}:shared-l2",
+            )
+            for primary, secondary in pairings
+        )
     return SweepSpec(name="fig11-multiprogram", extra_points=points)
 
 
@@ -65,32 +112,53 @@ def run(
     quantum_instructions: int = 20_000,
     max_switches: int = 60,
     seed: int = 42,
+    shared_l2: bool = True,
     runner: Optional[CampaignRunner] = None,
     session: Optional["Session"] = None,
 ) -> List[MultiProgramRow]:
-    """Simulate each pairing under shared LT-cords structures."""
+    """Simulate each pairing in both co-scheduling modes."""
+    pairings = tuple(pairings if pairings is not None else DEFAULT_PAIRINGS)
     spec = sweep(
         pairings,
         num_accesses=num_accesses,
         quantum_instructions=quantum_instructions,
         max_switches=max_switches,
         seed=seed,
+        shared_l2=shared_l2,
     )
     campaign = run_sweep(spec, runner=runner, session=session)
-    return [MultiProgramRow(result=result) for result in campaign.results]
+    # sweep() emits the pairwise points first, then the shared-L2 points,
+    # both in pairing order.
+    pairwise = campaign.results[: len(pairings)]
+    shared = campaign.results[len(pairings):] if shared_l2 else [None] * len(pairings)
+    return [
+        MultiProgramRow(result=result, shared=co_run)
+        for result, co_run in zip(pairwise, shared)
+    ]
 
 
 def format_results(rows: Sequence[MultiProgramRow]) -> str:
-    """Render the Figure 11 comparison."""
-    return format_table(
-        ["pairing", "standalone coverage", "paired coverage", "retention"],
-        [
-            (
-                row.label,
-                f"{100 * row.result.primary_standalone_coverage:.0f}%",
-                f"{100 * row.result.primary_coverage:.0f}%",
-                f"{100 * row.result.primary_coverage_retention:.0f}%",
-            )
-            for row in rows
-        ],
-    )
+    """Render the Figure 11 comparison (both co-scheduling modes)."""
+    with_shared = any(row.shared is not None for row in rows)
+    headers = ["pairing", "standalone coverage", "paired coverage", "retention"]
+    if with_shared:
+        headers += ["shared-L2 coverage", "shared-L2 retention", "xcore evictions"]
+    body = []
+    for row in rows:
+        cells = [
+            row.label,
+            f"{100 * row.result.primary_standalone_coverage:.0f}%",
+            f"{100 * row.result.primary_coverage:.0f}%",
+            f"{100 * row.result.primary_coverage_retention:.0f}%",
+        ]
+        if with_shared:
+            if row.shared is not None:
+                cells += [
+                    f"{100 * row.shared_primary_coverage:.0f}%",
+                    f"{100 * row.shared_primary_retention:.0f}%",
+                    str(row.shared.cross_core_evictions),
+                ]
+            else:
+                cells += ["-", "-", "-"]
+        body.append(tuple(cells))
+    return format_table(headers, body)

@@ -79,6 +79,41 @@ class BusModel:
         default_factory=lambda: {c: 0 for c in TrafficCategory}
     )
 
+    @classmethod
+    def from_totals(
+        cls,
+        bytes_by_category: Dict[TrafficCategory, int],
+        requests_by_category: Dict[TrafficCategory, int],
+        config: BusConfig = None,
+    ) -> "BusModel":
+        """Rebuild a model from previously accumulated per-category totals.
+
+        Used to reconstitute occupancy/utilisation math from serialized
+        results (e.g. a :class:`~repro.multicore.MulticoreResult`'s
+        aggregate bus counters) without replaying the simulation.
+        """
+        model = cls(config=config if config is not None else BusConfig())
+        for category, count in bytes_by_category.items():
+            model.bytes_by_category[category] += count
+        for category, count in requests_by_category.items():
+            model.requests_by_category[category] += count
+        return model
+
+    @classmethod
+    def merged(cls, models: "list[BusModel]", config: BusConfig = None) -> "BusModel":
+        """One model accumulating the traffic of ``models`` (shared-bus view).
+
+        The multicore simulator accounts traffic per core for attribution;
+        the physical bus is shared, so occupancy questions are asked of
+        the merged model.
+        """
+        merged = cls(config=config if config is not None else BusConfig())
+        for model in models:
+            for category in TrafficCategory:
+                merged.bytes_by_category[category] += model.bytes_by_category[category]
+                merged.requests_by_category[category] += model.requests_by_category[category]
+        return merged
+
     def record(self, category: TrafficCategory, num_bytes: int, requests: int = 1) -> None:
         """Record ``num_bytes`` of traffic (and ``requests`` bus requests)."""
         if num_bytes < 0 or requests < 0:

@@ -1,0 +1,136 @@
+"""Results of a shared-hierarchy multicore co-run.
+
+A :class:`MulticoreResult` is per-core :class:`SimulationResult` objects
+(each core's private view: opportunity breakdown, miss counts, prefetch
+accuracy, attributed bus traffic) plus the shared-resource stats a
+private-hierarchy run cannot express — shared-L2 hit/miss totals,
+cross-core eviction counts, and the merged bus occupancy.  Like every
+other result kind it round-trips losslessly through ``to_dict`` /
+``from_dict`` for pool transport and the on-disk result cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.memory.bus import BusModel, TrafficCategory
+from repro.sim.trace_driven import SimulationResult
+
+
+@dataclass
+class MulticoreResult:
+    """Everything measured in one N-core co-run."""
+
+    benchmarks: List[str]
+    interleave: str
+    per_core: List[SimulationResult]
+    #: Shared-L2 evictions (demand or prefetch allocation) whose victim
+    #: block belonged to a different core than the allocator.
+    cross_core_evictions: int = 0
+    #: Per core: cross-core shared-L2 evictions *caused by this core's
+    #: prefetches* — the prefetcher-interference signal of Section 5.5.
+    prefetch_cross_core_evictions: List[int] = field(default_factory=list)
+    shared_l2_accesses: int = 0
+    shared_l2_hits: int = 0
+    shared_l2_misses: int = 0
+    #: Merged (physical shared bus) traffic; per-core attribution lives
+    #: in each core's ``SimulationResult.bus_bytes``.
+    bus_bytes: Dict[TrafficCategory, int] = field(default_factory=dict)
+    bus_requests: Dict[TrafficCategory, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ aggregates
+    @property
+    def num_cores(self) -> int:
+        """Number of co-running cores."""
+        return len(self.per_core)
+
+    @property
+    def predictors(self) -> List[str]:
+        """Predictor name per core."""
+        return [result.predictor for result in self.per_core]
+
+    @property
+    def num_accesses(self) -> int:
+        """Total references replayed across all cores."""
+        return sum(result.num_accesses for result in self.per_core)
+
+    @property
+    def coverage(self) -> float:
+        """Aggregate coverage: eliminated misses over total opportunity."""
+        base = sum(result.breakdown.base_misses for result in self.per_core)
+        if not base:
+            return 0.0
+        return sum(result.breakdown.correct for result in self.per_core) / base
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Aggregate used prefetches per issued prefetch."""
+        issued = sum(result.prefetches_issued for result in self.per_core)
+        if not issued:
+            return 0.0
+        return sum(result.prefetches_used for result in self.per_core) / issued
+
+    @property
+    def shared_l2_miss_rate(self) -> float:
+        """Shared-L2 local miss rate over every core's demand walks."""
+        accesses = self.shared_l2_hits + self.shared_l2_misses
+        return self.shared_l2_misses / accesses if accesses else 0.0
+
+    @property
+    def total_prefetch_cross_core_evictions(self) -> int:
+        """Cross-core shared-L2 evictions caused by any core's prefetches."""
+        return sum(self.prefetch_cross_core_evictions)
+
+    def bus_model(self) -> BusModel:
+        """The merged shared-bus model rebuilt from the recorded totals."""
+        return BusModel.from_totals(self.bus_bytes, self.bus_requests)
+
+    def bus_busy_core_cycles(self) -> float:
+        """Core cycles of shared-bus occupancy implied by the merged traffic."""
+        return self.bus_model().busy_core_cycles()
+
+    def bus_occupancy(self, cycles_per_instruction: float = 1.0) -> float:
+        """Estimated shared-bus occupancy over the co-run, clamped to 1.0.
+
+        The functional simulator has no global clock; the run length is
+        estimated as the longest core's instruction count times
+        ``cycles_per_instruction`` (cores progress concurrently).
+        """
+        instructions = max((result.instruction_count for result in self.per_core), default=0)
+        total_cycles = instructions * cycles_per_instruction
+        return self.bus_model().utilization(total_cycles)
+
+    # ------------------------------------------------------------------ serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-safe encoding (enables workers and the result cache)."""
+        return {
+            "benchmarks": list(self.benchmarks),
+            "interleave": self.interleave,
+            "per_core": [result.to_dict() for result in self.per_core],
+            "cross_core_evictions": self.cross_core_evictions,
+            "prefetch_cross_core_evictions": list(self.prefetch_cross_core_evictions),
+            "shared_l2_accesses": self.shared_l2_accesses,
+            "shared_l2_hits": self.shared_l2_hits,
+            "shared_l2_misses": self.shared_l2_misses,
+            "bus_bytes": {category.value: count for category, count in self.bus_bytes.items()},
+            "bus_requests": {
+                category.value: count for category, count in self.bus_requests.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MulticoreResult":
+        """Reconstruct a result from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["per_core"] = [
+            SimulationResult.from_dict(entry) for entry in payload["per_core"]
+        ]
+        payload["bus_bytes"] = {
+            TrafficCategory(name): count for name, count in payload.get("bus_bytes", {}).items()
+        }
+        payload["bus_requests"] = {
+            TrafficCategory(name): count
+            for name, count in payload.get("bus_requests", {}).items()
+        }
+        return cls(**payload)

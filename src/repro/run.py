@@ -38,7 +38,9 @@ from repro.registry import build_predictor
 #: sweeps, the process pool, and the on-disk caches without conversion.
 RunSpec = PointSpec
 
-SpecLike = Union[str, PointSpec]
+#: A benchmark name, a RunSpec, or any other spec kind speaking the same
+#: protocol (e.g. :class:`repro.multicore.MulticoreSpec`).
+SpecLike = Union[str, PointSpec, Any]
 
 
 def execute_spec(
@@ -90,6 +92,15 @@ def execute_spec(
             perfect_l1=spec.perfect_l1,
             trace_store=trace_store,
         )
+    if spec.sim == "multicore":
+        from repro.multicore import simulate_multicore
+
+        if prefetcher is not None or system_config is not None:
+            raise ValueError(
+                "multicore specs build one predictor per core from the registry; "
+                "prefetcher/system_config overrides do not apply"
+            )
+        return simulate_multicore(spec, trace_store=trace_store)
     if spec.sim == "multiprogram":
         from repro.sim.multiprogram import _simulate_pair
 
@@ -177,9 +188,12 @@ class Session:
         """Normalise a benchmark name or existing spec into a :class:`RunSpec`.
 
         Keyword overrides replace fields; the session's default ``engine``
-        applies only when the caller did not choose one.
+        applies only when the caller did not choose one.  Existing spec
+        objects of any kind (:class:`RunSpec` or a
+        :class:`~repro.multicore.MulticoreSpec`) pass through with the
+        overrides applied.
         """
-        if isinstance(spec, PointSpec):
+        if not isinstance(spec, str):
             return dataclasses.replace(spec, **overrides) if overrides else spec
         if self.engine is not None and overrides.get("sim", "trace") == "trace":
             # Only trace points have an engine choice (timing/multiprogram
@@ -233,26 +247,30 @@ class Session:
     def sweep(
         self,
         spec: Union[SweepSpec, Sequence[PointSpec], Iterable[PointSpec]],
+        name: Optional[str] = None,
     ) -> CampaignResult:
         """Execute a :class:`SweepSpec` (or a bare list of points) through the
         campaign runner: cache-first, then fanned out across the process pool.
 
         Mirroring how :meth:`run` treats keyword-form specs, the session's
-        default ``engine`` is applied to the trace points a
-        :class:`SweepSpec` generates (its grid has no engine axis), while
-        explicit point lists keep each point's own engine — so fast-vs-
-        legacy cross-check lists survive intact.  The session's trace
-        store is threaded into both the serial path and the pool workers.
+        default ``engine`` is applied to the engine-capable points a
+        :class:`SweepSpec` generates (trace and multicore kinds; its grid
+        has no engine axis), while explicit point lists keep each point's
+        own engine — so fast-vs-legacy cross-check lists survive intact.
+        ``name`` overrides the campaign name recorded on the result (and
+        therefore the artifact directory); bare lists default to
+        ``"adhoc"``.  The session's trace store is threaded into both the
+        serial path and the pool workers.
         """
         if self.engine is None or not isinstance(spec, SweepSpec):
-            return self.runner.run(spec)
+            return self.runner.run(spec, name=name)
         points = [
             dataclasses.replace(point, engine=self.engine)
-            if point.sim == "trace" and point.engine != self.engine
+            if point.sim in ("trace", "multicore") and point.engine != self.engine
             else point
             for point in spec.points()
         ]
-        return self.runner.run(points, name=spec.name)
+        return self.runner.run(points, name=name if name is not None else spec.name)
 
     def compare(
         self,

@@ -28,6 +28,19 @@ from repro.workloads.registry import benchmark_metadata, get_workload
 DEFAULT_ADDRESS_SHIFT = 1 << 30
 
 
+def coverage_retention(paired_coverage: float, standalone_coverage: float) -> float:
+    """Paired coverage relative to standalone, guarded against zero opportunity.
+
+    An application with no standalone coverage cannot lose any to
+    co-scheduling, so retention is defined as 1.0 there.  Single source
+    for both retention properties below and for the shared-L2 retention
+    columns of the Figure 11 driver.
+    """
+    if standalone_coverage == 0:
+        return 1.0
+    return paired_coverage / standalone_coverage
+
+
 @dataclass
 class MultiProgramResult:
     """Coverage of each application when co-scheduled."""
@@ -43,9 +56,12 @@ class MultiProgramResult:
     @property
     def primary_coverage_retention(self) -> float:
         """Paired coverage of the primary application relative to standalone."""
-        if self.primary_standalone_coverage == 0:
-            return 1.0
-        return self.primary_coverage / self.primary_standalone_coverage
+        return coverage_retention(self.primary_coverage, self.primary_standalone_coverage)
+
+    @property
+    def secondary_coverage_retention(self) -> float:
+        """Paired coverage of the secondary application relative to standalone."""
+        return coverage_retention(self.secondary_coverage, self.secondary_standalone_coverage)
 
     def to_dict(self) -> Dict[str, object]:
         """Lossless JSON-safe encoding (enables workers and the result cache)."""

@@ -7,6 +7,19 @@ from typing import Iterable, List
 import pytest
 
 from repro.cache.config import CacheConfig
+
+
+def pytest_addoption(parser):
+    """``--update-goldens`` rewrites the committed golden-figure JSON.
+
+    ``pytest tests/test_goldens.py --update-goldens`` refreshes
+    ``tests/goldens/`` after an intentional behaviour change; a normal
+    run (and CI) fails on any drift instead.
+    """
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite tests/goldens/*.json from the current simulator output",
+    )
 from repro.trace.record import AccessType, MemoryAccess
 from repro.trace.stream import TraceStream
 

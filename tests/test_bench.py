@@ -90,6 +90,15 @@ class TestScenarios:
         assert "sim.dbcp.mcf" in speedups
         assert speedups["sim.dbcp.mcf"] > 0
 
+    def test_multicore_scenarios_run_and_pair(self):
+        results = run_scenarios(
+            ["sim.multicore.2x", "sim.multicore.2x.legacy", "sim.multicore.4x"],
+            scale=0.02, repeats=1,
+        )
+        for result in results.values():
+            assert result.wall_seconds > 0
+        assert "sim.multicore.2x" in derive_speedups(results)
+
     def test_scenario_scale_changes_ops(self):
         small = run_scenario("calibrate", scale=0.02, repeats=1)
         smaller = run_scenario("calibrate", scale=0.01, repeats=1)

@@ -14,6 +14,9 @@ import pytest
 
 from repro.api import available_benchmarks, available_predictors, build_predictor
 from repro.sim.trace_driven import TraceDrivenSimulator, simulate_benchmark
+
+# One of the two slowest suites; skippable via `-m "not slow"` (pytest.ini).
+pytestmark = pytest.mark.slow
 from repro.workloads.base import WorkloadConfig
 from repro.workloads.registry import get_workload
 

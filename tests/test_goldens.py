@@ -1,0 +1,136 @@
+"""Golden-figure regression harness.
+
+Quick configurations of the Figure 8 and Figure 11 campaigns are run end
+to end and compared against committed JSON under ``tests/goldens/``:
+integer counters must match **exactly** (the simulators are
+deterministic), derived ratios within 1e-9.  Any unintentional change to
+cache behaviour, predictor logic, trace generation, interleaving or
+result serialisation shows up here as a field-level diff; after an
+*intentional* change, refresh the files with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.run import Session
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Quick sweep shapes: small enough for CI, wide enough to touch every
+#: predictor path the figures exercise.
+FIG8_BENCHMARKS = ["mcf", "swim", "em3d", "gzip"]
+FIG8_ACCESSES = 20_000
+FIG11_PAIRINGS = [("gcc", "mcf"), ("mcf", "gcc"), ("swim", "gcc"), ("lucas", "applu")]
+FIG11_ACCESSES = 12_000
+
+#: Tolerance for ratio fields (coverage fractions etc.); counts compare exactly.
+RATIO_TOLERANCE = 1e-9
+
+
+def _compute_fig8():
+    from repro.experiments import fig8_coverage as fig8
+
+    rows = fig8.run(
+        benchmarks=FIG8_BENCHMARKS, num_accesses=FIG8_ACCESSES, session=Session(jobs=1)
+    )
+    return {
+        "config": {"benchmarks": FIG8_BENCHMARKS, "num_accesses": FIG8_ACCESSES, "seed": 42},
+        "rows": {
+            row.benchmark: {
+                "ltcords": row.ltcords.to_dict(),
+                "oracle_dbcp": row.oracle_dbcp.to_dict(),
+            }
+            for row in rows
+        },
+    }
+
+
+def _compute_fig11():
+    from repro.experiments import fig11_multiprogram as fig11
+
+    rows = fig11.run(
+        pairings=FIG11_PAIRINGS, num_accesses=FIG11_ACCESSES, session=Session(jobs=1)
+    )
+    return {
+        "config": {
+            "pairings": [list(pair) for pair in FIG11_PAIRINGS],
+            "num_accesses": FIG11_ACCESSES,
+            "seed": 42,
+        },
+        "rows": [
+            {
+                "pairing": row.label,
+                "multiprogram": row.result.to_dict(),
+                "shared_l2": row.shared.to_dict(),
+            }
+            for row in rows
+        ],
+    }
+
+
+def assert_matches_golden(golden, actual, path="$"):
+    """Recursive comparison: exact for counts/strings, 1e-9 for ratios."""
+    if isinstance(golden, dict):
+        assert isinstance(actual, dict), f"{path}: expected dict, got {type(actual).__name__}"
+        assert sorted(golden) == sorted(actual), (
+            f"{path}: keys differ: {sorted(golden)} != {sorted(actual)}"
+        )
+        for key in golden:
+            assert_matches_golden(golden[key], actual[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(actual, list) and len(golden) == len(actual), (
+            f"{path}: list length {len(golden)} != {len(actual)}"
+        )
+        for index, (a, b) in enumerate(zip(golden, actual)):
+            assert_matches_golden(a, b, f"{path}[{index}]")
+    elif isinstance(golden, bool) or not isinstance(golden, (int, float)):
+        assert golden == actual, f"{path}: {golden!r} != {actual!r}"
+    elif isinstance(golden, int) and isinstance(actual, int):
+        # Counters (miss counts, byte totals, switches) drift for a reason:
+        # compare exactly so the diff names the first divergent field.
+        assert golden == actual, f"{path}: count {golden} != {actual}"
+    else:
+        assert math.isclose(golden, actual, rel_tol=RATIO_TOLERANCE, abs_tol=RATIO_TOLERANCE), (
+            f"{path}: ratio {golden!r} != {actual!r}"
+        )
+
+
+@pytest.mark.parametrize(
+    "name,compute", [("fig8_quick", _compute_fig8), ("fig11_quick", _compute_fig11)]
+)
+def test_figure_matches_golden(name, compute, request):
+    path = GOLDEN_DIR / f"{name}.json"
+    actual = json.loads(json.dumps(compute(), sort_keys=True))  # normalise types
+    if request.config.getoption("--update-goldens"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        pytest.skip(f"rewrote {path}")
+    assert path.is_file(), (
+        f"missing golden {path}; generate it with pytest tests/test_goldens.py --update-goldens"
+    )
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    assert_matches_golden(golden, actual)
+
+
+class TestGoldenComparator:
+    """The comparator itself must fail loudly on drift."""
+
+    def test_count_drift_is_exact(self):
+        with pytest.raises(AssertionError, match="count"):
+            assert_matches_golden({"misses": 10}, {"misses": 11})
+
+    def test_ratio_drift_beyond_tolerance_fails(self):
+        with pytest.raises(AssertionError, match="ratio"):
+            assert_matches_golden({"coverage": 0.5}, {"coverage": 0.5 + 1e-6})
+
+    def test_ratio_within_tolerance_passes(self):
+        assert_matches_golden({"coverage": 0.5}, {"coverage": 0.5 + 1e-12})
+
+    def test_missing_key_fails(self):
+        with pytest.raises(AssertionError, match="keys differ"):
+            assert_matches_golden({"a": 1}, {"a": 1, "b": 2})

@@ -1,0 +1,67 @@
+"""Differential collapse: a 1-core multicore run IS the single-core simulator.
+
+For every real predictor and both engines, a one-core
+``repro.multicore`` run must produce a per-core ``SimulationResult``
+whose full ``to_dict`` payload is bit-identical to
+:class:`~repro.sim.trace_driven.TraceDrivenSimulator` on the same spec.
+This pins the shared-hierarchy generalisation to the extensively
+cross-checked single-core engines: any drift in the multicore walk,
+prefetch path, feedback plumbing or stat settlement shows up here as a
+field-level diff.
+"""
+
+import pytest
+
+from repro.multicore import MulticoreSpec, simulate_multicore
+from repro.registry import build_predictor
+from repro.sim.trace_driven import simulate_benchmark
+
+PREDICTORS = ("ltcords", "dbcp", "ghb", "stride")
+ENGINES = ("fast", "legacy")
+NUM_ACCESSES = 4000
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("predictor", PREDICTORS)
+def test_one_core_collapses_to_trace_driven(predictor, engine):
+    spec = MulticoreSpec(
+        benchmarks=("mcf",), predictors=(predictor,),
+        num_accesses=NUM_ACCESSES, engine=engine,
+    )
+    multi = simulate_multicore(spec)
+    single = simulate_benchmark(
+        "mcf",
+        prefetcher=build_predictor(predictor, engine=engine),
+        num_accesses=NUM_ACCESSES,
+        engine=engine,
+    )
+    assert multi.num_cores == 1
+    assert multi.per_core[0].to_dict() == single.to_dict()
+    # No co-runner: the shared structures show no interference.
+    assert multi.cross_core_evictions == 0
+    assert multi.prefetch_cross_core_evictions == [0]
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_one_core_collapse_holds_for_null_predictor(engine):
+    # "none" exercises the generic (non-fast-protocol) multicore path
+    # against the single-core dedicated baseline loop.
+    spec = MulticoreSpec(benchmarks=("swim",), predictors=("none",),
+                         num_accesses=NUM_ACCESSES, engine=engine)
+    multi = simulate_multicore(spec)
+    single = simulate_benchmark(
+        "swim", prefetcher=build_predictor("none", engine=engine),
+        num_accesses=NUM_ACCESSES, engine=engine,
+    )
+    assert multi.per_core[0].to_dict() == single.to_dict()
+
+
+@pytest.mark.parametrize("interleave", ["rr", "icount"])
+def test_one_core_collapse_independent_of_interleave_policy(interleave):
+    spec = MulticoreSpec(benchmarks=("mcf",), predictors=("dbcp",),
+                         num_accesses=NUM_ACCESSES, interleave=interleave)
+    multi = simulate_multicore(spec)
+    single = simulate_benchmark(
+        "mcf", prefetcher=build_predictor("dbcp"), num_accesses=NUM_ACCESSES
+    )
+    assert multi.per_core[0].to_dict() == single.to_dict()

@@ -1,6 +1,45 @@
 """Tests for the multi-programmed (context-switching) simulation."""
 
-from repro.sim.multiprogram import DEFAULT_ADDRESS_SHIFT, simulate_pair
+from repro.sim.multiprogram import (
+    DEFAULT_ADDRESS_SHIFT,
+    MultiProgramResult,
+    coverage_retention,
+    simulate_pair,
+)
+
+
+def _result(**overrides):
+    payload = dict(
+        primary="a", secondary="b",
+        primary_coverage=0.3, secondary_coverage=0.2,
+        primary_standalone_coverage=0.6, secondary_standalone_coverage=0.4,
+        context_switches=10,
+    )
+    payload.update(overrides)
+    return MultiProgramResult(**payload)
+
+
+class TestCoverageRetention:
+    def test_both_retention_properties_share_the_guarded_helper(self):
+        result = _result()
+        assert result.primary_coverage_retention == coverage_retention(0.3, 0.6) == 0.5
+        assert result.secondary_coverage_retention == coverage_retention(0.2, 0.4) == 0.5
+
+    def test_secondary_retention_uses_secondary_coverages(self):
+        result = _result(secondary_coverage=0.1, secondary_standalone_coverage=0.5)
+        assert result.secondary_coverage_retention == 0.1 / 0.5
+        assert result.primary_coverage_retention == 0.5
+
+    def test_zero_standalone_coverage_defines_full_retention(self):
+        # Nothing to lose: the guarded branch reports 1.0 instead of
+        # dividing by zero, for both applications.
+        result = _result(
+            primary_coverage=0.0, primary_standalone_coverage=0.0,
+            secondary_coverage=0.0, secondary_standalone_coverage=0.0,
+        )
+        assert result.primary_coverage_retention == 1.0
+        assert result.secondary_coverage_retention == 1.0
+        assert coverage_retention(0.0, 0.0) == 1.0
 
 
 class TestSimulatePair:

@@ -13,6 +13,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.api import available_benchmarks, build_predictor
+
+# One of the two slowest suites; skippable via `-m "not slow"` (pytest.ini).
+pytestmark = pytest.mark.slow
 from repro.cache.config import L1D_CONFIG
 from repro.core.history import FastHistoryTable, HistoryTable
 from repro.core.ltcords import FastLTCordsPrefetcher, LTCordsConfig, LTCordsPrefetcher

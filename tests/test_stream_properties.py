@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the trace-stream transformations.
+
+``interleave_quantum`` and ``shift_addresses`` feed the multi-programmed
+and multicore studies; these properties pin the invariants the
+experiment drivers silently rely on: nothing is lost or reordered within
+an application, and address shifting is a pure, invertible relabelling.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.record import AccessType, MemoryAccess
+from repro.trace.stream import TraceStream, interleave_quantum, shift_addresses
+
+addresses = st.integers(min_value=0, max_value=(1 << 34) - 1)
+icount_gaps = st.integers(min_value=1, max_value=5)
+
+
+def _trace(address_list, gaps, name="prop"):
+    """A load trace with the given addresses and icount gaps between them."""
+    accesses = []
+    icount = 0
+    for index, address in enumerate(address_list):
+        accesses.append(MemoryAccess(
+            pc=0x400000 + 4 * (index % 8), address=address,
+            access_type=AccessType.LOAD, icount=icount,
+        ))
+        icount += gaps[index % len(gaps)]
+    return TraceStream(accesses, name=name)
+
+
+trace_inputs = st.tuples(
+    st.lists(addresses, min_size=0, max_size=60),
+    st.lists(icount_gaps, min_size=1, max_size=4),
+)
+
+
+class TestShiftAddressesProperties:
+    @given(trace_inputs, st.integers(min_value=0, max_value=1 << 40))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_preserves_everything_but_addresses(self, inputs, offset):
+        address_list, gaps = inputs
+        trace = _trace(address_list, gaps)
+        shifted = shift_addresses(trace, offset)
+        assert len(shifted) == len(trace)
+        for original, moved in zip(trace, shifted):
+            assert moved.address == original.address + offset
+            assert moved.pc == original.pc
+            assert moved.icount == original.icount
+            assert moved.access_type == original.access_type
+
+    @given(trace_inputs, st.integers(min_value=0, max_value=1 << 40))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_is_invertible(self, inputs, offset):
+        # Shifting is a pure relabelling: subtracting the offset from the
+        # shifted addresses recovers the original trace exactly.
+        address_list, gaps = inputs
+        trace = _trace(address_list, gaps)
+        shifted = shift_addresses(trace, offset)
+        recovered = [access.address - offset for access in shifted]
+        assert recovered == [access.address for access in trace]
+
+    @given(trace_inputs, st.integers(min_value=0, max_value=1 << 30))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_works_identically_on_columnar_streams(self, inputs, offset):
+        address_list, gaps = inputs
+        record_trace = _trace(address_list, gaps)
+        columnar = TraceStream.from_columns(
+            record_trace.as_arrays(), name=record_trace.name
+        )
+        from_records = shift_addresses(record_trace, offset)
+        from_columns = shift_addresses(columnar, offset)
+        assert [a.address for a in from_records] == [a.address for a in from_columns]
+
+
+def _subsequence_of_app(interleaved, app):
+    """The interleaved references belonging to ``app`` (tagged by pc base)."""
+    base = 0x400000 + app * 0x1000000
+    return [a for a in interleaved if base <= a.pc < base + 0x1000000]
+
+
+def _app_traces(app_inputs):
+    traces = []
+    for app, (address_list, gaps) in enumerate(app_inputs):
+        trace = _trace(address_list, gaps, name=f"app{app}")
+        # Tag each application through the pc so interleaved references
+        # can be attributed unambiguously.
+        traces.append(trace.map(
+            lambda a, base=0x400000 + app * 0x1000000: MemoryAccess(
+                pc=base + (a.pc & 0xFFFF), address=a.address,
+                access_type=a.access_type, icount=a.icount,
+            )
+        ))
+    return traces
+
+
+class TestInterleaveQuantumProperties:
+    @given(st.lists(trace_inputs, min_size=1, max_size=3),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_full_interleave_preserves_total_length(self, app_inputs, quantum):
+        # Without a switch limit every reference of every application
+        # appears exactly once.
+        traces = _app_traces(app_inputs)
+        interleaved = interleave_quantum(traces, [quantum] * len(traces))
+        assert len(interleaved) == sum(len(t) for t in traces)
+
+    @given(st.lists(trace_inputs, min_size=1, max_size=3),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_per_app_subsequences_keep_program_order(self, app_inputs, quantum):
+        traces = _app_traces(app_inputs)
+        interleaved = list(interleave_quantum(traces, [quantum] * len(traces)))
+        for app, trace in enumerate(traces):
+            subsequence = _subsequence_of_app(interleaved, app)
+            assert [(a.pc, a.address) for a in subsequence] == [
+                (a.pc, a.address) for a in trace
+            ]
+
+    @given(st.lists(trace_inputs, min_size=1, max_size=3),
+           st.integers(min_value=1, max_value=20),
+           st.integers(min_value=0, max_value=15))
+    @settings(max_examples=60, deadline=None)
+    def test_switch_limit_emits_a_prefix_of_each_app(self, app_inputs, quantum, max_switches):
+        traces = _app_traces(app_inputs)
+        interleaved = list(
+            interleave_quantum(traces, [quantum] * len(traces), max_switches=max_switches)
+        )
+        assert len(interleaved) <= sum(len(t) for t in traces)
+        for app, trace in enumerate(traces):
+            subsequence = _subsequence_of_app(interleaved, app)
+            prefix = list(trace)[: len(subsequence)]
+            assert [(a.pc, a.address) for a in subsequence] == [
+                (a.pc, a.address) for a in prefix
+            ]
+
+    @given(st.lists(trace_inputs, min_size=1, max_size=3),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_icounts_are_monotonically_non_decreasing(self, app_inputs, quantum):
+        traces = _app_traces(app_inputs)
+        interleaved = list(interleave_quantum(traces, [quantum] * len(traces)))
+        icounts = [a.icount for a in interleaved]
+        assert icounts == sorted(icounts)
