@@ -50,6 +50,19 @@ class BenchResult:
         """Operations per second at the best (minimum) wall time."""
         return self.ops / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
+    def percentiles(self) -> Dict[str, Optional[float]]:
+        """p50/p95/p99 of the per-repeat wall times.
+
+        Reported alongside — never instead of — the min-of-N headline:
+        the minimum is what the regression gate compares (noise only adds
+        time), while the spread shows how noisy the measurement was.
+        With few repeats the upper percentiles interpolate toward the
+        worst sample; they are context, not a gate input.
+        """
+        from repro.obs.metrics import percentiles
+
+        return percentiles(self.all_wall_seconds)
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe encoding."""
         return {
@@ -59,6 +72,7 @@ class BenchResult:
             "ops_per_sec": self.ops_per_sec,
             "repeats": self.repeats,
             "peak_rss_kb": self.peak_rss_kb,
+            "percentiles": self.percentiles(),
             "meta": self.meta,
         }
 

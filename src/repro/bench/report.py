@@ -204,12 +204,23 @@ def compare_reports(
 
 
 def format_results_table(results: Dict[str, BenchResult], speedups: Dict[str, float]) -> str:
-    """Human-readable summary of one run."""
-    lines = [f"{'scenario':<28} {'wall (s)':>10} {'ops/sec':>14} {'peak RSS':>10}"]
+    """Human-readable summary of one run.
+
+    The wall column stays the min-of-N the regression gate compares; the
+    p50/p95 columns show the per-repeat spread (measurement noise), and
+    are reported only — they feed no comparison.
+    """
+    lines = [
+        f"{'scenario':<28} {'wall (s)':>10} {'p50 (s)':>10} {'p95 (s)':>10} "
+        f"{'ops/sec':>14} {'peak RSS':>10}"
+    ]
     for name, result in results.items():
+        spread = result.percentiles()
+        p50 = f"{spread['p50']:.3f}" if spread["p50"] is not None else "-"
+        p95 = f"{spread['p95']:.3f}" if spread["p95"] is not None else "-"
         lines.append(
-            f"{name:<28} {result.wall_seconds:>10.3f} {result.ops_per_sec:>14,.0f} "
-            f"{result.peak_rss_kb / 1024:>8.0f}MB"
+            f"{name:<28} {result.wall_seconds:>10.3f} {p50:>10} {p95:>10} "
+            f"{result.ops_per_sec:>14,.0f} {result.peak_rss_kb / 1024:>8.0f}MB"
         )
     for fast_name, speedup in sorted(speedups.items()):
         lines.append(f"speedup[{fast_name}]: {speedup:.2f}x faster than the legacy engine")

@@ -99,6 +99,11 @@ class ArtifactStore:
         target = self.campaign_dir(campaign.name)
         target.mkdir(parents=True, exist_ok=True)
 
+        # Per-point timing/caching telemetry, present when the campaign
+        # was run by a runner new enough to record it (aligned lists).
+        durations = campaign.point_durations if len(campaign.point_durations) == len(campaign) else None
+        cached = campaign.point_cached if len(campaign.point_cached) == len(campaign) else None
+
         summary = {
             "version": __version__,
             "campaign": campaign.name,
@@ -112,8 +117,13 @@ class ArtifactStore:
                     "label": point.label,
                     "spec": point.to_dict(),
                     "result": result_to_dict(point.sim, result),
+                    **(
+                        {"duration_s": durations[index], "cache_hit": cached[index]}
+                        if durations is not None and cached is not None
+                        else {}
+                    ),
                 }
-                for point, result in campaign.items()
+                for index, (point, result) in enumerate(campaign.items())
             ],
         }
         summary_path = target / "summary.json"
@@ -122,8 +132,16 @@ class ArtifactStore:
             handle.write("\n")
 
         rows = [
-            {**_point_columns(point), **_headline_metrics(result)}
-            for point, result in campaign.items()
+            {
+                **_point_columns(point),
+                **(
+                    {"duration_s": durations[index], "cache_hit": cached[index]}
+                    if durations is not None and cached is not None
+                    else {}
+                ),
+                **_headline_metrics(result),
+            }
+            for index, (point, result) in enumerate(campaign.items())
         ]
         columns: List[str] = []
         for row in rows:

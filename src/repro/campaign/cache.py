@@ -22,10 +22,16 @@ from typing import Any, Dict, Optional, Union
 
 from repro.campaign.spec import PointSpec
 from repro.multicore.result import MulticoreResult
+from repro.obs.metrics import REGISTRY
+from repro.obs.observer import emit_warning
 from repro.sim.multiprogram import MultiProgramResult
 from repro.sim.timing import TimingResult
 from repro.sim.trace_driven import SimulationResult
 from repro.version import __version__
+
+_CACHE_HITS = REGISTRY.counter("cache.hits")
+_CACHE_MISSES = REGISTRY.counter("cache.misses")
+_CACHE_CORRUPT = REGISTRY.counter("cache.corrupt")
 
 #: On-disk envelope schema version (bump on incompatible layout changes).
 SCHEMA_VERSION = 1
@@ -71,6 +77,9 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.hits = 0
         self.misses = 0
+        #: Entries that existed on disk but failed to decode or validate
+        #: (distinct from plain misses, which are simply absent files).
+        self.corrupt = 0
 
     # ------------------------------------------------------------------ paths
     @property
@@ -85,20 +94,40 @@ class ResultCache:
 
     # ------------------------------------------------------------------ read/write
     def get(self, point: PointSpec) -> Optional[ResultType]:
-        """Return the cached result for ``point`` or ``None``."""
+        """Return the cached result for ``point`` or ``None``.
+
+        An absent file is an ordinary miss.  A file that *exists* but
+        fails to decode or validate is still served as a miss (the point
+        simply re-runs), but it is counted separately — the instance's
+        ``corrupt`` counter and the ``cache.corrupt`` metric — and
+        reported once as a ``warning`` event, so truncated or damaged
+        entries never disappear silently.
+        """
         path = self.path_for(point)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                envelope = json.load(handle)
+                raw = handle.read()
+        except OSError:
+            self.misses += 1
+            _CACHE_MISSES.inc()
+            return None
+        try:
+            envelope = json.loads(raw)
             if envelope.get("schema") != SCHEMA_VERSION or envelope.get("sim") != point.sim:
                 raise ValueError("stale or mismatched envelope")
             result = result_from_dict(point.sim, envelope["result"])
-        except (OSError, ValueError, KeyError, TypeError):
-            # Unreadable, truncated, or structurally stale entries are
-            # misses, never crashes — the point simply re-runs.
+        except (ValueError, KeyError, TypeError):
+            self.corrupt += 1
             self.misses += 1
+            _CACHE_CORRUPT.inc()
+            _CACHE_MISSES.inc()
+            emit_warning(
+                f"corrupt or stale result-cache entry {path} (treated as a miss)",
+                path=str(path),
+            )
             return None
         self.hits += 1
+        _CACHE_HITS.inc()
         return result
 
     def put(self, point: PointSpec, result: ResultType) -> Path:

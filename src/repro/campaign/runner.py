@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.campaign.cache import ResultCache, ResultType, cache_disabled, result_from_dict, result_to_dict
 from repro.campaign.spec import PointSpec, SweepSpec, spec_from_dict
+from repro.obs.events import make_event, next_run_id
+from repro.obs.observer import RunObserver
 
 
 def default_jobs() -> int:
@@ -105,8 +107,56 @@ def _plugin_modules(point: PointSpec) -> List[str]:
     )
 
 
+class _PhaseCollector(RunObserver):
+    """Folds the ``phase`` events of one point into a name → seconds dict.
+
+    Passed into :func:`repro.run.execute_spec` wherever a point actually
+    runs (the serial loop in the parent, or inside a pool worker), so the
+    phase split always travels *inside* the ``point_done`` event — both
+    execution paths produce the identical event shape.
+    """
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, float] = {}
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if event.get("type") == "phase":
+            name = str(event.get("name", "?"))
+            self.phases[name] = self.phases.get(name, 0.0) + float(event.get("duration_s", 0.0))
+
+
+def _safe_key(point: Any) -> Optional[str]:
+    """``point.key()`` or ``None`` when the spec is unserialisable."""
+    try:
+        return point.key()
+    except (TypeError, AttributeError):
+        return None
+
+
+def _point_fields(point: Any) -> Dict[str, Any]:
+    """The identifying fields a ``point_done`` event carries.
+
+    Mirrors the artifact layer's labelling: multicore co-runs join their
+    benchmarks with ``+`` and per-core predictors with ``/``.
+    """
+    benchmarks = list(getattr(point, "benchmarks", ()) or ())
+    predictors = list(getattr(point, "core_predictors", ()) or ())
+    return {
+        "benchmark": "+".join(benchmarks) if benchmarks else getattr(point, "benchmark", None),
+        "predictor": "/".join(predictors) if predictors else getattr(point, "predictor", None),
+        "sim": getattr(point, "sim", None),
+        "key": _safe_key(point),
+    }
+
+
 def _execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Process-pool worker: decode a point, run it, return the encoded result."""
+    """Process-pool worker: decode a point, run it, return the encoded result.
+
+    The return leg piggybacks the point's wall time and phase split on
+    the same JSON-dict transport as the result itself, so the parent can
+    stream a fully-populated ``point_done`` event per completion without
+    any extra IPC.
+    """
     import importlib
 
     from repro.run import execute_spec
@@ -119,7 +169,14 @@ def _execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         from repro.trace.store import TraceStore
 
         trace_store = TraceStore(payload["trace_root"])
-    return result_to_dict(point.sim, execute_spec(point, trace_store=trace_store))
+    collector = _PhaseCollector()
+    started = time.perf_counter()
+    result = execute_spec(point, trace_store=trace_store, observer=collector)
+    return {
+        "result": result_to_dict(point.sim, result),
+        "duration_s": time.perf_counter() - started,
+        "phases": collector.phases,
+    }
 
 
 @dataclass
@@ -134,6 +191,11 @@ class CampaignResult:
     jobs: int = 1
     elapsed_seconds: float = 0.0
     artifact_paths: List[str] = field(default_factory=list)
+    #: Per-point wall seconds, aligned with ``points`` (cache hits record
+    #: the time of the cache lookup itself, typically microseconds).
+    point_durations: List[float] = field(default_factory=list)
+    #: Per-point cache-hit flags, aligned with ``points``.
+    point_cached: List[bool] = field(default_factory=list)
 
     def items(self) -> List[tuple]:
         """``(point, result)`` pairs in sweep order."""
@@ -182,11 +244,19 @@ class CampaignRunner:
         self,
         spec: Union[SweepSpec, Sequence[PointSpec], Iterable[PointSpec]],
         name: Optional[str] = None,
+        observer: Optional[RunObserver] = None,
     ) -> CampaignResult:
         """Execute every point of ``spec``, reusing cached results.
 
         ``name`` overrides the campaign name recorded on the result (bare
-        point lists default to ``"adhoc"``).
+        point lists default to ``"adhoc"``).  With an ``observer``, the
+        campaign streams: ``run_start``, one ``cache_hit`` per point
+        served from the cache, one ``point_done`` per point (carrying
+        its content key, wall seconds, cache-hit flag, and phase split)
+        the moment it completes — from the serial loop and from the
+        pool's completion order alike — and a closing ``run_end``.
+        Observation never changes execution: results land in sweep order
+        either way, bit-identical to an unobserved run.
         """
         if isinstance(spec, SweepSpec):
             name = name if name is not None else spec.name
@@ -195,13 +265,55 @@ class CampaignRunner:
             points = list(spec)
             name = name if name is not None else "adhoc"
         started = time.monotonic()
+        run_id = None
+        if observer is not None:
+            run_id = next_run_id()
+            observer.emit(
+                make_event(
+                    "run_start",
+                    run_id=run_id,
+                    kind="campaign",
+                    campaign=name,
+                    num_points=len(points),
+                    jobs=self.jobs,
+                )
+            )
 
         results: List[Optional[ResultType]] = [None] * len(points)
+        durations: List[float] = [0.0] * len(points)
+        cached_flags: List[bool] = [False] * len(points)
+
+        def emit_point_done(
+            index: int,
+            cache_hit: bool,
+            duration: float,
+            phases: Optional[Dict[str, float]] = None,
+        ) -> None:
+            if observer is None:
+                return
+            observer.emit(
+                make_event(
+                    "point_done",
+                    run_id=run_id,
+                    index=index,
+                    cache_hit=cache_hit,
+                    duration_s=duration,
+                    phases=phases or {},
+                    **_point_fields(points[index]),
+                )
+            )
+
         pending: List[int] = []
         for index, point in enumerate(points):
+            lookup_started = time.perf_counter()
             cached = self.cache.get(point) if self.use_cache else None
             if cached is not None:
                 results[index] = cached
+                durations[index] = time.perf_counter() - lookup_started
+                cached_flags[index] = True
+                if observer is not None:
+                    observer.emit(make_event("cache_hit", run_id=run_id, key=_safe_key(point)))
+                emit_point_done(index, True, durations[index])
             else:
                 pending.append(index)
 
@@ -217,20 +329,54 @@ class CampaignRunner:
             from repro.run import execute_spec
 
             for index in pending:
-                finish(index, execute_spec(points[index], trace_store=self.trace_store))
+                collector = _PhaseCollector() if observer is not None else None
+                point_started = time.perf_counter()
+                result = execute_spec(
+                    points[index], trace_store=self.trace_store, observer=collector
+                )
+                durations[index] = time.perf_counter() - point_started
+                finish(index, result)
+                emit_point_done(
+                    index, False, durations[index],
+                    collector.phases if collector is not None else None,
+                )
         else:
             trace_root = str(getattr(self.trace_store, "root")) if self.trace_store is not None else None
-            payloads = [
-                {
-                    "point": points[index].to_dict(),
-                    "plugins": _plugin_modules(points[index]),
-                    "trace_root": trace_root,
-                }
-                for index in pending
-            ]
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                for index, encoded in zip(pending, pool.map(_execute_point_payload, payloads)):
-                    finish(index, result_from_dict(points[index].sim, encoded))
+                futures = {
+                    pool.submit(
+                        _execute_point_payload,
+                        {
+                            "point": points[index].to_dict(),
+                            "plugins": _plugin_modules(points[index]),
+                            "trace_root": trace_root,
+                        },
+                    ): index
+                    for index in pending
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    payload = future.result()
+                    durations[index] = float(payload["duration_s"])
+                    finish(index, result_from_dict(points[index].sim, payload["result"]))
+                    emit_point_done(
+                        index, False, durations[index], payload.get("phases")
+                    )
+
+        elapsed = time.monotonic() - started
+        if observer is not None:
+            observer.emit(
+                make_event(
+                    "run_end",
+                    run_id=run_id,
+                    kind="campaign",
+                    campaign=name,
+                    num_points=len(points),
+                    cached_count=len(points) - len(pending),
+                    computed_count=len(pending),
+                    duration_s=elapsed,
+                )
+            )
 
         return CampaignResult(
             name=name,
@@ -239,7 +385,9 @@ class CampaignRunner:
             cached_count=len(points) - len(pending),
             computed_count=len(pending),
             jobs=self.jobs,
-            elapsed_seconds=time.monotonic() - started,
+            elapsed_seconds=elapsed,
+            point_durations=durations,
+            point_cached=cached_flags,
         )
 
 

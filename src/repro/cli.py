@@ -228,7 +228,7 @@ def run_point_cli(args: argparse.Namespace) -> int:
             quantum_instructions=args.quantum_instructions,
             max_switches=args.max_switches,
         )
-    session = Session(use_cache=not args.no_cache)
+    session = Session(use_cache=not args.no_cache, observer=getattr(args, "observer", None))
     started = time.monotonic()
     result = session.run(spec)
     elapsed = time.monotonic() - started
@@ -328,7 +328,12 @@ def run_sweep_cli(args: argparse.Namespace) -> int:
     multicore = getattr(args, "cores", None) is not None or any(
         "," in entry for entry in (args.benchmarks or ())
     )
-    session = Session(engine=args.engine, jobs=args.jobs, use_cache=not args.no_cache)
+    session = Session(
+        engine=args.engine,
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        observer=getattr(args, "observer", None),
+    )
     sweep_name = None
     if multicore:
         points = _multicore_sweep_points(args)
@@ -424,7 +429,11 @@ def run_named_campaign(
 def run_figures_cli(args: argparse.Namespace) -> int:
     """Run one or all named figure/table campaigns."""
     names = sorted(NAMED_CAMPAIGNS) if args.name == "all" else [args.name]
-    session = Session(jobs=args.jobs, use_cache=not args.no_cache)
+    session = Session(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        observer=getattr(args, "observer", None),
+    )
     for name in names:
         benchmarks = args.benchmarks
         if name == "fig11" and args.name == "all":
@@ -441,8 +450,76 @@ def run_figures_cli(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# obs
+# ---------------------------------------------------------------------------
+
+def configure_obs_parser(parser: argparse.ArgumentParser) -> None:
+    """Subcommands for working with structured JSONL event logs."""
+    sub = parser.add_subparsers(dest="obs_command", required=True)
+    summary = sub.add_parser(
+        "summary", help="aggregate an event log into per-phase percentiles",
+        description="Fold a --log-json event log into per-phase and per-point "
+                    "duration percentiles, cache-hit rates, and warnings.")
+    summary.add_argument("log", help="path to a JSONL event log")
+    summary.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the summary as JSON instead of a table")
+    check = sub.add_parser(
+        "check", help="validate an event log against the schema",
+        description="Validate schema versions, event types and required fields; "
+                    "exit 1 when the log is malformed or incomplete.")
+    check.add_argument("log", help="path to a JSONL event log")
+    check.add_argument("--require", nargs="+", default=["run_start", "run_end"],
+                       metavar="TYPE",
+                       help="event types that must appear at least once "
+                            "(default: run_start run_end)")
+
+
+def run_obs_cli(args: argparse.Namespace) -> int:
+    """``python -m repro obs summary|check <events.jsonl>``."""
+    from repro.obs.events import check_events, read_events
+    from repro.obs.summary import format_summary, summarize_events
+
+    events = read_events(args.log)
+    if args.obs_command == "summary":
+        summary = summarize_events(events)
+        if args.as_json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(format_summary(summary))
+        return 0
+    problems = check_events(events, require_types=tuple(args.require))
+    if problems:
+        for problem in problems:
+            print(f"problem: {problem}", file=sys.stderr)
+        return 1
+    print(f"ok: {len(events)} events, schema valid, "
+          f"required types present ({', '.join(args.require)})")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # info
 # ---------------------------------------------------------------------------
+
+def _print_obs_info(obs: Dict[str, Any]) -> None:
+    """Render the live metric registry (``info --obs``)."""
+    def rate(value: Optional[float]) -> str:
+        return f"{100 * value:.1f}%" if value is not None else "n/a"
+
+    print("Observability (this process):")
+    print(f"  points executed   : {obs['points_executed']}")
+    print(f"  accesses replayed : {obs['accesses_replayed']}")
+    print(f"  cache hit rate    : {rate(obs['cache_hit_rate'])} "
+          f"({obs['cache_corrupt']} corrupt entries)")
+    print(f"  trace-store hits  : {rate(obs['trace_store_hit_rate'])}")
+    if obs["phases"]:
+        print(f"  {'phase':<16} {'count':>6} {'total':>10} {'p50':>10} {'p95':>10}")
+        for name, stats in sorted(obs["phases"].items()):
+            p50 = f"{stats['p50']:.4f}s" if stats.get("p50") is not None else "-"
+            p95 = f"{stats['p95']:.4f}s" if stats.get("p95") is not None else "-"
+            print(f"  {name:<16} {stats['count']:>6} {stats['total']:>9.4f}s "
+                  f"{p50:>10} {p95:>10}")
+
 
 def run_info_cli(args: argparse.Namespace) -> int:
     """Print the environment snapshot: registries, cache, and trace store."""
@@ -474,6 +551,9 @@ def run_info_cli(args: argparse.Namespace) -> int:
           f"{cache['bytes']} bytes){cache_state}")
     print(f"Trace store : {store['root']} ({store['entries']} traces, "
           f"{store['bytes']} bytes, format v{store['format_version']}){store_state}")
+    if getattr(args, "show_obs", False):
+        print()
+        _print_obs_info(info["obs"])
     return 0
 
 
@@ -491,6 +571,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of Last-Touch Correlated Data Streaming (ISPASS 2007).",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument("--log-json", metavar="PATH", default=None,
+                        help="append structured run events to PATH as JSON lines "
+                             "(see `obs summary`)")
+    parser.add_argument("--progress", action="store_true",
+                        help="stream live per-point progress lines to stderr")
+    parser.add_argument("--profile", action="store_true",
+                        help="after the command, print the per-phase time split "
+                             "(p50/p95/p99) to stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     configure_run_parser(sub.add_parser(
@@ -508,15 +596,50 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cli.configure_parser(sub.add_parser(
         "trace", help="trace-store management (repro.trace)",
         description="List, prewarm or clean the content-addressed trace store."))
-    sub.add_parser(
+    configure_obs_parser(sub.add_parser(
+        "obs", help="inspect structured event logs (repro.obs)",
+        description="Summarise or validate the JSONL event logs --log-json writes."))
+    info = sub.add_parser(
         "info", help="show registries, cache and trace-store state",
         description="Show predictors, benchmarks, named figures, cache and trace-store state.")
+    info.add_argument("--obs", action="store_true", dest="show_obs",
+                      help="also print this process's live metric registry")
     return parser
+
+
+def _build_observer(args: argparse.Namespace):
+    """The composed observer the global ``--log-json``/``--progress`` flags ask for."""
+    from repro.obs.observer import JsonlObserver, StderrProgressObserver, compose
+
+    return compose(
+        JsonlObserver(args.log_json) if getattr(args, "log_json", None) else None,
+        StderrProgressObserver() if getattr(args, "progress", False) else None,
+    )
+
+
+def _print_profile() -> None:
+    """Per-phase time split of this process (the ``--profile`` flag)."""
+    from repro.run import Session
+
+    obs = Session.obs_info()
+    if not obs["phases"]:
+        print("profile: no phases recorded", file=sys.stderr)
+        return
+    print(f"profile: {'phase':<16} {'count':>6} {'total':>10} "
+          f"{'p50':>10} {'p95':>10} {'p99':>10}", file=sys.stderr)
+    for name, stats in sorted(obs["phases"].items()):
+        cells = [
+            f"{stats[label]:.4f}s" if stats.get(label) is not None else "-"
+            for label in ("p50", "p95", "p99")
+        ]
+        print(f"profile: {name:<16} {stats['count']:>6} {stats['total']:>9.4f}s "
+              f"{cells[0]:>10} {cells[1]:>10} {cells[2]:>10}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Unified CLI entry point (``python -m repro``)."""
     from repro.bench import __main__ as bench_cli
+    from repro.obs.observer import add_global_observer, remove_global_observer
     from repro.trace import __main__ as trace_cli
 
     dispatch: Dict[str, Callable[[argparse.Namespace], int]] = {
@@ -525,9 +648,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": run_figures_cli,
         "bench": bench_cli.run_cli,
         "trace": trace_cli.run_cli,
+        "obs": run_obs_cli,
         "info": run_info_cli,
     }
     args = build_parser().parse_args(argv)
+    # The composed --log-json/--progress observer rides on the namespace
+    # (command handlers pick it up via getattr, so the per-subsystem entry
+    # points that reuse them keep working without the global flags) and is
+    # registered globally so cache/trace-store warnings reach the same log.
+    observer = _build_observer(args)
+    args.observer = observer
+    if observer is not None:
+        add_global_observer(observer)
     try:
         return dispatch[args.command](args)
     except (KeyError, ValueError) as error:
@@ -536,6 +668,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         message = error.args[0] if error.args else str(error)
         print(f"error: {message}", file=sys.stderr)
         return 2
+    finally:
+        if observer is not None:
+            remove_global_observer(observer)
+            observer.close()
+        if getattr(args, "profile", False):
+            _print_profile()
 
 
 if __name__ == "__main__":

@@ -190,6 +190,17 @@ class MulticoreSimulator:
         self, traces: Sequence[TraceStream], benchmarks: Optional[Sequence[str]] = None
     ) -> MulticoreResult:
         """Replay one trace per core under the configured interleaving."""
+        self.replay(traces)
+        return self.build_result(traces, benchmarks)
+
+    def replay(self, traces: Sequence[TraceStream]) -> None:
+        """The co-run loop only: replay every trace, accumulating counters.
+
+        Split from :meth:`build_result` so instrumented callers (the
+        ``repro.obs`` phase timers in :func:`simulate_multicore`) can
+        time replay and settle separately; :meth:`run` is the unchanged
+        one-call form.
+        """
         if len(traces) != self.num_cores:
             raise ValueError(
                 f"expected {self.num_cores} traces (one per prefetcher), got {len(traces)}"
@@ -206,7 +217,6 @@ class MulticoreSimulator:
             cores[core][0](start, stop)
         for run_chunk, settle in cores:
             settle()
-        return self._build_result(traces, benchmarks)
 
     # ------------------------------------------------------------------ fast engine
     def _make_fast_core(self, core: int, columns):
@@ -612,9 +622,10 @@ class MulticoreSimulator:
             on_chip_storage_bytes=on_chip,
         )
 
-    def _build_result(
-        self, traces: Sequence[TraceStream], benchmarks: Optional[Sequence[str]]
+    def build_result(
+        self, traces: Sequence[TraceStream], benchmarks: Optional[Sequence[str]] = None
     ) -> MulticoreResult:
+        """Fold the accumulated counters into a :class:`MulticoreResult`."""
         per_core = [self._core_result(core, trace) for core, trace in enumerate(traces)]
         aggregate = self.shared.aggregate_stats()
         merged = BusModel.merged(self.core_bus)
@@ -632,7 +643,7 @@ class MulticoreSimulator:
         )
 
 
-def simulate_multicore(spec: MulticoreSpec, trace_store=None) -> MulticoreResult:
+def simulate_multicore(spec: MulticoreSpec, trace_store=None, observer=None) -> MulticoreResult:
     """Run one multicore co-run spec end to end and return its result.
 
     Traces come from the content-addressed store (one per benchmark x
@@ -640,18 +651,28 @@ def simulate_multicore(spec: MulticoreSpec, trace_store=None) -> MulticoreResult
     core ``i``'s addresses are shifted by ``i * spec.address_shift`` so
     working sets occupy disjoint physical ranges, exactly as the paper's
     multi-programmed methodology requires.
+
+    Like the single-core path, the run splits into the standard
+    ``repro.obs`` phases — ``trace_acquire`` (loading/shifting every
+    core's trace), ``replay`` (the interleaved co-run loop), ``settle``
+    (result assembly) — recorded into the metrics registry and, with an
+    ``observer``, emitted as ``phase`` events.
     """
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.timers import PHASE_REPLAY, PHASE_SETTLE, PHASE_TRACE_ACQUIRE
+    from repro.obs.timers import phase as obs_phase
     from repro.registry import build_predictor
     from repro.trace.store import load_or_generate_trace
     from repro.workloads.base import WorkloadConfig
 
     workload_config = WorkloadConfig(num_accesses=spec.num_accesses, seed=spec.seed)
-    traces = []
-    for index, benchmark in enumerate(spec.benchmarks):
-        trace = load_or_generate_trace(benchmark, workload_config, store=trace_store)
-        if index and spec.address_shift:
-            trace = shift_addresses(trace, index * spec.address_shift)
-        traces.append(trace)
+    with obs_phase(PHASE_TRACE_ACQUIRE, observer=observer):
+        traces = []
+        for index, benchmark in enumerate(spec.benchmarks):
+            trace = load_or_generate_trace(benchmark, workload_config, store=trace_store)
+            if index and spec.address_shift:
+                trace = shift_addresses(trace, index * spec.address_shift)
+            traces.append(trace)
     prefetchers = [
         build_predictor(name, predictor_config, engine=spec.engine)
         for name, predictor_config in zip(spec.core_predictors, spec.core_predictor_configs)
@@ -663,4 +684,9 @@ def simulate_multicore(spec: MulticoreSpec, trace_store=None) -> MulticoreResult
         interleave=spec.interleave,
         quantum_accesses=spec.quantum_accesses,
     )
-    return simulator.run(traces, benchmarks=spec.benchmarks)
+    with obs_phase(PHASE_REPLAY, observer=observer):
+        simulator.replay(traces)
+    with obs_phase(PHASE_SETTLE, observer=observer):
+        result = simulator.build_result(traces, benchmarks=spec.benchmarks)
+    REGISTRY.counter("replay.accesses").inc(sum(len(trace) for trace in traces))
+    return result

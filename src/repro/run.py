@@ -25,12 +25,20 @@ pooled, and facade execution share one dispatch.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.campaign.cache import ResultCache, ResultType, cache_disabled
 from repro.campaign.runner import CampaignResult, CampaignRunner
 from repro.campaign.spec import PointSpec, SweepSpec
+from repro.obs.events import make_event, next_run_id
+from repro.obs.metrics import REGISTRY
+from repro.obs.observer import RunObserver
+from repro.obs.timers import PHASE_REPLAY
+from repro.obs.timers import phase as obs_phase
 from repro.registry import build_predictor
+
+_POINTS_EXECUTED = REGISTRY.counter("run.points_executed")
 
 #: The facade name for a fully-specified simulation point.  ``RunSpec`` is
 #: a thin alias of :class:`~repro.campaign.spec.PointSpec` — one class,
@@ -49,6 +57,7 @@ def execute_spec(
     prefetcher: Optional[object] = None,
     system_config: Optional[object] = None,
     trace_store: Optional[object] = None,
+    observer: Optional[RunObserver] = None,
 ) -> ResultType:
     """Run one simulation spec in-process and return its result object.
 
@@ -58,8 +67,12 @@ def execute_spec(
     build (used by the classic instance-based shims; such runs are not
     cacheable because the spec no longer captures the predictor state),
     ``system_config`` feeds the timing model, and ``trace_store``
-    overrides the default on-disk trace store.
+    overrides the default on-disk trace store.  ``observer`` receives
+    ``phase`` events splitting the run into trace-acquire / replay /
+    settle (trace and multicore kinds; the timing and multiprogram
+    shims report a single ``replay`` span).
     """
+    _POINTS_EXECUTED.inc()
     if spec.sim == "trace":
         from repro.sim.trace_driven import simulate_benchmark
 
@@ -76,22 +89,24 @@ def execute_spec(
             hierarchy_config=spec.hierarchy_config,
             engine=spec.engine,
             trace_store=trace_store,
+            observer=observer,
         )
     if spec.sim == "timing":
         from repro.sim.timing import _simulate_speedup
 
         if prefetcher is None and spec.predictor != "none":
             prefetcher = build_predictor(spec.predictor, spec.predictor_config)
-        return _simulate_speedup(
-            spec.benchmark,
-            prefetcher=prefetcher,
-            num_accesses=spec.num_accesses,
-            seed=spec.seed,
-            hierarchy_config=spec.hierarchy_config,
-            system_config=system_config,
-            perfect_l1=spec.perfect_l1,
-            trace_store=trace_store,
-        )
+        with obs_phase(PHASE_REPLAY, observer=observer):
+            return _simulate_speedup(
+                spec.benchmark,
+                prefetcher=prefetcher,
+                num_accesses=spec.num_accesses,
+                seed=spec.seed,
+                hierarchy_config=spec.hierarchy_config,
+                system_config=system_config,
+                perfect_l1=spec.perfect_l1,
+                trace_store=trace_store,
+            )
     if spec.sim == "multicore":
         from repro.multicore import simulate_multicore
 
@@ -100,24 +115,37 @@ def execute_spec(
                 "multicore specs build one predictor per core from the registry; "
                 "prefetcher/system_config overrides do not apply"
             )
-        return simulate_multicore(spec, trace_store=trace_store)
+        return simulate_multicore(spec, trace_store=trace_store, observer=observer)
     if spec.sim == "multiprogram":
         from repro.sim.multiprogram import _simulate_pair
 
         if spec.predictor != "ltcords":
             raise ValueError("multiprogram points currently support only the ltcords predictor")
-        return _simulate_pair(
-            spec.benchmark,
-            spec.secondary,
-            num_accesses=spec.num_accesses,
-            quantum_instructions=spec.quantum_instructions,
-            max_switches=spec.max_switches,
-            seed=spec.seed,
-            hierarchy_config=spec.hierarchy_config,
-            ltcords_config=spec.predictor_config,
-            trace_store=trace_store,
-        )
+        with obs_phase(PHASE_REPLAY, observer=observer):
+            return _simulate_pair(
+                spec.benchmark,
+                spec.secondary,
+                num_accesses=spec.num_accesses,
+                quantum_instructions=spec.quantum_instructions,
+                max_switches=spec.max_switches,
+                seed=spec.seed,
+                hierarchy_config=spec.hierarchy_config,
+                ltcords_config=spec.predictor_config,
+                trace_store=trace_store,
+            )
     raise ValueError(f"unknown sim kind {spec.sim!r}")
+
+
+def _safe_key(spec: Any) -> Optional[str]:
+    """``spec.key()`` or ``None`` when the spec is unserialisable.
+
+    Specs carrying unregistered config classes raise ``TypeError`` from
+    ``key()``; observability must never turn that into a run failure.
+    """
+    try:
+        return spec.key()
+    except (TypeError, AttributeError):
+        return None
 
 
 class Session:
@@ -141,6 +169,12 @@ class Session:
     runner:
         A prebuilt :class:`CampaignRunner` to adopt (its cache settings
         win); used by the experiment drivers' back-compat paths.
+    observer:
+        A :class:`~repro.obs.observer.RunObserver` receiving structured
+        events from :meth:`run` (``run_start`` / ``phase`` /
+        ``cache_hit`` / ``run_end``) and :meth:`sweep` (per-point
+        ``point_done`` streaming).  ``None`` observes nothing and adds
+        nothing to the hot path.
     """
 
     def __init__(
@@ -152,10 +186,12 @@ class Session:
         use_cache: bool = True,
         trace_store: Optional[object] = None,
         runner: Optional[CampaignRunner] = None,
+        observer: Optional[RunObserver] = None,
     ) -> None:
         self.engine = engine
         self.jobs = jobs
         self.trace_store = trace_store
+        self.observer = observer
         self._runner = runner
         if runner is not None:
             self._cache: Optional[ResultCache] = runner.cache
@@ -220,11 +256,29 @@ class Session:
         specs whose configs are not registered for serialisation.
         """
         spec = self.spec(spec, **overrides)
+        observer = self.observer
+        run_id = None
+        started = time.perf_counter()
+        if observer is not None:
+            run_id = next_run_id()
+            observer.emit(
+                make_event(
+                    "run_start",
+                    run_id=run_id,
+                    kind="run",
+                    benchmark=getattr(spec, "benchmark", None),
+                    predictor=getattr(spec, "predictor", None),
+                    sim=getattr(spec, "sim", None),
+                    key=_safe_key(spec),
+                )
+            )
         cacheable = (
             (self.use_cache if use_cache is None else use_cache and not cache_disabled())
             and prefetcher is None
             and system_config is None
         )
+        cache_hit = False
+        result: Optional[ResultType] = None
         if cacheable:
             try:
                 cached = self.cache.get(spec)
@@ -233,15 +287,32 @@ class Session:
                 cacheable = False
             else:
                 if cached is not None:
-                    return cached
-        result = execute_spec(
-            spec,
-            prefetcher=prefetcher,
-            system_config=system_config,
-            trace_store=self.trace_store,
-        )
-        if cacheable:
-            self.cache.put(spec, result)
+                    cache_hit = True
+                    result = cached
+                    if observer is not None:
+                        observer.emit(
+                            make_event("cache_hit", run_id=run_id, key=_safe_key(spec))
+                        )
+        if result is None:
+            result = execute_spec(
+                spec,
+                prefetcher=prefetcher,
+                system_config=system_config,
+                trace_store=self.trace_store,
+                observer=observer,
+            )
+            if cacheable:
+                self.cache.put(spec, result)
+        if observer is not None:
+            observer.emit(
+                make_event(
+                    "run_end",
+                    run_id=run_id,
+                    cache_hit=cache_hit,
+                    duration_s=time.perf_counter() - started,
+                    metrics=REGISTRY.snapshot(),
+                )
+            )
         return result
 
     def sweep(
@@ -263,14 +334,18 @@ class Session:
         serial path and the pool workers.
         """
         if self.engine is None or not isinstance(spec, SweepSpec):
-            return self.runner.run(spec, name=name)
+            return self.runner.run(spec, name=name, observer=self.observer)
         points = [
             dataclasses.replace(point, engine=self.engine)
             if point.sim in ("trace", "multicore") and point.engine != self.engine
             else point
             for point in spec.points()
         ]
-        return self.runner.run(points, name=name if name is not None else spec.name)
+        return self.runner.run(
+            points,
+            name=name if name is not None else spec.name,
+            observer=self.observer,
+        )
 
     def compare(
         self,
@@ -311,4 +386,31 @@ class Session:
                 "entries": len(store.entries()),
                 "bytes": store.size_bytes(),
             },
+            "obs": self.obs_info(),
+        }
+
+    @staticmethod
+    def obs_info() -> Dict[str, Any]:
+        """Live snapshot of the process-local metrics registry.
+
+        Reports what this process has actually done so far: points
+        executed, accesses replayed, result-cache and trace-store hit
+        rates, and per-phase time split — the ``info --obs`` payload.
+        """
+        snapshot = REGISTRY.snapshot()
+        phases = {
+            name[len("phase."):]: stats
+            for name, stats in snapshot["histograms"].items()
+            if name.startswith("phase.")
+        }
+        return {
+            "points_executed": snapshot["counters"].get("run.points_executed", 0),
+            "accesses_replayed": snapshot["counters"].get("replay.accesses", 0),
+            "cache_hit_rate": REGISTRY.hit_rate("cache.hits", "cache.misses"),
+            "cache_corrupt": snapshot["counters"].get("cache.corrupt", 0),
+            "trace_store_hit_rate": REGISTRY.hit_rate(
+                "trace_store.hits", "trace_store.misses"
+            ),
+            "phases": phases,
+            "counters": snapshot["counters"],
         }

@@ -44,6 +44,9 @@ from repro.cache.hierarchy import ENGINES, CacheHierarchy, HierarchyConfig, Serv
 from repro.core.interface import AccessOutcome, Prefetcher
 from repro.memory.bus import BusModel, TrafficCategory
 from repro.memory.request_queue import PrefetchRequestQueue
+from repro.obs.metrics import REGISTRY
+from repro.obs.timers import PHASE_REPLAY, PHASE_SETTLE, PHASE_TRACE_ACQUIRE
+from repro.obs.timers import phase as obs_phase
 from repro.prefetchers.null import NullPrefetcher
 from repro.trace.record import AccessType, MemoryAccess
 from repro.trace.store import load_or_generate_trace
@@ -52,6 +55,9 @@ from repro.workloads.base import WorkloadConfig
 
 #: ServiceLevel by the int code ``prefetch_into_l1_fast`` returns.
 _LEVEL_BY_CODE = (ServiceLevel.L1, ServiceLevel.L2, ServiceLevel.MEMORY)
+
+#: Total references replayed by this process (all engines, all sim kinds).
+_ACCESSES_REPLAYED = REGISTRY.counter("replay.accesses")
 
 
 @dataclass
@@ -283,6 +289,17 @@ class TraceDrivenSimulator:
     # ------------------------------------------------------------------ main loop
     def run(self, trace: TraceStream) -> SimulationResult:
         """Replay ``trace`` and return the measured result."""
+        self.replay(trace)
+        return self.build_result(trace)
+
+    def replay(self, trace: TraceStream) -> None:
+        """The engine loop only: replay ``trace``, accumulating counters.
+
+        Split from :meth:`build_result` so instrumented callers (the
+        ``repro.obs`` phase timers in :func:`simulate_benchmark`) can
+        time the replay and settle phases separately; :meth:`run` is the
+        unchanged one-call form.
+        """
         if self.engine == "fast":
             if type(self.prefetcher) is NullPrefetcher:
                 self._run_fast_baseline(trace)
@@ -292,7 +309,6 @@ class TraceDrivenSimulator:
                 self._run_fast(trace)
         else:
             self._run_legacy(trace)
-        return self._build_result(trace)
 
     def _settle_hierarchy_stats(
         self,
@@ -681,7 +697,8 @@ class TraceDrivenSimulator:
                 self.request_queue.push(command.address, command.victim_address, tag=command.tag)
             self._execute_prefetches()
 
-    def _build_result(self, trace: TraceStream) -> SimulationResult:
+    def build_result(self, trace: TraceStream) -> SimulationResult:
+        """Fold the accumulated counters into a :class:`SimulationResult`."""
         # Account the predictor's own off-chip metadata traffic.
         creation = getattr(self.prefetcher, "sequence_creation_bytes", lambda: 0)()
         fetch = getattr(self.prefetcher, "sequence_fetch_bytes", lambda: 0)()
@@ -716,6 +733,7 @@ def simulate_benchmark(
     hierarchy_config: Optional[HierarchyConfig] = None,
     engine: str = "fast",
     trace_store=None,
+    observer=None,
 ) -> SimulationResult:
     """Convenience wrapper: obtain the workload trace, replay it, return the result.
 
@@ -723,11 +741,22 @@ def simulate_benchmark(
     (:mod:`repro.trace.store`): generated and persisted on first use,
     ``mmap``-loaded afterwards.  ``trace_store`` overrides the default
     store (resolved from ``REPRO_TRACE_DIR`` / ``REPRO_NO_TRACE_STORE``).
+
+    The run is split into the three standard ``repro.obs`` phases
+    (``trace_acquire`` / ``replay`` / ``settle``), recorded into the
+    process-local metrics registry and — when an ``observer`` is given —
+    emitted as ``phase`` events.
     """
-    trace = load_or_generate_trace(
-        benchmark, WorkloadConfig(num_accesses=num_accesses, seed=seed), store=trace_store
-    )
+    with obs_phase(PHASE_TRACE_ACQUIRE, observer=observer):
+        trace = load_or_generate_trace(
+            benchmark, WorkloadConfig(num_accesses=num_accesses, seed=seed), store=trace_store
+        )
     simulator = TraceDrivenSimulator(
         prefetcher=prefetcher, hierarchy_config=hierarchy_config, engine=engine
     )
-    return simulator.run(trace)
+    with obs_phase(PHASE_REPLAY, observer=observer):
+        simulator.replay(trace)
+    with obs_phase(PHASE_SETTLE, observer=observer):
+        result = simulator.build_result(trace)
+    _ACCESSES_REPLAYED.inc(len(trace))
+    return result

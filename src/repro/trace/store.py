@@ -60,8 +60,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.obs.metrics import REGISTRY
+from repro.obs.observer import emit_warning
 from repro.trace.stream import TraceColumns, TraceStream
 from repro.version import __version__
+
+# Process-wide mirrors of the per-instance TraceStoreStats, so hit rates
+# survive the short-lived TraceStore objects the simulators construct.
+_STORE_HITS = REGISTRY.counter("trace_store.hits")
+_STORE_PREFIX_HITS = REGISTRY.counter("trace_store.prefix_hits")
+_STORE_MISSES = REGISTRY.counter("trace_store.misses")
+_STORE_GENERATED = REGISTRY.counter("trace_store.generated")
+_STORE_INVALID = REGISTRY.counter("trace_store.invalid")
 
 #: Bump when the binary layout (or the meaning of a column) changes.
 #: Folded into every file's content key *and* into campaign cache keys
@@ -338,20 +348,29 @@ class TraceStore:
         if path.exists():
             try:
                 trace = read_trace_file(path)
-            except (OSError, TraceStoreError):
+            except (OSError, TraceStoreError) as exc:
                 self.stats.invalid += 1
+                _STORE_INVALID.inc()
+                emit_warning(
+                    f"invalid trace-store entry {path} ({exc}); regenerating",
+                    path=str(path),
+                )
             else:
                 self.stats.hits += 1
+                _STORE_HITS.inc()
                 return trace
         prefix = self._find_prefix(benchmark, config)
         if prefix is not None:
             self.stats.prefix_hits += 1
+            _STORE_PREFIX_HITS.inc()
             return prefix
         self.stats.misses += 1
+        _STORE_MISSES.inc()
         from repro.workloads.registry import get_workload
 
         trace = get_workload(benchmark, config).generate()
         self.stats.generated += 1
+        _STORE_GENERATED.inc()
         try:
             self.save(trace, benchmark, config)
         except (OSError, TraceStoreError):
