@@ -1,0 +1,81 @@
+"""Fault-tolerant campaigns: chaos in, bit-identical results out.
+
+Walks the resilience layer end to end with one small sweep:
+
+1. a clean reference run (what the campaign *should* produce);
+2. the same campaign under injected chaos — a transient exception and a
+   hung point — healed by retries and a per-point timeout, and checked
+   bit-identical to the reference;
+3. a simulated mid-campaign crash (``on_error="fail"`` aborts at an
+   injected fault), then ``resume=True`` finishing only the points the
+   durable journal does not already record.
+
+    PYTHONPATH=src python examples/resilient_campaign.py
+
+The same knobs on the command line::
+
+    python -m repro sweep --benchmarks mcf swim art --retries 2 \
+        --point-timeout 60 --on-error retry
+    python -m repro sweep --benchmarks mcf swim art --resume
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import RetryPolicy, RunSpec, Session
+from repro.campaign.cache import ResultCache, result_to_dict
+from repro.campaign.runner import CampaignRunner
+from repro.resilience import FaultPlan, PointFailed
+from repro.resilience.journal import default_journal_root
+
+ACCESSES = 20_000
+POINTS = [RunSpec(benchmark=name, num_accesses=ACCESSES) for name in ("mcf", "swim", "art")]
+
+
+def serialized(campaign):
+    return [result_to_dict(p.sim, r) for p, r in campaign.items()]
+
+
+# Work under a throwaway cache so this demo never touches your real one.
+workdir = Path(tempfile.mkdtemp(prefix="repro-resilience-"))
+print(f"cache/journal root: {workdir}\n")
+
+# -- 1. Clean reference ------------------------------------------------------
+reference = CampaignRunner(jobs=1, use_cache=False).run(POINTS)
+print(f"reference run     : {reference.status_counts()}")
+
+# -- 2. Chaos + retries converge to the same bits ----------------------------
+# Point 0 raises on its first attempt; point 2 hangs for 30s but the
+# 2s per-point timeout cuts it short.  Both heal on retry (injected
+# faults fire on the first attempt only — like real transient failures).
+chaotic = CampaignRunner(
+    jobs=1,
+    use_cache=False,
+    retry=RetryPolicy(retries=2, timeout_s=2.0),
+    faults=FaultPlan.parse("raise@0,sleep@2:30"),
+).run(POINTS)
+print(f"chaotic run       : {chaotic.status_counts()}")
+assert serialized(chaotic) == serialized(reference), "chaos changed the results!"
+print("chaotic == clean  : bit-identical\n")
+
+# -- 3. Crash mid-campaign, then resume --------------------------------------
+session = Session(cache=ResultCache(workdir))
+try:
+    # The default policy is fail-fast, so the injected fault at point 2
+    # aborts the campaign — a stand-in for a crash or Ctrl-C.  Points 0
+    # and 1 are already in the journal and the result cache.
+    session.runner.faults = FaultPlan.parse("raise@2")
+    session.sweep(POINTS, name="demo")
+except PointFailed as error:
+    print(f"simulated crash   : {error}")
+
+journal = default_journal_root(workdir) / "demo.jsonl"
+print(f"journal           : {journal} ({len(journal.read_text().splitlines())} lines)")
+
+# A fresh session (fresh process, after the crash): --resume re-executes
+# only what the journal does not record as completed and cache-verified.
+resumed = Session(cache=ResultCache(workdir), resume=True).sweep(POINTS, name="demo")
+print(f"resumed run       : {resumed.resumed_count} points skipped via journal, "
+      f"{len(resumed) - resumed.resumed_count} executed")
+assert serialized(resumed) == serialized(reference)
+print("resumed == clean  : bit-identical")

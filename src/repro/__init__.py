@@ -38,13 +38,16 @@ from repro.api import (
 )
 from repro.multicore import MulticoreResult, MulticoreSpec
 from repro.registry import register_config_class, register_predictor, register_workload
+from repro.resilience import FaultPlan, RetryPolicy
 from repro.run import RunSpec, Session
 from repro.version import __version__
 
 __all__ = [
     "__version__",
+    "FaultPlan",
     "MulticoreResult",
     "MulticoreSpec",
+    "RetryPolicy",
     "RunSpec",
     "Session",
     "available_benchmarks",

@@ -18,14 +18,20 @@ from repro.campaign.cache import ResultCache, default_cache_dir
 from repro.campaign.configs import decode_config, encode_config
 from repro.campaign.runner import CampaignResult, CampaignRunner, default_jobs, execute_point, run_campaign
 from repro.campaign.spec import PointSpec, PredictorVariant, SweepSpec
+from repro.resilience import CampaignJournal, FaultPlan, PointFailed, PointTimeout, RetryPolicy
 
 __all__ = [
     "ArtifactStore",
+    "CampaignJournal",
     "CampaignResult",
     "CampaignRunner",
+    "FaultPlan",
+    "PointFailed",
     "PointSpec",
+    "PointTimeout",
     "PredictorVariant",
     "ResultCache",
+    "RetryPolicy",
     "SweepSpec",
     "decode_config",
     "default_cache_dir",

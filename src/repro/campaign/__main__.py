@@ -36,6 +36,7 @@ from repro.campaign.cache import ResultCache
 from repro.cli import (
     NAMED_CAMPAIGNS,
     configure_sweep_parser,
+    retry_policy_from_args,
     run_named_campaign,
     run_sweep_cli,
 )
@@ -97,7 +98,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             benchmarks=args.benchmarks,
             num_accesses=args.num_accesses[0] if args.num_accesses else None,
             seed=args.seeds[0] if args.seeds else None,
-            session=Session(engine=args.engine, jobs=args.jobs, use_cache=not args.no_cache),
+            session=Session(
+                engine=args.engine,
+                jobs=args.jobs,
+                use_cache=not args.no_cache,
+                retry=retry_policy_from_args(args),
+                resume=args.resume,
+            ),
         )
     return run_sweep_cli(args)
 

@@ -4,23 +4,36 @@ Every campaign run can be persisted as two human/tool-friendly files
 under ``<cache root>/artifacts/<campaign name>/``:
 
 * ``summary.json`` — the campaign metadata (point count, cache hits,
-  worker count, elapsed time) plus every point spec and its full
-  serialized result, enough to re-plot any figure without re-simulating;
+  worker count, elapsed time, retry/respawn telemetry) plus every point
+  spec and its full serialized result, enough to re-plot any figure
+  without re-simulating;
 * ``points.csv`` — one flat row per point with the headline metrics,
-  ready for pandas/gnuplot/spreadsheets.
+  ready for pandas/gnuplot/spreadsheets, including a ``status`` column
+  (``ok`` / ``retried`` / ``skipped`` / ``failed``) when the campaign
+  ran under a continue-on-error retry policy.
+
+Writes are crash-safe: each file is written to a ``mkstemp`` sibling and
+atomically renamed into place (the same pattern as
+:meth:`~repro.campaign.cache.ResultCache.put`), so a crash mid-write
+leaves the previous artifact intact rather than a torn file.  Pass
+``fsync=True`` to also force the data to stable storage before the
+rename — the durable option for journaling/CI environments.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, TextIO, Union
 
 from repro.campaign.cache import default_cache_dir, result_to_dict
 from repro.campaign.runner import CampaignResult
 from repro.campaign.spec import PointSpec
 from repro.multicore.result import MulticoreResult
+from repro.resilience.journal import safe_campaign_name
 from repro.sim.multiprogram import MultiProgramResult
 from repro.sim.timing import TimingResult
 from repro.sim.trace_driven import SimulationResult
@@ -28,7 +41,13 @@ from repro.version import __version__
 
 
 def _headline_metrics(result: Any) -> Dict[str, Any]:
-    """Flat, spreadsheet-ready metrics for one result (type-dependent)."""
+    """Flat, spreadsheet-ready metrics for one result (type-dependent).
+
+    ``None`` — a point the retry policy gave up on — contributes no
+    metric columns (its row still carries identity and status).
+    """
+    if result is None:
+        return {}
     if isinstance(result, SimulationResult):
         return {
             "coverage": result.coverage,
@@ -83,26 +102,75 @@ def _point_columns(point: PointSpec) -> Dict[str, Any]:
     }
 
 
-class ArtifactStore:
-    """Writes campaign summaries beneath an artifacts root."""
+def _write_atomic(
+    path: Path,
+    write_body: Callable[[TextIO], None],
+    fsync: bool = False,
+) -> None:
+    """Write ``path`` via a temp sibling + atomic rename (optional fsync)."""
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8", newline="") as handle:
+            write_body(handle)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
-    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+
+class ArtifactStore:
+    """Writes campaign summaries beneath an artifacts root.
+
+    ``fsync=True`` forces every artifact to stable storage before its
+    atomic rename (slower, but survives power loss, not just crashes).
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        fsync: bool = False,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir() / "artifacts"
+        self.fsync = fsync
 
     def campaign_dir(self, name: str) -> Path:
         """Directory holding one campaign's artifacts."""
-        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in name) or "campaign"
-        return self.root / safe
+        return self.root / safe_campaign_name(name)
 
     def write(self, campaign: CampaignResult) -> List[Path]:
-        """Persist ``summary.json`` and ``points.csv``; return the paths."""
+        """Persist ``summary.json`` and ``points.csv``; return the paths.
+
+        Partial campaigns — runs whose retry policy skipped or failed
+        some points — are written the same way: their rows carry a
+        ``status``/``error`` and ``result: null``, so a resumed or fixed
+        re-run can be diffed against exactly what this run produced.
+        """
         target = self.campaign_dir(campaign.name)
         target.mkdir(parents=True, exist_ok=True)
 
-        # Per-point timing/caching telemetry, present when the campaign
-        # was run by a runner new enough to record it (aligned lists).
+        # Per-point telemetry, present when the campaign was run by a
+        # runner new enough to record it (aligned lists).
         durations = campaign.point_durations if len(campaign.point_durations) == len(campaign) else None
         cached = campaign.point_cached if len(campaign.point_cached) == len(campaign) else None
+        statuses = campaign.point_status if len(campaign.point_status) == len(campaign) else None
+        errors = campaign.point_errors if len(campaign.point_errors) == len(campaign) else None
+
+        def _telemetry(index: int) -> Dict[str, Any]:
+            columns: Dict[str, Any] = {}
+            if durations is not None and cached is not None:
+                columns["duration_s"] = durations[index]
+                columns["cache_hit"] = cached[index]
+            if statuses is not None:
+                columns["status"] = statuses[index]
+            if errors is not None and errors[index] is not None:
+                columns["error"] = errors[index]
+            return columns
 
         summary = {
             "version": __version__,
@@ -110,35 +178,32 @@ class ArtifactStore:
             "num_points": len(campaign),
             "cached_count": campaign.cached_count,
             "computed_count": campaign.computed_count,
+            "resumed_count": campaign.resumed_count,
+            "respawn_count": campaign.respawn_count,
+            "status_counts": campaign.status_counts(),
             "jobs": campaign.jobs,
             "elapsed_seconds": campaign.elapsed_seconds,
             "points": [
                 {
                     "label": point.label,
                     "spec": point.to_dict(),
-                    "result": result_to_dict(point.sim, result),
-                    **(
-                        {"duration_s": durations[index], "cache_hit": cached[index]}
-                        if durations is not None and cached is not None
-                        else {}
-                    ),
+                    "result": result_to_dict(point.sim, result) if result is not None else None,
+                    **_telemetry(index),
                 }
                 for index, (point, result) in enumerate(campaign.items())
             ],
         }
-        summary_path = target / "summary.json"
-        with open(summary_path, "w", encoding="utf-8") as handle:
+        def _write_summary(handle: TextIO) -> None:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+        summary_path = target / "summary.json"
+        _write_atomic(summary_path, _write_summary, fsync=self.fsync)
 
         rows = [
             {
                 **_point_columns(point),
-                **(
-                    {"duration_s": durations[index], "cache_hit": cached[index]}
-                    if durations is not None and cached is not None
-                    else {}
-                ),
+                **_telemetry(index),
                 **_headline_metrics(result),
             }
             for index, (point, result) in enumerate(campaign.items())
@@ -148,11 +213,14 @@ class ArtifactStore:
             for column in row:
                 if column not in columns:
                     columns.append(column)
-        csv_path = target / "points.csv"
-        with open(csv_path, "w", encoding="utf-8", newline="") as handle:
+
+        def _write_csv(handle: TextIO) -> None:
             writer = csv.DictWriter(handle, fieldnames=columns, restval="")
             writer.writeheader()
             writer.writerows(rows)
+
+        csv_path = target / "points.csv"
+        _write_atomic(csv_path, _write_csv, fsync=self.fsync)
 
         paths = [summary_path, csv_path]
         campaign.artifact_paths = [str(path) for path in paths]

@@ -32,6 +32,7 @@ from repro.version import __version__
 _CACHE_HITS = REGISTRY.counter("cache.hits")
 _CACHE_MISSES = REGISTRY.counter("cache.misses")
 _CACHE_CORRUPT = REGISTRY.counter("cache.corrupt")
+_CACHE_PUT_ERRORS = REGISTRY.counter("cache.put_errors")
 
 #: On-disk envelope schema version (bump on incompatible layout changes).
 SCHEMA_VERSION = 1
@@ -80,6 +81,9 @@ class ResultCache:
         #: Entries that existed on disk but failed to decode or validate
         #: (distinct from plain misses, which are simply absent files).
         self.corrupt = 0
+        #: Writes that failed (disk full, read-only root, ...); each is a
+        #: warning event + ``cache.put_errors`` bump, never an exception.
+        self.put_errors = 0
 
     # ------------------------------------------------------------------ paths
     @property
@@ -130,10 +134,18 @@ class ResultCache:
         _CACHE_HITS.inc()
         return result
 
-    def put(self, point: PointSpec, result: ResultType) -> Path:
-        """Persist ``result`` for ``point`` (atomic rename; last writer wins)."""
-        path = self.path_for(point)
-        path.parent.mkdir(parents=True, exist_ok=True)
+    def put(self, point: PointSpec, result: ResultType) -> Optional[Path]:
+        """Persist ``result`` for ``point`` (atomic rename; last writer wins).
+
+        A write that fails for environmental reasons — disk full, a
+        read-only cache root, a permissions change mid-campaign — must
+        not abort a campaign whose simulation *succeeded*: the failure
+        is counted (``cache.put_errors``), reported as a ``warning``
+        event, and swallowed; the point simply stays uncached and the
+        method returns ``None`` instead of the entry path.  Encoding
+        errors (an unregistered result type) still raise: those are
+        caller bugs, not environment.
+        """
         envelope = {
             "schema": SCHEMA_VERSION,
             "version": __version__,
@@ -142,16 +154,35 @@ class ResultCache:
             "point": point.to_dict(),
             "result": result_to_dict(point.sim, result),
         }
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        path = self.path_for(point)
+        tmp_name = None
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(envelope, handle, sort_keys=True)
             os.replace(tmp_name, path)
+        except OSError as error:
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            self.put_errors += 1
+            _CACHE_PUT_ERRORS.inc()
+            emit_warning(
+                f"result-cache write failed for {path} "
+                f"({type(error).__name__}: {error}); continuing uncached",
+                kind="cache_put_error",
+                path=str(path),
+            )
+            return None
         except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
             raise
         return path
 

@@ -1,4 +1,4 @@
-"""Parallel campaign execution with transparent result caching.
+"""Parallel campaign execution with caching, retries, and crash recovery.
 
 The :class:`CampaignRunner` takes a :class:`SweepSpec` (or a bare list of
 :class:`PointSpec`), satisfies as many points as possible from the
@@ -13,20 +13,62 @@ Worker count resolution: explicit ``jobs`` argument, else the
 runs a deterministic serial loop in-process (no pool, no subprocesses) —
 the determinism regression tests assert that both paths produce
 bit-identical serialized results.
+
+Resilience (:mod:`repro.resilience`) is threaded through both paths:
+
+* a :class:`~repro.resilience.RetryPolicy` retries failing points with
+  deterministic backoff, enforces a per-point wall-clock timeout (via
+  ``SIGALRM`` where the point runs — the serial loop or the pool
+  worker's main thread — with a parent-side kill backstop for pooled
+  hard hangs), and decides whether exhausted points abort the campaign
+  (``fail``) or are recorded ``skipped``/``failed`` while the rest
+  completes;
+* a crashed process pool (``BrokenProcessPool`` — a worker was killed,
+  OOM-ed, or segfaulted) is respawned and only the unfinished points are
+  re-dispatched, up to ``max_respawns`` times before degrading to
+  serial execution for the remainder;
+* every completed point of a named campaign is appended to a durable
+  :class:`~repro.resilience.CampaignJournal`, so ``run(..., resume=True)``
+  skips journaled, cache-verified points and continues a campaign after
+  a crash or Ctrl-C;
+* a :class:`~repro.resilience.FaultPlan` (``REPRO_FAULTS``) injects
+  chaos — raises, hangs, worker kills, cache corruption — through the
+  exact same execution paths, for the resilience tests and CI.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.cache import ResultCache, ResultType, cache_disabled, result_from_dict, result_to_dict
 from repro.campaign.spec import PointSpec, SweepSpec, spec_from_dict
 from repro.obs.events import make_event, next_run_id
-from repro.obs.observer import RunObserver
+from repro.obs.metrics import REGISTRY
+from repro.obs.observer import RunObserver, emit_warning
+from repro.resilience.faults import FaultPlan
+from repro.resilience.journal import CampaignJournal, default_journal_root
+from repro.resilience.policy import PointFailed, PointTimeout, RetryPolicy, time_limit
+
+_RUNS_RETRIED = REGISTRY.counter("runs.retried")
+_POOL_RESPAWNS = REGISTRY.counter("pool.respawns")
+_POINT_TIMEOUTS = REGISTRY.counter("points.timeouts")
+_RESUMED_POINTS = REGISTRY.counter("campaign.resumed_points")
+
+#: How often the pooled completion loop wakes to check deadlines (seconds).
+_POOL_POLL_S = 0.05
+
+#: Parent-side timeout backstop: a pooled point whose worker-side alarm
+#: should have fired is only declared dead after this multiple of the
+#: configured timeout (plus a constant grace), at which point the pool is
+#: hard-killed and rebuilt.  Generous on purpose — the worker-side
+#: ``SIGALRM`` is the primary enforcement; this catches hard hangs only.
+_BACKSTOP_FACTOR = 5.0
+_BACKSTOP_GRACE_S = 5.0
 
 
 def default_jobs() -> int:
@@ -155,7 +197,11 @@ def _execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     The return leg piggybacks the point's wall time and phase split on
     the same JSON-dict transport as the result itself, so the parent can
     stream a fully-populated ``point_done`` event per completion without
-    any extra IPC.
+    any extra IPC.  The payload optionally carries the campaign's
+    resilience context: ``timeout_s`` (enforced here with ``SIGALRM`` —
+    workers run their task on their main thread), and the fault plan
+    plus this point's ``index``/``attempt`` so injected chaos fires
+    inside the real worker path.
     """
     import importlib
 
@@ -169,9 +215,14 @@ def _execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         from repro.trace.store import TraceStore
 
         trace_store = TraceStore(payload["trace_root"])
+    faults = FaultPlan.decode(payload.get("faults", ()))
     collector = _PhaseCollector()
     started = time.perf_counter()
-    result = execute_spec(point, trace_store=trace_store, observer=collector)
+    with time_limit(payload.get("timeout_s")):
+        faults.apply_before_execute(
+            payload.get("index", -1), payload.get("attempt", 0), in_worker=True
+        )
+        result = execute_spec(point, trace_store=trace_store, observer=collector)
     return {
         "result": result_to_dict(point.sim, result),
         "duration_s": time.perf_counter() - started,
@@ -181,11 +232,16 @@ def _execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 @dataclass
 class CampaignResult:
-    """Ordered results of one campaign run, with lookup helpers."""
+    """Ordered results of one campaign run, with lookup helpers.
+
+    ``results`` slots are ``None`` for points the retry policy gave up
+    on (``point_status`` ``skipped``/``failed``); under the default
+    ``on_error="fail"`` policy every slot is filled or the run raised.
+    """
 
     name: str
     points: List[PointSpec]
-    results: List[ResultType]
+    results: List[Optional[ResultType]]
     cached_count: int = 0
     computed_count: int = 0
     jobs: int = 1
@@ -196,6 +252,17 @@ class CampaignResult:
     point_durations: List[float] = field(default_factory=list)
     #: Per-point cache-hit flags, aligned with ``points``.
     point_cached: List[bool] = field(default_factory=list)
+    #: Per-point status, aligned with ``points``: ``ok`` (clean success
+    #: or cache hit), ``retried`` (succeeded after >= 1 retry),
+    #: ``skipped`` (failed, never retried, policy continued), ``failed``
+    #: (retries exhausted, policy continued).
+    point_status: List[str] = field(default_factory=list)
+    #: Per-point final error strings (``None`` for successful points).
+    point_errors: List[Optional[str]] = field(default_factory=list)
+    #: Points served via ``resume=True`` (journaled and cache-verified).
+    resumed_count: int = 0
+    #: Process-pool rebuilds this run needed after worker crashes/kills.
+    respawn_count: int = 0
 
     def items(self) -> List[tuple]:
         """``(point, result)`` pairs in sweep order."""
@@ -216,8 +283,44 @@ class CampaignResult:
             raise LookupError(f"expected exactly one result for {attrs!r}, found {len(matches)}")
         return matches[0]
 
+    def status_counts(self) -> Dict[str, int]:
+        """How many points landed in each status bucket."""
+        counts: Dict[str, int] = {}
+        for status in self.point_status:
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def failures(self) -> List[Tuple[int, str]]:
+        """``(index, error)`` pairs for every skipped/failed point."""
+        return [
+            (index, error)
+            for index, error in enumerate(self.point_errors)
+            if error is not None
+        ]
+
     def __len__(self) -> int:
         return len(self.points)
+
+
+class _RunState:
+    """Mutable bookkeeping for one ``CampaignRunner.run`` invocation."""
+
+    def __init__(self, points: List[PointSpec]) -> None:
+        self.points = points
+        n = len(points)
+        self.results: List[Optional[ResultType]] = [None] * n
+        self.durations = [0.0] * n
+        self.cached = [False] * n
+        self.statuses = ["pending"] * n
+        self.errors: List[Optional[str]] = [None] * n
+        #: Point-attributable failures so far (exceptions, timeouts).
+        self.attempts = [0] * n
+        #: Executions actually started (faults fire on dispatch 1 only;
+        #: crash re-dispatches increment this without charging an attempt).
+        self.dispatches = [0] * n
+        self.keys = [_safe_key(point) for point in points]
+        self.resumed_count = 0
+        self.respawn_count = 0
 
 
 class CampaignRunner:
@@ -229,6 +332,10 @@ class CampaignRunner:
         cache: Optional[ResultCache] = None,
         use_cache: bool = True,
         trace_store: Optional[object] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        journal: bool = True,
+        journal_fsync: bool = False,
     ) -> None:
         self.jobs = jobs if jobs is not None else default_jobs()
         if self.jobs < 1:
@@ -239,12 +346,23 @@ class CampaignRunner:
         #: the serial path and, by root path, the pool workers); ``None``
         #: keeps the ambient resolution (REPRO_TRACE_DIR etc.).
         self.trace_store = trace_store
+        #: Retry/timeout/on-error policy (default: fail fast, no retry —
+        #: the historical behaviour).
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Fault-injection plan (default: whatever ``REPRO_FAULTS`` says,
+        #: usually nothing).
+        self.faults = faults if faults is not None else FaultPlan.from_env()
+        #: Whether named campaigns journal completed points for resume.
+        self.journal_enabled = journal
+        self.journal_fsync = journal_fsync
 
+    # ------------------------------------------------------------------ run
     def run(
         self,
         spec: Union[SweepSpec, Sequence[PointSpec], Iterable[PointSpec]],
         name: Optional[str] = None,
         observer: Optional[RunObserver] = None,
+        resume: bool = False,
     ) -> CampaignResult:
         """Execute every point of ``spec``, reusing cached results.
 
@@ -252,11 +370,18 @@ class CampaignRunner:
         point lists default to ``"adhoc"``).  With an ``observer``, the
         campaign streams: ``run_start``, one ``cache_hit`` per point
         served from the cache, one ``point_done`` per point (carrying
-        its content key, wall seconds, cache-hit flag, and phase split)
-        the moment it completes — from the serial loop and from the
-        pool's completion order alike — and a closing ``run_end``.
+        its content key, wall seconds, cache-hit flag, status, and phase
+        split) the moment it completes — from the serial loop and from
+        the pool's completion order alike — and a closing ``run_end``.
         Observation never changes execution: results land in sweep order
         either way, bit-identical to an unobserved run.
+
+        ``resume=True`` consults the campaign's durable journal first
+        and skips every point that a previous run journaled as completed
+        *and* whose result still verifies out of the content-addressed
+        cache; everything else (including corrupt journal or cache
+        entries) simply re-runs.  A fresh run (``resume=False``)
+        truncates the journal and starts a new one.
         """
         if isinstance(spec, SweepSpec):
             name = name if name is not None else spec.name
@@ -265,6 +390,7 @@ class CampaignRunner:
             points = list(spec)
             name = name if name is not None else "adhoc"
         started = time.monotonic()
+        state = _RunState(points)
         run_id = None
         if observer is not None:
             run_id = next_run_id()
@@ -276,19 +402,40 @@ class CampaignRunner:
                     campaign=name,
                     num_points=len(points),
                     jobs=self.jobs,
+                    resume=resume,
                 )
             )
 
-        results: List[Optional[ResultType]] = [None] * len(points)
-        durations: List[float] = [0.0] * len(points)
-        cached_flags: List[bool] = [False] * len(points)
+        journal: Optional[CampaignJournal] = None
+        resumed_keys = set()
+        if self.use_cache and self.journal_enabled and name:
+            journal = CampaignJournal(
+                default_journal_root(self.cache.root), name, fsync=self.journal_fsync
+            )
+            if resume:
+                resumed_keys = journal.completed_keys()
+            try:
+                journal.begin(len(points), resume=resume, jobs=self.jobs)
+            except OSError as error:
+                # An unwritable cache root must not stop a campaign whose
+                # simulations can still run — it just won't be resumable.
+                emit_warning(
+                    f"campaign journal unavailable at {journal.path} "
+                    f"({type(error).__name__}: {error}); continuing without resume support",
+                    kind="journal_error",
+                    path=str(journal.path),
+                )
+                journal = None
 
-        def emit_point_done(
-            index: int,
-            cache_hit: bool,
-            duration: float,
-            phases: Optional[Dict[str, float]] = None,
-        ) -> None:
+        def emit_point_done(index: int, cache_hit: bool, phases: Optional[Dict[str, float]] = None) -> None:
+            if journal is not None:
+                journal.record_point(
+                    index,
+                    state.keys[index],
+                    state.statuses[index],
+                    cache_hit=cache_hit,
+                    error=state.errors[index],
+                )
             if observer is None:
                 return
             observer.emit(
@@ -297,73 +444,54 @@ class CampaignRunner:
                     run_id=run_id,
                     index=index,
                     cache_hit=cache_hit,
-                    duration_s=duration,
+                    status=state.statuses[index],
+                    duration_s=state.durations[index],
                     phases=phases or {},
                     **_point_fields(points[index]),
                 )
             )
 
-        pending: List[int] = []
-        for index, point in enumerate(points):
-            lookup_started = time.perf_counter()
-            cached = self.cache.get(point) if self.use_cache else None
-            if cached is not None:
-                results[index] = cached
-                durations[index] = time.perf_counter() - lookup_started
-                cached_flags[index] = True
-                if observer is not None:
-                    observer.emit(make_event("cache_hit", run_id=run_id, key=_safe_key(point)))
-                emit_point_done(index, True, durations[index])
-            else:
-                pending.append(index)
+        try:
+            pending: List[int] = []
+            for index, point in enumerate(points):
+                lookup_started = time.perf_counter()
+                cached = self.cache.get(point) if self.use_cache else None
+                if cached is not None:
+                    state.results[index] = cached
+                    state.durations[index] = time.perf_counter() - lookup_started
+                    state.cached[index] = True
+                    state.statuses[index] = "ok"
+                    if resume and state.keys[index] in resumed_keys:
+                        state.resumed_count += 1
+                        _RESUMED_POINTS.inc()
+                    if observer is not None:
+                        observer.emit(make_event("cache_hit", run_id=run_id, key=state.keys[index]))
+                    emit_point_done(index, True)
+                else:
+                    pending.append(index)
 
-        # Persist each result the moment it lands so an interrupt or a
-        # failing later point never discards already-finished simulations.
-        def finish(index: int, result: ResultType) -> None:
-            results[index] = result
-            if self.use_cache:
-                self.cache.put(points[index], result)
-
-        workers = min(self.jobs, len(pending))
-        if workers <= 1:
-            from repro.run import execute_spec
-
-            for index in pending:
-                collector = _PhaseCollector() if observer is not None else None
-                point_started = time.perf_counter()
-                result = execute_spec(
-                    points[index], trace_store=self.trace_store, observer=collector
-                )
-                durations[index] = time.perf_counter() - point_started
-                finish(index, result)
-                emit_point_done(
-                    index, False, durations[index],
-                    collector.phases if collector is not None else None,
-                )
-        else:
-            trace_root = str(getattr(self.trace_store, "root")) if self.trace_store is not None else None
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(
-                        _execute_point_payload,
-                        {
-                            "point": points[index].to_dict(),
-                            "plugins": _plugin_modules(points[index]),
-                            "trace_root": trace_root,
-                        },
-                    ): index
-                    for index in pending
-                }
-                for future in as_completed(futures):
-                    index = futures[future]
-                    payload = future.result()
-                    durations[index] = float(payload["duration_s"])
-                    finish(index, result_from_dict(points[index].sim, payload["result"]))
-                    emit_point_done(
-                        index, False, durations[index], payload.get("phases")
-                    )
+            if pending:
+                workers = min(self.jobs, len(pending))
+                if workers <= 1:
+                    self._run_serial(state, pending, emit_point_done)
+                else:
+                    self._run_pooled(state, pending, workers, emit_point_done)
+        except BaseException:
+            # Interrupted (Ctrl-C) or aborted (PointFailed): leave the
+            # journal behind as the partial record --resume reads (every
+            # finished point is already flushed; no run_end line).
+            if journal is not None:
+                journal.close()
+            raise
 
         elapsed = time.monotonic() - started
+        if journal is not None:
+            journal.finish(
+                num_points=len(points),
+                duration_s=elapsed,
+                status_counts=_status_counts(state.statuses),
+            )
+            journal.close()
         if observer is not None:
             observer.emit(
                 make_event(
@@ -374,6 +502,8 @@ class CampaignRunner:
                     num_points=len(points),
                     cached_count=len(points) - len(pending),
                     computed_count=len(pending),
+                    resumed_count=state.resumed_count,
+                    respawns=state.respawn_count,
                     duration_s=elapsed,
                 )
             )
@@ -381,14 +511,299 @@ class CampaignRunner:
         return CampaignResult(
             name=name,
             points=points,
-            results=results,  # type: ignore[arg-type]  # every slot filled above
+            results=state.results,
             cached_count=len(points) - len(pending),
             computed_count=len(pending),
             jobs=self.jobs,
             elapsed_seconds=elapsed,
-            point_durations=durations,
-            point_cached=cached_flags,
+            point_durations=state.durations,
+            point_cached=state.cached,
+            point_status=state.statuses,
+            point_errors=state.errors,
+            resumed_count=state.resumed_count,
+            respawn_count=state.respawn_count,
         )
+
+    # ------------------------------------------------------------------ shared failure/success plumbing
+    def _finish(self, state: _RunState, index: int, result: ResultType) -> None:
+        """Record a successful point: result slot, status, cache write.
+
+        Cache-write failures are non-fatal (:meth:`ResultCache.put`
+        swallows ``OSError`` into a warning + counter), and the
+        ``corrupt@N`` fault injector strikes here, right after the entry
+        lands on disk.
+        """
+        state.results[index] = result
+        state.statuses[index] = "retried" if state.attempts[index] else "ok"
+        if self.use_cache:
+            path = self.cache.put(state.points[index], result)
+            if path is not None and self.faults.corrupt_target(
+                index, state.dispatches[index]
+            ):
+                self.faults.corrupt_file(path)
+
+    def _handle_failure(
+        self, state: _RunState, index: int, error: BaseException
+    ) -> Optional[float]:
+        """Charge one failed attempt to point ``index`` and decide its fate.
+
+        Returns the backoff pause in seconds when the point should be
+        re-attempted; ``None`` when the policy gave up on it (its status
+        and error are recorded and the campaign continues); raises
+        :class:`PointFailed` under ``on_error="fail"``.
+        """
+        state.attempts[index] += 1
+        attempts = state.attempts[index]
+        if isinstance(error, PointTimeout):
+            _POINT_TIMEOUTS.inc()
+        if self.retry.should_retry(attempts):
+            _RUNS_RETRIED.inc()
+            pause = self.retry.backoff_seconds(state.keys[index], attempts)
+            emit_warning(
+                f"campaign point {index} attempt {attempts} failed "
+                f"({type(error).__name__}: {error}); retrying in {pause:.3f}s",
+                kind="retry",
+                index=index,
+                attempt=attempts,
+                key=state.keys[index],
+                backoff_s=pause,
+            )
+            return pause
+        if self.retry.on_error == "fail":
+            raise PointFailed(index, attempts, error) from error
+        state.statuses[index] = self.retry.exhausted_status()
+        state.errors[index] = f"{type(error).__name__}: {error}"
+        emit_warning(
+            f"campaign point {index} {state.statuses[index]} after {attempts} "
+            f"attempt(s): {state.errors[index]}",
+            kind="give_up",
+            index=index,
+            attempt=attempts,
+            key=state.keys[index],
+            status=state.statuses[index],
+        )
+        return None
+
+    # ------------------------------------------------------------------ serial execution
+    def _run_serial(self, state: _RunState, queue: List[int], emit_point_done) -> None:
+        """Deterministic in-process loop with retry/timeout enforcement."""
+        from repro.run import execute_spec
+
+        queue = list(queue)
+        while queue:
+            index = queue.pop(0)
+            state.dispatches[index] += 1
+            collector = _PhaseCollector()
+            point_started = time.perf_counter()
+            try:
+                with time_limit(self.retry.timeout_s):
+                    self.faults.apply_before_execute(
+                        index, state.dispatches[index], in_worker=False
+                    )
+                    result = execute_spec(
+                        state.points[index],
+                        trace_store=self.trace_store,
+                        observer=collector,
+                    )
+            except Exception as error:
+                state.durations[index] = time.perf_counter() - point_started
+                pause = self._handle_failure(state, index, error)
+                if pause is not None:
+                    if pause > 0:
+                        time.sleep(pause)
+                    queue.insert(0, index)
+                else:
+                    emit_point_done(index, False)
+                continue
+            state.durations[index] = time.perf_counter() - point_started
+            self._finish(state, index, result)
+            emit_point_done(index, False, collector.phases)
+
+    # ------------------------------------------------------------------ pooled execution
+    def _worker_payload(self, state: _RunState, index: int, trace_root: Optional[str]) -> Dict[str, Any]:
+        return {
+            "point": state.points[index].to_dict(),
+            "plugins": _plugin_modules(state.points[index]),
+            "trace_root": trace_root,
+            "index": index,
+            "attempt": state.dispatches[index],
+            "timeout_s": self.retry.timeout_s,
+            "faults": self.faults.encode() if self.faults else [],
+        }
+
+    def _run_pooled(
+        self, state: _RunState, pending: List[int], workers: int, emit_point_done
+    ) -> None:
+        """Process-pool loop with crash recovery and a respawn budget.
+
+        A dead pool (worker killed/OOM/segfault) or a hard-hung point
+        (parent-side timeout backstop) tears the pool down; the
+        unfinished points are re-dispatched into a fresh pool, up to
+        ``retry.max_respawns`` rebuilds, after which the remainder
+        degrades gracefully to the serial loop.
+        """
+        trace_root = (
+            str(getattr(self.trace_store, "root")) if self.trace_store is not None else None
+        )
+        queue = list(pending)
+        respawns = 0
+        while queue:
+            if respawns > self.retry.max_respawns:
+                emit_warning(
+                    f"pool respawn budget ({self.retry.max_respawns}) exhausted; "
+                    f"degrading to serial execution for {len(queue)} remaining point(s)",
+                    kind="respawn",
+                    remaining=len(queue),
+                )
+                self._run_serial(state, queue, emit_point_done)
+                return
+            broken = False
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(queue)))
+            futures: Dict[Any, int] = {}
+            running_since: Dict[Any, float] = {}
+
+            def submit(index: int) -> None:
+                nonlocal broken
+                state.dispatches[index] += 1
+                try:
+                    future = pool.submit(
+                        _execute_point_payload,
+                        self._worker_payload(state, index, trace_root),
+                    )
+                except BrokenProcessPool:
+                    state.dispatches[index] -= 1
+                    broken = True
+                    queue.append(index)
+                    return
+                futures[future] = index
+
+            try:
+                resubmit, queue = list(queue), []
+                for index in resubmit:
+                    submit(index)
+                while futures:
+                    done, _ = wait(
+                        set(futures), timeout=_POOL_POLL_S, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        index = futures.pop(future)
+                        running_since.pop(future, None)
+                        try:
+                            payload = future.result()
+                        except BrokenProcessPool:
+                            # Not attributable to this point with
+                            # certainty (every sibling future dies too):
+                            # re-dispatch without charging an attempt.
+                            broken = True
+                            queue.append(index)
+                        except Exception as error:
+                            pause = self._handle_failure(state, index, error)
+                            if pause is not None:
+                                if pause > 0:
+                                    time.sleep(pause)
+                                if broken:
+                                    queue.append(index)
+                                else:
+                                    submit(index)
+                            else:
+                                emit_point_done(index, False)
+                        else:
+                            state.durations[index] = float(payload["duration_s"])
+                            self._finish(
+                                state, index, result_from_dict(
+                                    state.points[index].sim, payload["result"]
+                                )
+                            )
+                            emit_point_done(index, False, payload.get("phases"))
+                    if broken:
+                        queue.extend(futures.values())
+                        futures.clear()
+                        break
+                    if self._check_backstop(
+                        state, futures, running_since, queue, pool, emit_point_done
+                    ):
+                        broken = True
+                        queue.extend(futures.values())
+                        futures.clear()
+                        break
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            if broken and queue:
+                respawns += 1
+                state.respawn_count += 1
+                _POOL_RESPAWNS.inc()
+                emit_warning(
+                    f"process pool died; respawning "
+                    f"({respawns}/{self.retry.max_respawns}) and re-dispatching "
+                    f"{len(queue)} unfinished point(s)",
+                    kind="respawn",
+                    respawn=respawns,
+                    remaining=len(queue),
+                )
+
+    def _check_backstop(
+        self,
+        state: _RunState,
+        futures: Dict[Any, int],
+        running_since: Dict[Any, float],
+        queue: List[int],
+        pool: ProcessPoolExecutor,
+        emit_point_done,
+    ) -> bool:
+        """Parent-side hard-hang detector for pooled execution.
+
+        The worker-side ``SIGALRM`` is the primary per-point timeout; a
+        worker that blows far past it (a hang no Python signal can
+        interrupt) is declared dead here: its point is charged a
+        :class:`PointTimeout` attempt and every worker process is
+        terminated so the pool rebuilds.  Returns ``True`` when the pool
+        was killed.
+        """
+        if self.retry.timeout_s is None:
+            return False
+        now = time.monotonic()
+        for future in futures:
+            if future.running() and future not in running_since:
+                running_since[future] = now
+        limit = self.retry.timeout_s * _BACKSTOP_FACTOR + _BACKSTOP_GRACE_S
+        overdue = [
+            future
+            for future, since in running_since.items()
+            if future in futures and now - since > limit
+        ]
+        if not overdue:
+            return False
+        for future in overdue:
+            index = futures.pop(future)
+            running_since.pop(future, None)
+            pause = self._handle_failure(
+                state,
+                index,
+                PointTimeout(
+                    f"point unresponsive for {limit:.1f}s "
+                    f"(timeout {self.retry.timeout_s:g}s backstop)"
+                ),
+            )
+            if pause is not None:
+                queue.append(index)
+            else:
+                state.durations[index] = limit
+                emit_point_done(index, False)
+        # A terminated worker cannot be recycled: kill the whole pool and
+        # let the caller respawn it for whatever remains.
+        for process in getattr(pool, "_processes", {}).values():
+            try:
+                process.terminate()
+            except OSError:
+                pass
+        return True
+
+
+def _status_counts(statuses: List[str]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for status in statuses:
+        counts[status] = counts.get(status, 0) + 1
+    return counts
 
 
 def run_campaign(
@@ -396,6 +811,11 @@ def run_campaign(
     jobs: Optional[int] = None,
     use_cache: bool = True,
     cache: Optional[ResultCache] = None,
+    retry: Optional[RetryPolicy] = None,
+    resume: bool = False,
+    name: Optional[str] = None,
 ) -> CampaignResult:
     """One-call convenience: build a runner and execute ``spec``."""
-    return CampaignRunner(jobs=jobs, cache=cache, use_cache=use_cache).run(spec)
+    return CampaignRunner(jobs=jobs, cache=cache, use_cache=use_cache, retry=retry).run(
+        spec, name=name, resume=resume
+    )

@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.campaign.spec import DEFAULT_NUM_ACCESSES, PredictorVariant, SweepSpec
 from repro.registry import ENGINE_NAMES, predictor_entry
+from repro.resilience import RetryPolicy
 from repro.run import RunSpec, Session
 from repro.version import __version__
 
@@ -241,6 +242,46 @@ def run_point_cli(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# resilience flags (shared by sweep / figures / python -m repro.campaign run)
+# ---------------------------------------------------------------------------
+
+def add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    """Retry/timeout/resume flags shared by every campaign-running command."""
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="re-attempts per failing point with deterministic "
+                             "exponential backoff (default 0; --on-error=retry "
+                             "implies 2)")
+    parser.add_argument("--point-timeout", type=float, default=None, metavar="SECONDS",
+                        dest="point_timeout",
+                        help="wall-clock budget per point attempt, enforced in "
+                             "serial and pooled execution alike")
+    parser.add_argument("--on-error", choices=["fail", "skip", "retry"], default=None,
+                        dest="on_error",
+                        help="failing point disposition: fail = abort the campaign "
+                             "(default), skip = record it skipped and continue, "
+                             "retry = retry then record failed and continue")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue a crashed/interrupted campaign: skip every "
+                             "point the campaign journal records as completed and "
+                             "whose result verifies from the cache")
+
+
+def retry_policy_from_args(args: argparse.Namespace) -> Optional[RetryPolicy]:
+    """The :class:`RetryPolicy` the resilience flags describe (``None`` = default)."""
+    if (
+        getattr(args, "retries", None) is None
+        and getattr(args, "point_timeout", None) is None
+        and getattr(args, "on_error", None) is None
+    ):
+        return None
+    return RetryPolicy(
+        retries=args.retries if args.retries is not None else 0,
+        on_error=args.on_error if args.on_error is not None else "fail",
+        timeout_s=args.point_timeout,
+    )
+
+
+# ---------------------------------------------------------------------------
 # sweep
 # ---------------------------------------------------------------------------
 
@@ -268,6 +309,7 @@ def configure_sweep_parser(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true", help="bypass the result cache")
     parser.add_argument("--no-artifacts", action="store_true",
                         help="skip writing JSON/CSV artifacts")
+    add_resilience_flags(parser)
 
 
 def _multicore_sweep_points(args: argparse.Namespace) -> List[Any]:
@@ -305,13 +347,20 @@ def _multicore_sweep_points(args: argparse.Namespace) -> List[Any]:
     return points
 
 
-def _sweep_row(point: Any, result: Any) -> tuple:
-    """One summary-table row for any (spec, result) kind."""
+def _sweep_row(point: Any, result: Any, status: Optional[str] = None) -> tuple:
+    """One summary-table row for any (spec, result) kind.
+
+    ``result`` is ``None`` for points a continue-on-error retry policy
+    gave up on; their metric cells show the point's status instead.
+    """
     benchmarks = getattr(point, "benchmarks", None)
     if benchmarks:
         benchmark, predictor = "+".join(benchmarks), "/".join(sorted(set(point.core_predictors)))
     else:
         benchmark, predictor = point.benchmark, point.predictor
+    if result is None:
+        placeholder = status or "-"
+        return (benchmark, predictor, point.num_accesses, point.seed, placeholder, placeholder)
     return (
         benchmark, predictor, point.num_accesses, point.seed,
         f"{100 * result.coverage:.1f}%", f"{100 * result.prefetch_accuracy:.1f}%",
@@ -333,6 +382,8 @@ def run_sweep_cli(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         use_cache=not args.no_cache,
         observer=getattr(args, "observer", None),
+        retry=retry_policy_from_args(args),
+        resume=getattr(args, "resume", False),
     )
     sweep_name = None
     if multicore:
@@ -355,15 +406,28 @@ def run_sweep_cli(args: argparse.Namespace) -> int:
         print(f"Running {len(spec)} points over {len(benchmarks)} benchmarks "
               f"(jobs={session.runner.jobs}) ...")
     campaign = session.sweep(spec, name=sweep_name)
+    statuses = campaign.point_status if len(campaign.point_status) == len(campaign) else None
     print(format_table(
         ["benchmark", "predictor", "accesses", "seed", "coverage", "accuracy"],
-        [_sweep_row(point, result) for point, result in campaign.items()],
+        [_sweep_row(point, result, statuses[index] if statuses else None)
+         for index, (point, result) in enumerate(campaign.items())],
     ))
     print(
         f"\n{len(campaign)} points in {campaign.elapsed_seconds:.2f}s "
         f"({campaign.cached_count} cached, {campaign.computed_count} computed, "
         f"jobs={campaign.jobs})"
     )
+    extras = []
+    counts = campaign.status_counts()
+    if any(counts.get(status) for status in ("retried", "skipped", "failed")):
+        extras.append("status: " + ", ".join(
+            f"{count} {status}" for status, count in sorted(counts.items()) if count))
+    if campaign.resumed_count:
+        extras.append(f"resumed past {campaign.resumed_count} journaled points")
+    if campaign.respawn_count:
+        extras.append(f"worker pool respawned {campaign.respawn_count}x")
+    if extras:
+        print("; ".join(extras))
     if not args.no_artifacts:
         for path in ArtifactStore().write(campaign):
             print(f"wrote {path}")
@@ -387,6 +451,7 @@ def configure_figures_parser(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: REPRO_JOBS or CPU count)")
     parser.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    add_resilience_flags(parser)
 
 
 def run_named_campaign(
@@ -433,6 +498,8 @@ def run_figures_cli(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         use_cache=not args.no_cache,
         observer=getattr(args, "observer", None),
+        retry=retry_policy_from_args(args),
+        resume=getattr(args, "resume", False),
     )
     for name in names:
         benchmarks = args.benchmarks

@@ -55,7 +55,7 @@ import itertools
 import json
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Tuple, Union
 
 #: Version of the event record layout; folded into every event.
 OBS_SCHEMA_VERSION = 1
@@ -119,6 +119,37 @@ def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
                 raise ValueError(f"{path}:{line_number}: event is not a JSON object")
             events.append(event)
     return events
+
+
+def read_events_tolerant(
+    path: Union[str, Path],
+) -> Tuple[List[Dict[str, Any]], List[Tuple[int, str]]]:
+    """Parse a JSONL event log, surviving damaged lines.
+
+    The forgiving counterpart of :func:`read_events` for logs that may
+    legitimately be torn — the campaign journal a crashed or killed run
+    leaves behind.  Returns ``(events, problems)`` where ``problems`` is
+    a list of ``(line_number, message)`` pairs for every line that was
+    skipped (malformed JSON or a non-object record); readable lines
+    before, between, and after damage are all kept.
+    """
+    events: List[Dict[str, Any]] = []
+    problems: List[Tuple[int, str]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                problems.append((line_number, f"malformed event line: {exc}"))
+                continue
+            if not isinstance(event, dict):
+                problems.append((line_number, "event is not a JSON object"))
+                continue
+            events.append(event)
+    return events, problems
 
 
 def check_events(

@@ -1,0 +1,40 @@
+"""Fault tolerance for campaigns: retry, timeout, resume, fault injection.
+
+The campaign engine's resilience substrate, in three pieces:
+
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy`: how many times
+  a failing point is re-attempted, with what (deterministic, seed-derived
+  jittered) backoff, under what per-point wall-clock timeout, and what
+  happens when attempts run out (``fail`` / ``skip`` / ``retry``); plus
+  the worker-crash respawn budget.
+* :mod:`repro.resilience.journal` — :class:`CampaignJournal`: a durable
+  per-campaign JSONL journal (obs event schema) recording each completed
+  point's content key, so ``--resume`` re-executes only what is missing
+  after a crash or Ctrl-C.
+* :mod:`repro.resilience.faults` — :class:`FaultPlan`: env/config-driven
+  fault injectors (``REPRO_FAULTS="raise@2,kill@3,sleep@1:30,corrupt@0"``)
+  that make chosen points raise, hang past their timeout, kill their
+  worker process, or corrupt their cache entry — the chaos harness the
+  resilience tests and CI drive the *real* pool path with.
+
+The :class:`~repro.campaign.runner.CampaignRunner` wires all three
+through both its serial loop and the process pool; see the README's
+"Resilience" section for the user-facing story.
+"""
+
+from repro.resilience.faults import FaultInjected, FaultPlan, FaultSpec, WorkerKilled
+from repro.resilience.journal import CampaignJournal, JOURNAL_SCHEMA_VERSION
+from repro.resilience.policy import PointFailed, PointTimeout, RetryPolicy, time_limit
+
+__all__ = [
+    "CampaignJournal",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "JOURNAL_SCHEMA_VERSION",
+    "PointFailed",
+    "PointTimeout",
+    "RetryPolicy",
+    "WorkerKilled",
+    "time_limit",
+]

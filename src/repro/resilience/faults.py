@@ -1,0 +1,182 @@
+"""Deterministic fault injection for chaos-testing the campaign engine.
+
+A :class:`FaultPlan` is a small set of injectors addressed by *campaign
+point index*, parsed from the ``REPRO_FAULTS`` environment variable (or
+built programmatically) with the syntax::
+
+    REPRO_FAULTS="raise@2,kill@3,sleep@1:30,corrupt@0"
+
+i.e. comma-separated ``kind@index[:arg]`` entries:
+
+``raise@N``
+    Point ``N``'s first attempt raises :class:`FaultInjected`.
+``sleep@N[:seconds]``
+    Point ``N``'s first attempt sleeps ``seconds`` (default 30) before
+    running — long enough to trip any sane ``--point-timeout``.
+``kill@N``
+    Point ``N``'s first attempt kills its process: ``os._exit`` inside a
+    pool worker (producing a real ``BrokenProcessPool`` in the parent),
+    simulated as a raised :class:`WorkerKilled` in serial execution
+    (killing the one process there would be killing the campaign itself).
+``corrupt@N``
+    After point ``N`` completes, its freshly written result-cache entry
+    is overwritten with garbage — exercising the corrupt-entry recovery
+    path on the next lookup/resume.
+
+Every injector fires on a point's *first* attempt only (``attempt == 1``),
+so a retried point succeeds and the campaign converges; this is what
+makes the differential tests meaningful (a faulted run with retries must
+end bit-identical to a clean run).  Firing is a pure function of
+``(kind, index, attempt)`` — no shared mutable state — so the plan works
+unchanged whether the point executes in-process or in any pool worker
+(workers re-parse the plan from the payload the runner ships them).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+#: Injector kinds ``REPRO_FAULTS`` understands.
+FAULT_KINDS = ("raise", "sleep", "kill", "corrupt")
+
+#: Default hang for ``sleep@N`` when no seconds are given.
+DEFAULT_SLEEP_S = 30.0
+
+
+class FaultInjected(RuntimeError):
+    """The transient failure a ``raise@N`` injector produces."""
+
+
+class WorkerKilled(RuntimeError):
+    """Serial-execution stand-in for a ``kill@N`` worker death."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injector: ``kind`` applied to campaign point ``index``."""
+
+    kind: str
+    index: int
+    arg: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.index < 0:
+            raise ValueError("fault index must be >= 0")
+
+    def encode(self) -> str:
+        """The ``kind@index[:arg]`` form :func:`parse_faults` reads."""
+        suffix = f":{self.arg:g}" if self.arg is not None else ""
+        return f"{self.kind}@{self.index}{suffix}"
+
+
+def parse_faults(text: str) -> List[FaultSpec]:
+    """Parse a ``REPRO_FAULTS`` string into :class:`FaultSpec` entries."""
+    specs: List[FaultSpec] = []
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        try:
+            kind, _, target = entry.partition("@")
+            if not target:
+                raise ValueError("missing @index")
+            index_text, _, arg_text = target.partition(":")
+            specs.append(
+                FaultSpec(
+                    kind=kind.strip(),
+                    index=int(index_text),
+                    arg=float(arg_text) if arg_text else None,
+                )
+            )
+        except ValueError as error:
+            raise ValueError(
+                f"bad REPRO_FAULTS entry {entry!r} (expected kind@index[:arg], "
+                f"kinds: {', '.join(FAULT_KINDS)}): {error}"
+            ) from None
+    return specs
+
+
+class FaultPlan:
+    """The injectors active for one campaign run (possibly none)."""
+
+    def __init__(self, specs: Sequence[FaultSpec] = ()) -> None:
+        self.specs = list(specs)
+        self._by_index: Dict[int, List[FaultSpec]] = {}
+        for spec in self.specs:
+            self._by_index.setdefault(spec.index, []).append(spec)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None) -> "FaultPlan":
+        """The plan ``REPRO_FAULTS`` describes (empty when unset)."""
+        env = environ if environ is not None else os.environ
+        return cls(parse_faults(env.get("REPRO_FAULTS", "")))
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Build a plan straight from ``REPRO_FAULTS`` syntax."""
+        return cls(parse_faults(text))
+
+    # ------------------------------------------------------------------ transport
+    def encode(self) -> List[str]:
+        """JSON-safe form for the pool-worker payload."""
+        return [spec.encode() for spec in self.specs]
+
+    @classmethod
+    def decode(cls, entries: Sequence[str]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`encode` output."""
+        return cls([spec for entry in entries for spec in parse_faults(entry)])
+
+    # ------------------------------------------------------------------ firing
+    def _active(self, kind: str, index: int, attempt: int) -> Optional[FaultSpec]:
+        if attempt != 1:
+            return None
+        for spec in self._by_index.get(index, ()):
+            if spec.kind == kind:
+                return spec
+        return None
+
+    def apply_before_execute(self, index: int, attempt: int, in_worker: bool) -> None:
+        """Fire any pre-execution injector for attempt ``attempt`` of point ``index``.
+
+        Called where the point is about to run: the serial loop
+        (``in_worker=False``) or a pool worker (``in_worker=True``).
+        ``sleep`` runs *inside* any enclosing :func:`~repro.resilience.policy.time_limit`,
+        so a configured per-point timeout converts it into a
+        :class:`~repro.resilience.policy.PointTimeout`.
+        """
+        spec = self._active("sleep", index, attempt)
+        if spec is not None:
+            time.sleep(spec.arg if spec.arg is not None else DEFAULT_SLEEP_S)
+        if self._active("raise", index, attempt) is not None:
+            raise FaultInjected(f"injected fault: point {index} attempt {attempt}")
+        if self._active("kill", index, attempt) is not None:
+            if in_worker:
+                # A hard, unannounced death — exactly what a crashed or
+                # OOM-killed worker looks like to the parent's pool.
+                os._exit(13)
+            raise WorkerKilled(
+                f"injected worker kill for point {index} (simulated: serial execution)"
+            )
+
+    def corrupt_target(self, index: int, attempt: int) -> bool:
+        """``True`` when point ``index``'s cache entry should be corrupted."""
+        return self._active("corrupt", index, attempt) is not None
+
+    def corrupt_file(self, path: object) -> None:
+        """Overwrite ``path`` with garbage (the ``corrupt@N`` payload)."""
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write("{corrupted by REPRO_FAULTS")
+        except OSError:
+            pass

@@ -1,0 +1,175 @@
+"""Retry, backoff, and per-point timeout policy for campaign execution.
+
+A :class:`RetryPolicy` answers four questions about a failing campaign
+point:
+
+1. **Is it retried?**  Up to ``retries`` re-attempts per point; every
+   point-attributable failure (an exception out of the simulator, an
+   injected fault, a per-point timeout) consumes one attempt.
+2. **After how long a pause?**  Exponential backoff
+   (``backoff_base_s * backoff_factor**(attempt-1)``, capped at
+   ``backoff_max_s``) with *deterministic* jitter derived from the
+   point's content key — two runs of the same campaign back off
+   identically, so resilience never breaks reproducibility.
+3. **How long may one attempt run?**  ``timeout_s`` is a wall-clock
+   ceiling per attempt, enforced with ``SIGALRM`` where the attempt
+   executes (the serial loop in the parent, or inside each pool worker —
+   worker processes run their task on their main thread, so the alarm
+   fires there too) and backstopped parent-side for pooled runs.
+4. **What happens when attempts run out?**  ``on_error="fail"`` raises
+   (the historical behaviour), ``"skip"``/``"retry"`` record the point
+   as ``skipped``/``failed`` and let the rest of the campaign complete.
+
+``on_error="retry"`` with no explicit ``retries`` implies
+``retries=DEFAULT_RETRIES``; ``on_error="skip"`` leaves ``retries`` at 0
+unless the caller raised it (in which case exhausted points are recorded
+``failed`` rather than ``skipped`` — they *were* retried).
+
+Worker-crash recovery is budgeted here too: ``max_respawns`` bounds how
+many times a broken process pool is rebuilt before the runner degrades
+to serial (``jobs=1``) execution for the remainder of the campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import signal
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+#: Retries implied by ``on_error="retry"`` when none were given.
+DEFAULT_RETRIES = 2
+
+#: Terminal dispositions a policy may take for a failing point.
+ON_ERROR_MODES = ("fail", "skip", "retry")
+
+
+class PointTimeout(Exception):
+    """One attempt of a campaign point exceeded its wall-clock budget."""
+
+
+class PointFailed(Exception):
+    """A campaign point exhausted its attempts under ``on_error="fail"``.
+
+    Chains the final underlying error; carries the point's campaign
+    ``index`` and how many ``attempts`` were made so callers (and error
+    messages) can say exactly what gave up where.
+    """
+
+    def __init__(self, index: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"campaign point {index} failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.index = index
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass
+class RetryPolicy:
+    """How a campaign treats failing points, slow points, and dead workers."""
+
+    #: Re-attempts per point after its first failure (0 = no retry).
+    retries: int = 0
+    #: Disposition once attempts are exhausted: ``fail`` raises
+    #: :class:`PointFailed`, ``skip``/``retry`` record and continue.
+    on_error: str = "fail"
+    #: Wall-clock ceiling per attempt in seconds (``None`` = unlimited).
+    timeout_s: Optional[float] = None
+    #: First backoff pause, in seconds.
+    backoff_base_s: float = 0.05
+    #: Multiplier applied per further attempt.
+    backoff_factor: float = 2.0
+    #: Ceiling on any single backoff pause.
+    backoff_max_s: float = 5.0
+    #: Fractional jitter (+/-) folded into every pause, derived
+    #: deterministically from the point key and attempt number.
+    jitter_frac: float = 0.1
+    #: Pool rebuilds allowed after worker crashes before the runner
+    #: degrades to serial execution for the remaining points.
+    max_respawns: int = 3
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(
+                f"on_error must be one of {ON_ERROR_MODES}, got {self.on_error!r}"
+            )
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        if self.on_error == "retry" and self.retries == 0:
+            self.retries = DEFAULT_RETRIES
+
+    # ------------------------------------------------------------------ decisions
+    @property
+    def max_attempts(self) -> int:
+        """Total executions allowed per point (first try + retries)."""
+        return self.retries + 1
+
+    def should_retry(self, attempts: int) -> bool:
+        """``True`` while a point that has failed ``attempts`` times may re-run."""
+        return attempts < self.max_attempts
+
+    def exhausted_status(self) -> str:
+        """Artifact status recorded for a point that ran out of attempts.
+
+        ``skipped`` when the policy never retried it (pure skip-on-error),
+        ``failed`` when retries were spent first.
+        """
+        return "skipped" if self.retries == 0 else "failed"
+
+    def backoff_seconds(self, key: Optional[str], attempts: int) -> float:
+        """Pause before re-attempt number ``attempts + 1`` of point ``key``.
+
+        Deterministic: the jitter is a hash of ``(key, attempts)``, not a
+        random draw, so identical campaigns pause identically (and tests
+        can assert exact schedules).
+        """
+        if self.backoff_base_s <= 0:
+            return 0.0
+        pause = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** max(0, attempts - 1),
+        )
+        if self.jitter_frac > 0:
+            digest = hashlib.sha256(f"{key or ''}:{attempts}".encode()).digest()
+            unit = int.from_bytes(digest[:8], "big") / float(2 ** 64)  # [0, 1)
+            pause *= 1.0 + self.jitter_frac * (2.0 * unit - 1.0)
+        return max(0.0, pause)
+
+
+@contextmanager
+def time_limit(seconds: Optional[float]) -> Iterator[None]:
+    """Raise :class:`PointTimeout` if the body runs longer than ``seconds``.
+
+    Implemented with ``signal.setitimer(ITIMER_REAL)``, so it only
+    engages on platforms with ``SIGALRM`` and only on the main thread
+    (both true for the serial campaign loop and for pool workers, which
+    execute tasks on their main thread).  Anywhere else the body runs
+    unlimited — pooled campaigns still get a parent-side backstop from
+    the runner.  ``seconds=None`` disables the limit entirely.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _on_alarm(signum: int, frame: object) -> None:
+        raise PointTimeout(f"point exceeded its {seconds:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -37,6 +37,7 @@ from repro.obs.observer import RunObserver
 from repro.obs.timers import PHASE_REPLAY
 from repro.obs.timers import phase as obs_phase
 from repro.registry import build_predictor
+from repro.resilience.policy import RetryPolicy
 
 _POINTS_EXECUTED = REGISTRY.counter("run.points_executed")
 
@@ -175,6 +176,16 @@ class Session:
         ``cache_hit`` / ``run_end``) and :meth:`sweep` (per-point
         ``point_done`` streaming).  ``None`` observes nothing and adds
         nothing to the hot path.
+    retry:
+        A :class:`~repro.resilience.RetryPolicy` governing sweep
+        execution: per-point retries with deterministic backoff, a
+        per-point wall-clock timeout, the on-error disposition
+        (``fail``/``skip``/``retry``), and the worker-respawn budget.
+        ``None`` keeps the historical fail-fast behaviour.
+    resume:
+        Default for :meth:`sweep`'s ``resume`` argument: consult the
+        campaign's durable journal and skip journaled, cache-verified
+        points — the ``--resume`` crash/Ctrl-C recovery path.
     """
 
     def __init__(
@@ -187,11 +198,15 @@ class Session:
         trace_store: Optional[object] = None,
         runner: Optional[CampaignRunner] = None,
         observer: Optional[RunObserver] = None,
+        retry: Optional[RetryPolicy] = None,
+        resume: bool = False,
     ) -> None:
         self.engine = engine
         self.jobs = jobs
         self.trace_store = trace_store
         self.observer = observer
+        self.retry = retry
+        self.resume = resume
         self._runner = runner
         if runner is not None:
             self._cache: Optional[ResultCache] = runner.cache
@@ -217,6 +232,7 @@ class Session:
                 cache=self.cache if self.use_cache else None,
                 use_cache=self.use_cache,
                 trace_store=self.trace_store,
+                retry=self.retry,
             )
         return self._runner
 
@@ -319,6 +335,7 @@ class Session:
         self,
         spec: Union[SweepSpec, Sequence[PointSpec], Iterable[PointSpec]],
         name: Optional[str] = None,
+        resume: Optional[bool] = None,
     ) -> CampaignResult:
         """Execute a :class:`SweepSpec` (or a bare list of points) through the
         campaign runner: cache-first, then fanned out across the process pool.
@@ -331,10 +348,13 @@ class Session:
         ``name`` overrides the campaign name recorded on the result (and
         therefore the artifact directory); bare lists default to
         ``"adhoc"``.  The session's trace store is threaded into both the
-        serial path and the pool workers.
+        serial path and the pool workers.  ``resume`` (default: the
+        session's ``resume`` setting) skips points a previous run of the
+        same campaign journaled and whose results verify from the cache.
         """
+        resume = self.resume if resume is None else resume
         if self.engine is None or not isinstance(spec, SweepSpec):
-            return self.runner.run(spec, name=name, observer=self.observer)
+            return self.runner.run(spec, name=name, observer=self.observer, resume=resume)
         points = [
             dataclasses.replace(point, engine=self.engine)
             if point.sim in ("trace", "multicore") and point.engine != self.engine
@@ -345,6 +365,7 @@ class Session:
             points,
             name=name if name is not None else spec.name,
             observer=self.observer,
+            resume=resume,
         )
 
     def compare(

@@ -1,0 +1,579 @@
+"""Tests for ``repro.resilience``: retry/timeout policy, fault injection,
+journal/resume, worker-crash recovery, and the crash-safety satellites.
+
+The differential tests are the core contract: a campaign run under
+injected chaos (transient raises, hangs, worker kills) with retries
+enabled must end **bit-identical** — same serialized results, in order —
+to a fault-free run of the same campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.campaign import (
+    ArtifactStore,
+    CampaignJournal,
+    CampaignRunner,
+    PointSpec,
+    ResultCache,
+)
+from repro.campaign.cache import result_to_dict
+from repro.obs.events import read_events_tolerant
+from repro.obs.metrics import REGISTRY
+from repro.obs.observer import RunObserver, add_global_observer, remove_global_observer
+from repro.resilience import (
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    PointFailed,
+    PointTimeout,
+    RetryPolicy,
+    WorkerKilled,
+    time_limit,
+)
+from repro.resilience.faults import parse_faults
+from repro.resilience.journal import default_journal_root, safe_campaign_name
+
+ACCESSES = 3000
+
+#: A fast policy for tests: real retry mechanics, negligible pauses.
+FAST_BACKOFF = dict(backoff_base_s=0.001, backoff_max_s=0.002)
+
+
+def _points(count: int = 3) -> List[PointSpec]:
+    benchmarks = ["mcf", "swim", "art", "mst", "em3d"]
+    return [
+        PointSpec(benchmark=benchmarks[i % len(benchmarks)], num_accesses=ACCESSES)
+        for i in range(count)
+    ]
+
+
+def _serialized(campaign) -> List[Dict[str, Any]]:
+    return [
+        result_to_dict(point.sim, result) for point, result in campaign.items()
+    ]
+
+
+class ListObserver(RunObserver):
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+
+@pytest.fixture
+def warnings_log():
+    """Collect every globally-emitted ``warning`` event during a test."""
+    observer = ListObserver()
+    add_global_observer(observer)
+    try:
+        yield observer.events
+    finally:
+        remove_global_observer(observer)
+
+
+def _counter(name: str) -> int:
+    return REGISTRY.snapshot()["counters"].get(name, 0)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+class TestRetryPolicy:
+    def test_defaults_keep_historical_fail_fast(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 1
+        assert not policy.should_retry(1)
+        assert policy.on_error == "fail"
+        assert policy.timeout_s is None
+
+    def test_attempt_budget(self):
+        policy = RetryPolicy(retries=2)
+        assert policy.max_attempts == 3
+        assert policy.should_retry(1) and policy.should_retry(2)
+        assert not policy.should_retry(3)
+
+    def test_on_error_retry_implies_retries(self):
+        assert RetryPolicy(on_error="retry").retries == 2
+        # An explicit retry count is respected.
+        assert RetryPolicy(on_error="retry", retries=5).retries == 5
+
+    def test_exhausted_status_distinguishes_skip_from_failed(self):
+        assert RetryPolicy(on_error="skip").exhausted_status() == "skipped"
+        assert RetryPolicy(on_error="retry").exhausted_status() == "failed"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(on_error="explode")
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_respawns=-1)
+
+    def test_backoff_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(retries=3)
+        schedule = [policy.backoff_seconds("k1", attempt) for attempt in (1, 2, 3)]
+        assert schedule == [policy.backoff_seconds("k1", attempt) for attempt in (1, 2, 3)]
+        # Exponential shape survives the +/-10% jitter.
+        assert schedule[0] < schedule[1] < schedule[2]
+        for attempt, pause in enumerate(schedule, start=1):
+            nominal = policy.backoff_base_s * policy.backoff_factor ** (attempt - 1)
+            assert abs(pause - nominal) <= policy.jitter_frac * nominal + 1e-12
+        # Jitter depends on the point key: distinct points desynchronise.
+        assert policy.backoff_seconds("k1", 1) != policy.backoff_seconds("k2", 1)
+
+    def test_backoff_cap(self):
+        policy = RetryPolicy(retries=10, backoff_max_s=0.1, jitter_frac=0.0)
+        assert policy.backoff_seconds("k", 10) == 0.1
+
+
+class TestTimeLimit:
+    def test_none_is_a_no_op(self):
+        with time_limit(None):
+            pass
+
+    def test_raises_point_timeout(self):
+        with pytest.raises(PointTimeout):
+            with time_limit(0.05):
+                time.sleep(5)
+
+    def test_fast_body_unaffected_and_alarm_cleared(self):
+        with time_limit(0.2):
+            value = 1 + 1
+        assert value == 2
+        time.sleep(0.25)  # the alarm must not fire after the block
+
+
+# ---------------------------------------------------------------------------
+# Fault plans
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse("raise@2, kill@3, sleep@1:30, corrupt@0")
+        assert [spec.kind for spec in plan.specs] == ["raise", "kill", "sleep", "corrupt"]
+        assert FaultPlan.decode(plan.encode()).encode() == plan.encode()
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("raise", "raise@x", "explode@1", "raise@-1"):
+            with pytest.raises(ValueError):
+                parse_faults(bad)
+
+    def test_empty_env_is_empty_plan(self):
+        plan = FaultPlan.from_env({})
+        assert not plan
+        plan.apply_before_execute(0, 1, in_worker=False)  # no-op
+
+    def test_fires_on_first_attempt_only(self):
+        plan = FaultPlan([FaultSpec("raise", 1)])
+        plan.apply_before_execute(0, 1, in_worker=False)  # other index: no-op
+        with pytest.raises(FaultInjected):
+            plan.apply_before_execute(1, 1, in_worker=False)
+        plan.apply_before_execute(1, 2, in_worker=False)  # retry succeeds
+
+    def test_serial_kill_is_simulated(self):
+        plan = FaultPlan.parse("kill@0")
+        with pytest.raises(WorkerKilled):
+            plan.apply_before_execute(0, 1, in_worker=False)
+
+    def test_corrupt_file_overwrites(self, tmp_path):
+        victim = tmp_path / "entry.json"
+        victim.write_text('{"fine": true}')
+        plan = FaultPlan.parse("corrupt@0")
+        assert plan.corrupt_target(0, 1) and not plan.corrupt_target(0, 2)
+        plan.corrupt_file(victim)
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(victim.read_text())
+
+
+# ---------------------------------------------------------------------------
+# Differential: faulted runs converge to the clean result
+# ---------------------------------------------------------------------------
+
+class TestDifferential:
+    def _clean(self, points):
+        return _serialized(CampaignRunner(jobs=1, use_cache=False).run(points))
+
+    def test_serial_transient_raise_is_bit_identical(self, warnings_log):
+        points = _points(3)
+        clean = self._clean(points)
+        runner = CampaignRunner(
+            jobs=1,
+            use_cache=False,
+            retry=RetryPolicy(retries=2, **FAST_BACKOFF),
+            faults=FaultPlan.parse("raise@0,raise@2"),
+        )
+        chaotic = runner.run(points)
+        assert _serialized(chaotic) == clean
+        assert chaotic.point_status == ["retried", "ok", "retried"]
+        assert {event.get("kind") for event in warnings_log} >= {"retry"}
+
+    def test_serial_timeout_is_retried_and_bit_identical(self):
+        points = _points(2)
+        clean = self._clean(points)
+        runner = CampaignRunner(
+            jobs=1,
+            use_cache=False,
+            retry=RetryPolicy(retries=1, timeout_s=0.2, **FAST_BACKOFF),
+            faults=FaultPlan.parse("sleep@1:5"),
+        )
+        started = time.monotonic()
+        chaotic = runner.run(points)
+        assert time.monotonic() - started < 4  # the 5s hang was cut short
+        assert _serialized(chaotic) == clean
+        assert chaotic.point_status == ["ok", "retried"]
+        assert chaotic.point_errors == [None, None]
+
+    def test_pooled_transient_raise_is_bit_identical(self):
+        points = _points(3)
+        clean = self._clean(points)
+        runner = CampaignRunner(
+            jobs=2,
+            use_cache=False,
+            retry=RetryPolicy(retries=2, **FAST_BACKOFF),
+            faults=FaultPlan.parse("raise@1"),
+        )
+        chaotic = runner.run(points)
+        assert _serialized(chaotic) == clean
+        assert chaotic.point_status[1] == "retried"
+
+    def test_pooled_worker_kill_respawns_and_is_bit_identical(self, warnings_log):
+        points = _points(3)
+        clean = self._clean(points)
+        runner = CampaignRunner(
+            jobs=2,
+            use_cache=False,
+            retry=RetryPolicy(retries=1, **FAST_BACKOFF),
+            faults=FaultPlan.parse("kill@0"),
+        )
+        chaotic = runner.run(points)
+        assert _serialized(chaotic) == clean
+        assert chaotic.respawn_count >= 1
+        assert all(result is not None for result in chaotic.results)
+        assert {event.get("kind") for event in warnings_log} >= {"respawn"}
+
+    def test_pooled_respawn_budget_degrades_to_serial(self, warnings_log):
+        points = _points(2)
+        clean = self._clean(points)
+        runner = CampaignRunner(
+            jobs=2,
+            use_cache=False,
+            retry=RetryPolicy(retries=1, max_respawns=0, **FAST_BACKOFF),
+            faults=FaultPlan.parse("kill@0"),
+        )
+        chaotic = runner.run(points)
+        # Budget 0: the first crash flips the remainder to the serial
+        # loop, where the (already-dispatched-once) faults do not refire.
+        assert _serialized(chaotic) == clean
+        assert chaotic.respawn_count == 1
+        messages = [event.get("message", "") for event in warnings_log]
+        assert any("degrading to serial" in message for message in messages)
+
+
+# ---------------------------------------------------------------------------
+# on_error dispositions
+# ---------------------------------------------------------------------------
+
+class TestOnError:
+    def test_fail_raises_point_failed_with_cause(self):
+        runner = CampaignRunner(
+            jobs=1, use_cache=False, faults=FaultPlan.parse("raise@1")
+        )
+        with pytest.raises(PointFailed) as excinfo:
+            runner.run(_points(2))
+        assert excinfo.value.index == 1
+        assert isinstance(excinfo.value.cause, FaultInjected)
+
+    def test_skip_records_and_continues(self):
+        runner = CampaignRunner(
+            jobs=1,
+            use_cache=False,
+            retry=RetryPolicy(on_error="skip"),
+            faults=FaultPlan.parse("raise@0"),
+        )
+        campaign = runner.run(_points(2))
+        assert campaign.point_status == ["skipped", "ok"]
+        assert campaign.results[0] is None and campaign.results[1] is not None
+        assert campaign.status_counts() == {"skipped": 1, "ok": 1}
+        ((index, error),) = campaign.failures()
+        assert index == 0 and "FaultInjected" in error
+
+    def test_retry_then_failed_records_and_continues(self):
+        # raise@N fires on the first attempt only, so force exhaustion by
+        # pointing one point at a nonexistent benchmark.
+        points = _points(2)
+        points[0] = PointSpec(benchmark="no-such-benchmark", num_accesses=ACCESSES)
+        runner = CampaignRunner(
+            jobs=1,
+            use_cache=False,
+            retry=RetryPolicy(on_error="retry", retries=1, **FAST_BACKOFF),
+        )
+        campaign = runner.run(points)
+        assert campaign.point_status == ["failed", "ok"]
+        assert campaign.results[0] is None
+        assert "no-such-benchmark" in campaign.point_errors[0]
+
+    def test_pooled_skip_records_and_continues(self):
+        runner = CampaignRunner(
+            jobs=2,
+            use_cache=False,
+            retry=RetryPolicy(on_error="skip"),
+            faults=FaultPlan.parse("raise@1"),
+        )
+        campaign = runner.run(_points(3))
+        assert campaign.point_status == ["ok", "skipped", "ok"]
+        assert campaign.results[1] is None
+
+
+# ---------------------------------------------------------------------------
+# Journal + resume
+# ---------------------------------------------------------------------------
+
+class TestJournalResume:
+    def test_resume_after_abort_executes_only_missing_points(self, tmp_path):
+        points = _points(3)
+        cache = ResultCache(tmp_path / "cache")
+        crashing = CampaignRunner(
+            jobs=1,
+            cache=cache,
+            faults=FaultPlan.parse("raise@2"),
+        )
+        with pytest.raises(PointFailed):
+            crashing.run(points, name="resumable")
+
+        journal_path = default_journal_root(cache.root) / "resumable.jsonl"
+        assert journal_path.is_file()
+        events, problems = read_events_tolerant(journal_path)
+        assert problems == []
+        done = [event for event in events if event.get("type") == "point_done"]
+        assert len(done) == 2  # points 0 and 1 finished before the abort
+        assert not any(event.get("type") == "run_end" for event in events)
+
+        executed_before = _counter("run.points_executed")
+        resumed = CampaignRunner(jobs=1, cache=cache).run(
+            points, name="resumable", resume=True
+        )
+        # Only the never-finished point re-executed; the journaled two
+        # came back verified from the cache.
+        assert _counter("run.points_executed") - executed_before == 1
+        assert resumed.resumed_count == 2
+        assert resumed.point_status == ["ok", "ok", "ok"]
+        assert all(result is not None for result in resumed.results)
+        events, _ = read_events_tolerant(journal_path)
+        assert events[-1]["type"] == "run_end"
+
+    def test_fresh_run_truncates_journal(self, tmp_path):
+        points = _points(2)
+        cache = ResultCache(tmp_path / "cache")
+        runner = CampaignRunner(jobs=1, cache=cache)
+        runner.run(points, name="fresh")
+        runner.run(points, name="fresh")  # resume=False: truncate, restart
+        events, _ = read_events_tolerant(default_journal_root(cache.root) / "fresh.jsonl")
+        assert sum(1 for event in events if event.get("type") == "run_start") == 1
+
+    def test_corrupt_journal_lines_warn_with_line_numbers(self, tmp_path, warnings_log):
+        points = _points(2)
+        cache = ResultCache(tmp_path / "cache")
+        runner = CampaignRunner(jobs=1, cache=cache)
+        first = runner.run(points, name="damaged")
+        journal_path = default_journal_root(cache.root) / "damaged.jsonl"
+        lines = journal_path.read_text().splitlines()
+        # A mid-write crash: one truncated line, one line of garbage.
+        lines.insert(2, '{"type": "point_done", "key": "tru')
+        lines.insert(3, "not json at all")
+        journal_path.write_text("\n".join(lines) + "\n")
+
+        resumed = CampaignRunner(jobs=1, cache=cache).run(
+            points, name="damaged", resume=True
+        )
+        assert resumed.resumed_count == 2
+        assert _serialized(resumed) == _serialized(first)
+        corrupt_warnings = [
+            event for event in warnings_log
+            if "corrupt journal line" in event.get("message", "")
+        ]
+        assert sorted(event["line"] for event in corrupt_warnings) == [3, 4]
+
+    def test_schema_mismatch_ignores_whole_journal(self, tmp_path, warnings_log):
+        journal = CampaignJournal(tmp_path, "old")
+        journal.begin(num_points=1, resume=False)
+        journal.record_point(0, "somekey", "ok")
+        journal.close()
+        text = journal.path.read_text().replace(
+            '"journal_schema":1', '"journal_schema":99'
+        )
+        journal.path.write_text(text)
+        assert CampaignJournal(tmp_path, "old").completed_keys() == set()
+        assert any("journal schema" in event.get("message", "") for event in warnings_log)
+
+    def test_resume_reverifies_against_cache(self, tmp_path):
+        """A journaled point whose cache entry is gone simply re-runs."""
+        points = _points(2)
+        cache = ResultCache(tmp_path / "cache")
+        runner = CampaignRunner(jobs=1, cache=cache)
+        first = runner.run(points, name="reverify")
+        cache.path_for(points[0]).unlink()
+        executed_before = _counter("run.points_executed")
+        resumed = CampaignRunner(jobs=1, cache=cache).run(
+            points, name="reverify", resume=True
+        )
+        assert _counter("run.points_executed") - executed_before == 1
+        assert resumed.resumed_count == 1
+        assert _serialized(resumed) == _serialized(first)
+
+    def test_safe_campaign_name(self):
+        assert safe_campaign_name("fig8") == "fig8"
+        assert safe_campaign_name("a/b c:d") == "a_b_c_d"
+        assert safe_campaign_name("") == "campaign"
+
+
+# ---------------------------------------------------------------------------
+# Cache-corruption fault + put-failure tolerance (satellites)
+# ---------------------------------------------------------------------------
+
+class TestCacheResilience:
+    def test_corrupt_fault_damages_entry_and_recovery_rereruns(self, tmp_path, warnings_log):
+        points = _points(1)
+        cache = ResultCache(tmp_path / "cache")
+        runner = CampaignRunner(
+            jobs=1, cache=cache, faults=FaultPlan.parse("corrupt@0")
+        )
+        first = runner.run(points, name=None)
+        assert first.point_status == ["ok"]
+        # The freshly written entry was vandalised after the put ...
+        corrupt_before = cache.corrupt
+        assert cache.get(points[0]) is None
+        assert cache.corrupt == corrupt_before + 1
+        # ... and a re-run recomputes, repairs the entry, and matches.
+        again = CampaignRunner(jobs=1, cache=cache).run(points)
+        assert _serialized(again) == _serialized(first)
+        assert cache.get(points[0]) is not None
+
+    def test_put_failure_is_tolerated(self, tmp_path, warnings_log):
+        # A cache rooted at a regular *file*: every mkdir/mkstemp under it
+        # fails with OSError regardless of privileges.
+        bogus_root = tmp_path / "not-a-dir"
+        bogus_root.write_text("occupied")
+        cache = ResultCache(bogus_root)
+        errors_before = _counter("cache.put_errors")
+        campaign = CampaignRunner(jobs=1, cache=cache).run(_points(1))
+        assert campaign.point_status == ["ok"]
+        assert campaign.results[0] is not None
+        assert cache.put_errors == 1
+        assert _counter("cache.put_errors") == errors_before + 1
+        assert any(
+            event.get("kind") == "cache_put_error" for event in warnings_log
+        )
+
+    def test_put_returns_path_on_success(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        campaign = CampaignRunner(jobs=1, cache=cache).run(_points(1))
+        path = cache.put(campaign.points[0], campaign.results[0])
+        assert path is not None and path.is_file()
+
+
+# ---------------------------------------------------------------------------
+# Artifacts for partial campaigns (satellite)
+# ---------------------------------------------------------------------------
+
+class TestPartialArtifacts:
+    def test_status_and_error_columns_and_null_results(self, tmp_path):
+        runner = CampaignRunner(
+            jobs=1,
+            use_cache=False,
+            retry=RetryPolicy(on_error="skip"),
+            faults=FaultPlan.parse("raise@0"),
+        )
+        campaign = runner.run(_points(2), name="partial")
+        store = ArtifactStore(tmp_path / "artifacts", fsync=True)
+        summary_path, csv_path = store.write(campaign)
+
+        summary = json.loads(summary_path.read_text())
+        assert summary["status_counts"] == {"skipped": 1, "ok": 1}
+        assert summary["points"][0]["result"] is None
+        assert summary["points"][0]["status"] == "skipped"
+        assert "FaultInjected" in summary["points"][0]["error"]
+        assert summary["points"][1]["result"] is not None
+
+        csv_text = csv_path.read_text()
+        header, first_row = csv_text.splitlines()[:2]
+        assert "status" in header and "error" in header
+        assert "skipped" in first_row
+        # Atomic writes leave no temp droppings behind.
+        assert list(summary_path.parent.glob("*.tmp")) == []
+
+    def test_no_torn_file_on_unwritable_body(self, tmp_path):
+        from repro.campaign.artifacts import _write_atomic
+
+        target = tmp_path / "out.json"
+        target.write_text("previous")
+
+        def explode(handle):
+            handle.write("partial")
+            raise RuntimeError("mid-write crash")
+
+        with pytest.raises(RuntimeError):
+            _write_atomic(target, explode)
+        assert target.read_text() == "previous"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+# ---------------------------------------------------------------------------
+# Session / CLI wiring
+# ---------------------------------------------------------------------------
+
+class TestWiring:
+    def test_session_threads_retry_and_resume(self, tmp_path):
+        from repro.run import Session
+
+        points = _points(2)
+        session = Session(
+            retry=RetryPolicy(retries=1, **FAST_BACKOFF), resume=False
+        )
+        assert session.runner.retry.retries == 1
+        campaign = session.sweep(points, name="wired")
+        executed_before = _counter("run.points_executed")
+        resumed = Session(retry=None, resume=True).sweep(points, name="wired")
+        assert _counter("run.points_executed") - executed_before == 0
+        assert resumed.resumed_count == 2
+        assert _serialized(resumed) == _serialized(campaign)
+
+    def test_cli_flags_build_policy(self):
+        from repro.cli import build_parser, retry_policy_from_args
+
+        args = build_parser().parse_args(
+            ["sweep", "--benchmarks", "mcf", "--retries", "2",
+             "--point-timeout", "1.5", "--on-error", "retry", "--resume"]
+        )
+        policy = retry_policy_from_args(args)
+        assert policy.retries == 2
+        assert policy.timeout_s == 1.5
+        assert policy.on_error == "retry"
+        assert args.resume is True
+
+    def test_cli_no_flags_mean_default_policy(self):
+        from repro.cli import build_parser, retry_policy_from_args
+
+        args = build_parser().parse_args(["sweep", "--benchmarks", "mcf"])
+        assert retry_policy_from_args(args) is None
+        assert args.resume is False
+
+    def test_sweep_cli_resume_end_to_end(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--benchmarks", "mcf", "--num-accesses",
+                     str(ACCESSES), "--no-artifacts"]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--benchmarks", "mcf", "--num-accesses",
+                     str(ACCESSES), "--no-artifacts", "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed past 1 journaled point" in out
