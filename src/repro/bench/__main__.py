@@ -96,6 +96,13 @@ def run_cli(args: argparse.Namespace) -> int:
     print(format_results_table(results, speedups))
 
     report = build_report(run_name, results, speedups, scale=args.scale)
+    verify_split = report.get("verify_split")
+    if verify_split is not None:
+        print(
+            "checksum verification overhead: "
+            f"{verify_split['verify_overhead_fraction'] * 100.0:+.1f}% "
+            "over the memoised store load (report-only)"
+        )
     output = args.output or Path(f"BENCH_{run_name}.json")
     write_report(report, output)
     print(f"wrote {output}")

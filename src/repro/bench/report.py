@@ -38,6 +38,12 @@ DEFAULT_BASELINE_NAME = "BENCH_baseline.json"
 TIME_SPLIT_GENERATE = "trace.generate"
 TIME_SPLIT_REPLAY = "sim.dbcp.mcf.replay"
 
+#: Scenario pair the checksum-verification cost split is derived from:
+#: both load the same warmed store entry, one through the memoised fast
+#: path and one with payload CRC verification forced on every read.
+VERIFY_SPLIT_LOAD = "trace.store_load"
+VERIFY_SPLIT_VERIFY = "trace.store_verify"
+
 
 def _time_split(results: Dict[str, BenchResult]) -> Optional[Dict[str, float]]:
     """Trace-generation vs replay wall-time split, when both halves ran."""
@@ -50,6 +56,28 @@ def _time_split(results: Dict[str, BenchResult]) -> Optional[Dict[str, float]]:
         "trace_generation_seconds": generate.wall_seconds,
         "replay_seconds": replay.wall_seconds,
         "generation_fraction": generate.wall_seconds / total if total else 0.0,
+    }
+
+
+def _verify_split(results: Dict[str, BenchResult]) -> Optional[Dict[str, float]]:
+    """Checksum-verification cost of a store load, when both halves ran.
+
+    ``verify_overhead_fraction`` is the extra wall time a CRC-verified
+    load pays over the memoised fast path, relative to the fast path —
+    i.e. what ``REPRO_VERIFY=always`` would cost per load.  Report-only:
+    the regression gate does not act on it.
+    """
+    load = results.get(VERIFY_SPLIT_LOAD)
+    verify = results.get(VERIFY_SPLIT_VERIFY)
+    if load is None or verify is None:
+        return None
+    overhead = verify.wall_seconds - load.wall_seconds
+    return {
+        "store_load_seconds": load.wall_seconds,
+        "verified_load_seconds": verify.wall_seconds,
+        "verify_overhead_fraction": (
+            overhead / load.wall_seconds if load.wall_seconds else 0.0
+        ),
     }
 
 
@@ -80,6 +108,9 @@ def build_report(
     split = _time_split(results)
     if split is not None:
         report["time_split"] = split
+    verify_split = _verify_split(results)
+    if verify_split is not None:
+        report["verify_split"] = verify_split
     return report
 
 

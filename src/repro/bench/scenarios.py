@@ -329,6 +329,36 @@ _register(Scenario(
 ))
 
 
+def _build_trace_store_verify(scale: float):
+    from repro.trace.store import TraceStore, read_trace_file
+    from repro.workloads.base import WorkloadConfig
+
+    count = _scaled(200_000, scale)
+    config = WorkloadConfig(num_accesses=count, seed=42)
+    root = _temp_store_root("repro-bench-verify-")
+
+    def make_task():
+        store = TraceStore(root)
+        store.load_or_generate("mcf", config)  # warm (untimed)
+        path = store.path_for("mcf", config)
+
+        def task():
+            trace = read_trace_file(path, verify=True)
+            return len(trace)
+
+        return task
+
+    return make_task, count
+
+
+_register(Scenario(
+    name="trace.store_verify",
+    description="store load with payload CRC32 verification forced on (mcf, warm store)",
+    build=_build_trace_store_verify,
+    quick=True,
+))
+
+
 def _build_trace_columnar_iter(scale: float):
     from repro.workloads.base import WorkloadConfig
     from repro.workloads.registry import get_workload

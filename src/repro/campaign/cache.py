@@ -14,13 +14,18 @@ variable.  Set ``REPRO_NO_CACHE=1`` to bypass the cache entirely.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from repro.campaign.spec import PointSpec
+from repro.integrity.checksum import crc32_json
+from repro.integrity.locks import Lease, lease_path_for
+from repro.integrity.quarantine import quarantine_file
 from repro.multicore.result import MulticoreResult
 from repro.obs.metrics import REGISTRY
 from repro.obs.observer import emit_warning
@@ -33,6 +38,11 @@ _CACHE_HITS = REGISTRY.counter("cache.hits")
 _CACHE_MISSES = REGISTRY.counter("cache.misses")
 _CACHE_CORRUPT = REGISTRY.counter("cache.corrupt")
 _CACHE_PUT_ERRORS = REGISTRY.counter("cache.put_errors")
+_CACHE_QUARANTINED = REGISTRY.counter("cache.quarantined")
+
+#: Lease TTL for single-flight point execution (points run for seconds
+#: to low minutes; waiters re-check the entry every poll tick anyway).
+POINT_LEASE_TTL_S = 300.0
 
 #: On-disk envelope schema version (bump on incompatible layout changes).
 SCHEMA_VERSION = 1
@@ -84,6 +94,11 @@ class ResultCache:
         #: Writes that failed (disk full, read-only root, ...); each is a
         #: warning event + ``cache.put_errors`` bump, never an exception.
         self.put_errors = 0
+        #: Corrupt entries moved into ``quarantine/`` (subset of corrupt).
+        self.quarantined = 0
+        #: Fault-injection hook (``diskfull@N``): when set, the next
+        #: :meth:`put` fails inside its real write path with this errno.
+        self._fail_next_put_errno: Optional[int] = None
 
     # ------------------------------------------------------------------ paths
     @property
@@ -101,11 +116,12 @@ class ResultCache:
         """Return the cached result for ``point`` or ``None``.
 
         An absent file is an ordinary miss.  A file that *exists* but
-        fails to decode or validate is still served as a miss (the point
-        simply re-runs), but it is counted separately — the instance's
-        ``corrupt`` counter and the ``cache.corrupt`` metric — and
-        reported once as a ``warning`` event, so truncated or damaged
-        entries never disappear silently.
+        fails to decode, validate, or checksum is still served as a miss
+        (the point simply re-runs), but it is counted separately — the
+        instance's ``corrupt`` counter and the ``cache.corrupt`` metric
+        — reported once as a ``warning`` event, and the damaged file is
+        moved to the ``quarantine/`` sibling so it never masks the
+        regenerated entry and stays available for post-mortem.
         """
         path = self.path_for(point)
         try:
@@ -119,16 +135,23 @@ class ResultCache:
             envelope = json.loads(raw)
             if envelope.get("schema") != SCHEMA_VERSION or envelope.get("sim") != point.sim:
                 raise ValueError("stale or mismatched envelope")
+            stored_crc = envelope.get("crc32")
+            if stored_crc is not None and stored_crc != crc32_json(envelope["result"]):
+                raise ValueError("result checksum mismatch")
             result = result_from_dict(point.sim, envelope["result"])
-        except (ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError) as exc:
             self.corrupt += 1
             self.misses += 1
             _CACHE_CORRUPT.inc()
             _CACHE_MISSES.inc()
             emit_warning(
-                f"corrupt or stale result-cache entry {path} (treated as a miss)",
+                f"corrupt or stale result-cache entry {path} "
+                f"({exc}; treated as a miss)",
                 path=str(path),
             )
+            if quarantine_file(path, self.root, reason=str(exc)) is not None:
+                self.quarantined += 1
+                _CACHE_QUARANTINED.inc()
             return None
         self.hits += 1
         _CACHE_HITS.inc()
@@ -146,17 +169,25 @@ class ResultCache:
         errors (an unregistered result type) still raise: those are
         caller bugs, not environment.
         """
+        encoded = result_to_dict(point.sim, result)
         envelope = {
             "schema": SCHEMA_VERSION,
             "version": __version__,
             "key": point.key(),
             "sim": point.sim,
             "point": point.to_dict(),
-            "result": result_to_dict(point.sim, result),
+            "result": encoded,
+            # CRC32 of the canonical JSON of ``result``: catches torn
+            # writes and bit rot on read (see :meth:`get`); entries
+            # written before the field existed still verify structurally.
+            "crc32": crc32_json(encoded),
         }
         path = self.path_for(point)
         tmp_name = None
         try:
+            if self._fail_next_put_errno is not None:
+                code, self._fail_next_put_errno = self._fail_next_put_errno, None
+                raise OSError(code, f"{os.strerror(code)} (injected)")
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
@@ -185,6 +216,55 @@ class ResultCache:
                     pass
             raise
         return path
+
+    def fail_next_put(self, code: int = errno.ENOSPC) -> None:
+        """Arm the ``diskfull@N`` fault hook: the next :meth:`put` raises
+        ``OSError(code)`` inside its real write path (and is therefore
+        swallowed into the normal put-error tolerance)."""
+        self._fail_next_put_errno = code
+
+    # ------------------------------------------------------------------ single flight
+    def lease_path_for(self, point: PointSpec) -> Path:
+        """The generation-lease file guarding ``point``'s cache entry."""
+        return lease_path_for(self.path_for(point))
+
+    def claim(self, point: PointSpec, ttl_s: float = POINT_LEASE_TTL_S) -> Optional[Lease]:
+        """Try to claim single-flight execution of ``point``.
+
+        Returns an owned :class:`Lease` (caller must ``release()`` after
+        publishing the entry) or ``None`` when another live process
+        already holds the claim — the caller should
+        :meth:`wait_for` the entry instead of re-executing.  Stale
+        leases from dead processes are reaped transparently.
+        """
+        lease = Lease(self.lease_path_for(point), ttl_s=ttl_s)
+        return lease if lease.acquire() else None
+
+    def wait_for(
+        self,
+        point: PointSpec,
+        timeout_s: float = POINT_LEASE_TTL_S,
+        poll_s: float = 0.05,
+    ) -> Optional[ResultType]:
+        """Poll for ``point``'s entry while another process executes it.
+
+        Returns the decoded result as soon as it lands, or ``None`` when
+        the claim holder's lease disappeared (released/reaped) without a
+        readable entry, or the timeout passed — in both cases the caller
+        should execute the point itself.
+        """
+        lease = Lease(self.lease_path_for(point), ttl_s=timeout_s)
+        deadline = time.monotonic() + timeout_s
+        path = self.path_for(point)
+        while time.monotonic() < deadline:
+            if path.exists():
+                result = self.get(point)
+                if result is not None:
+                    return result
+            if not lease.path.exists() or lease.is_stale():
+                return self.get(point) if path.exists() else None
+            time.sleep(poll_s)
+        return None
 
     # ------------------------------------------------------------------ maintenance
     def entry_count(self) -> int:

@@ -43,6 +43,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.cache import ResultCache, ResultType, cache_disabled, result_from_dict, result_to_dict
@@ -50,7 +51,8 @@ from repro.campaign.spec import PointSpec, SweepSpec, spec_from_dict
 from repro.obs.events import make_event, next_run_id
 from repro.obs.metrics import REGISTRY
 from repro.obs.observer import RunObserver, emit_warning
-from repro.resilience.faults import FaultPlan
+from repro.integrity.locks import single_flight_disabled
+from repro.resilience.faults import FaultPlan, plant_stale_lease
 from repro.resilience.journal import CampaignJournal, default_journal_root
 from repro.resilience.policy import PointFailed, PointTimeout, RetryPolicy, time_limit
 
@@ -202,6 +204,14 @@ def _execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     workers run their task on their main thread), and the fault plan
     plus this point's ``index``/``attempt`` so injected chaos fires
     inside the real worker path.
+
+    With a ``cache_root``, the worker is also the single-flight
+    participant: it claims the point's generation lease before running
+    (another *process* already executing the same point parks this
+    worker until the entry lands, returned with ``from_cache=True``),
+    publishes the entry itself before releasing the claim (so waiters
+    observe release-implies-published), and reports ``published=True``
+    so the parent skips its own write.
     """
     import importlib
 
@@ -210,23 +220,54 @@ def _execute_point_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     for module in payload.get("plugins", ()):
         importlib.import_module(module)
     point = spec_from_dict(payload["point"])
+    index = payload.get("index", -1)
+    attempt = payload.get("attempt", 0)
     trace_store = None
     if payload.get("trace_root") is not None:
         from repro.trace.store import TraceStore
 
         trace_store = TraceStore(payload["trace_root"])
     faults = FaultPlan.decode(payload.get("faults", ()))
-    collector = _PhaseCollector()
+    cache = None
+    lease = None
     started = time.perf_counter()
-    with time_limit(payload.get("timeout_s")):
-        faults.apply_before_execute(
-            payload.get("index", -1), payload.get("attempt", 0), in_worker=True
-        )
-        result = execute_spec(point, trace_store=trace_store, observer=collector)
+    if payload.get("cache_root") is not None:
+        from repro.integrity.locks import single_flight_disabled
+
+        cache = ResultCache(payload["cache_root"])
+        if not single_flight_disabled():
+            lease = cache.claim(point)
+            # Holding the claim, re-check the entry (double-checked
+            # locking): a producer may have published between the
+            # parent's miss and this worker's claim.
+            waited = cache.get(point) if lease is not None else cache.wait_for(point)
+            if waited is not None:
+                if lease is not None:
+                    lease.release()
+                return {
+                    "result": result_to_dict(point.sim, waited),
+                    "duration_s": time.perf_counter() - started,
+                    "phases": {},
+                    "from_cache": True,
+                }
+    collector = _PhaseCollector()
+    try:
+        with time_limit(payload.get("timeout_s")):
+            faults.apply_before_execute(index, attempt, in_worker=True)
+            result = execute_spec(point, trace_store=trace_store, observer=collector)
+        published = False
+        if cache is not None:
+            if faults.diskfull_target(index, attempt):
+                cache.fail_next_put()
+            published = cache.put(point, result) is not None
+    finally:
+        if lease is not None:
+            lease.release()
     return {
         "result": result_to_dict(point.sim, result),
         "duration_s": time.perf_counter() - started,
         "phases": collector.phases,
+        "published": published,
     }
 
 
@@ -525,22 +566,33 @@ class CampaignRunner:
         )
 
     # ------------------------------------------------------------------ shared failure/success plumbing
-    def _finish(self, state: _RunState, index: int, result: ResultType) -> None:
+    def _finish(
+        self, state: _RunState, index: int, result: ResultType, published: bool = False
+    ) -> None:
         """Record a successful point: result slot, status, cache write.
 
         Cache-write failures are non-fatal (:meth:`ResultCache.put`
-        swallows ``OSError`` into a warning + counter), and the
-        ``corrupt@N`` fault injector strikes here, right after the entry
-        lands on disk.
+        swallows ``OSError`` into a warning + counter).  ``published``
+        means a pool worker already wrote the entry itself (single-flight
+        publish-before-release), so the parent must not write a second
+        copy.  The post-write fault injectors (``corrupt``/``torn``/
+        ``bitflip``) strike here, right after the entry lands on disk,
+        and ``diskfull`` arms the put itself to fail inside its real
+        write path.
         """
         state.results[index] = result
         state.statuses[index] = "retried" if state.attempts[index] else "ok"
-        if self.use_cache:
+        if not self.use_cache:
+            return
+        dispatch = state.dispatches[index]
+        if published:
+            path: Optional[Path] = self.cache.path_for(state.points[index])
+        else:
+            if self.faults.diskfull_target(index, dispatch):
+                self.cache.fail_next_put()
             path = self.cache.put(state.points[index], result)
-            if path is not None and self.faults.corrupt_target(
-                index, state.dispatches[index]
-            ):
-                self.faults.corrupt_file(path)
+        if path is not None and path.exists():
+            self.faults.apply_post_write(index, dispatch, path)
 
     def _handle_failure(
         self, state: _RunState, index: int, error: BaseException
@@ -586,38 +638,77 @@ class CampaignRunner:
 
     # ------------------------------------------------------------------ serial execution
     def _run_serial(self, state: _RunState, queue: List[int], emit_point_done) -> None:
-        """Deterministic in-process loop with retry/timeout enforcement."""
+        """Deterministic in-process loop with retry/timeout enforcement.
+
+        Also the serial half of single-flight: each uncached point is
+        claimed with a generation lease before it runs, so a concurrent
+        campaign in another process executing the same point parks this
+        loop until the entry lands (served as a cache hit) instead of
+        duplicating the work.  The ``stalelock@N`` injector plants a
+        dead-holder lease here to prove the claim path reaps it.
+        """
         from repro.run import execute_spec
 
         queue = list(queue)
         while queue:
             index = queue.pop(0)
             state.dispatches[index] += 1
-            collector = _PhaseCollector()
+            point = state.points[index]
             point_started = time.perf_counter()
+            lease = None
+            if self.use_cache:
+                if self.faults.stalelock_target(index, state.dispatches[index]):
+                    plant_stale_lease(self.cache.lease_path_for(point))
+                if not single_flight_disabled():
+                    lease = self.cache.claim(point)
+                    # Re-check under the claim (double-checked locking):
+                    # a concurrent campaign may have published this point
+                    # between our miss and our claim.
+                    waited = (
+                        self.cache.get(point)
+                        if lease is not None
+                        else self.cache.wait_for(point)
+                    )
+                    if waited is not None:
+                        if lease is not None:
+                            lease.release()
+                            lease = None
+                        state.results[index] = waited
+                        state.durations[index] = time.perf_counter() - point_started
+                        state.cached[index] = True
+                        state.statuses[index] = (
+                            "retried" if state.attempts[index] else "ok"
+                        )
+                        emit_point_done(index, True)
+                        continue
+            collector = _PhaseCollector()
             try:
-                with time_limit(self.retry.timeout_s):
-                    self.faults.apply_before_execute(
-                        index, state.dispatches[index], in_worker=False
-                    )
-                    result = execute_spec(
-                        state.points[index],
-                        trace_store=self.trace_store,
-                        observer=collector,
-                    )
-            except Exception as error:
+                try:
+                    with time_limit(self.retry.timeout_s):
+                        self.faults.apply_before_execute(
+                            index, state.dispatches[index], in_worker=False
+                        )
+                        result = execute_spec(
+                            point,
+                            trace_store=self.trace_store,
+                            observer=collector,
+                        )
+                except Exception as error:
+                    state.durations[index] = time.perf_counter() - point_started
+                    pause = self._handle_failure(state, index, error)
+                    if pause is not None:
+                        if pause > 0:
+                            time.sleep(pause)
+                        queue.insert(0, index)
+                    else:
+                        emit_point_done(index, False)
+                    continue
                 state.durations[index] = time.perf_counter() - point_started
-                pause = self._handle_failure(state, index, error)
-                if pause is not None:
-                    if pause > 0:
-                        time.sleep(pause)
-                    queue.insert(0, index)
-                else:
-                    emit_point_done(index, False)
-                continue
-            state.durations[index] = time.perf_counter() - point_started
-            self._finish(state, index, result)
-            emit_point_done(index, False, collector.phases)
+                self._finish(state, index, result)
+                emit_point_done(index, False, collector.phases)
+            finally:
+                if lease is not None:
+                    lease.release()
 
     # ------------------------------------------------------------------ pooled execution
     def _worker_payload(self, state: _RunState, index: int, trace_root: Optional[str]) -> Dict[str, Any]:
@@ -625,6 +716,7 @@ class CampaignRunner:
             "point": state.points[index].to_dict(),
             "plugins": _plugin_modules(state.points[index]),
             "trace_root": trace_root,
+            "cache_root": str(self.cache.root) if self.use_cache else None,
             "index": index,
             "attempt": state.dispatches[index],
             "timeout_s": self.retry.timeout_s,
@@ -665,6 +757,12 @@ class CampaignRunner:
             def submit(index: int) -> None:
                 nonlocal broken
                 state.dispatches[index] += 1
+                if self.use_cache and self.faults.stalelock_target(
+                    index, state.dispatches[index]
+                ):
+                    plant_stale_lease(
+                        self.cache.lease_path_for(state.points[index])
+                    )
                 try:
                     future = pool.submit(
                         _execute_point_payload,
@@ -709,12 +807,24 @@ class CampaignRunner:
                                 emit_point_done(index, False)
                         else:
                             state.durations[index] = float(payload["duration_s"])
-                            self._finish(
-                                state, index, result_from_dict(
-                                    state.points[index].sim, payload["result"]
-                                )
+                            result = result_from_dict(
+                                state.points[index].sim, payload["result"]
                             )
-                            emit_point_done(index, False, payload.get("phases"))
+                            if payload.get("from_cache"):
+                                # Another process executed this point and
+                                # our worker coalesced onto its entry.
+                                state.results[index] = result
+                                state.cached[index] = True
+                                state.statuses[index] = (
+                                    "retried" if state.attempts[index] else "ok"
+                                )
+                                emit_point_done(index, True)
+                            else:
+                                self._finish(
+                                    state, index, result,
+                                    published=bool(payload.get("published")),
+                                )
+                                emit_point_done(index, False, payload.get("phases"))
                     if broken:
                         queue.extend(futures.values())
                         futures.clear()

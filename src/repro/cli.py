@@ -565,6 +565,61 @@ def run_obs_cli(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# doctor
+# ---------------------------------------------------------------------------
+
+def configure_doctor_parser(parser: argparse.ArgumentParser) -> None:
+    """Flags for scanning/repairing the stores (``python -m repro doctor``)."""
+    parser.add_argument("--trace-dir", default=None, metavar="PATH",
+                        help="trace-store root to scan (default: REPRO_TRACE_DIR "
+                             "or .repro_traces)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="result-cache root to scan (default: REPRO_CACHE_DIR "
+                             "or .repro_cache)")
+    parser.add_argument("--repair", action="store_true",
+                        help="move damaged entries into the store's quarantine/ "
+                             "sibling and trim torn journal tails (regeneration "
+                             "is automatic on the next read; nothing is deleted)")
+    parser.add_argument("--gc", action="store_true",
+                        help="reclaim quarantined entries, orphaned *.tmp files "
+                             "and stale single-flight leases")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the full report as JSON")
+
+
+def run_doctor_cli(args: argparse.Namespace) -> int:
+    """``python -m repro doctor [--repair] [--gc] [--json]``."""
+    from repro.integrity import run_doctor
+
+    report = run_doctor(
+        trace_root=args.trace_dir,
+        cache_root=args.cache_dir,
+        repair=args.repair,
+        gc=args.gc,
+    )
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        scanned = report["scanned"]
+        print(f"doctor: scanned {scanned['trace_entries']} trace entries "
+              f"({report['trace_root']}), {scanned['cache_entries']} cache entries "
+              f"({report['cache_root']}), {scanned['journals']} journals")
+        for finding in report["findings"]:
+            action = f" -> {finding['action']}" if finding["action"] else ""
+            print(f"  [{finding['severity']}] {finding['store']}: "
+                  f"{finding['problem']} {finding['path']} "
+                  f"({finding['detail']}){action}")
+        summary = (f"{report['errors']} error(s), {report['warnings']} warning(s), "
+                   f"{report['repaired']} quarantined, {report['trimmed']} trimmed, "
+                   f"{report['removed']} removed")
+        print(f"doctor: {summary}")
+        print("doctor: ok" if report["ok"]
+              else f"doctor: {report['unresolved']} unresolved problem(s) "
+                   f"(re-run with --repair)")
+    return 0 if report["ok"] else 1
+
+
+# ---------------------------------------------------------------------------
 # info
 # ---------------------------------------------------------------------------
 
@@ -666,6 +721,11 @@ def build_parser() -> argparse.ArgumentParser:
     configure_obs_parser(sub.add_parser(
         "obs", help="inspect structured event logs (repro.obs)",
         description="Summarise or validate the JSONL event logs --log-json writes."))
+    configure_doctor_parser(sub.add_parser(
+        "doctor", help="scan/verify/repair the stores (repro.integrity)",
+        description="Verify every trace-store entry, result-cache entry and "
+                    "campaign journal; quarantine damage with --repair, reclaim "
+                    "debris with --gc."))
     info = sub.add_parser(
         "info", help="show registries, cache and trace-store state",
         description="Show predictors, benchmarks, named figures, cache and trace-store state.")
@@ -716,6 +776,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": bench_cli.run_cli,
         "trace": trace_cli.run_cli,
         "obs": run_obs_cli,
+        "doctor": run_doctor_cli,
         "info": run_info_cli,
     }
     args = build_parser().parse_args(argv)

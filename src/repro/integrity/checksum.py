@@ -1,0 +1,36 @@
+"""CRC32 payload checksums shared by both on-disk stores.
+
+CRC32 (via :func:`zlib.crc32`) is the right tool here: the threat model
+is *accidental* damage — torn writes, bit rot, a crashed writer — not an
+adversary, and CRC32 detects any single burst error shorter than 32 bits
+and all odd-bit-count flips while running at memory bandwidth in C.  The
+trace store folds the checksum of its column payload into the binary
+header (format v2); the result cache carries a checksum of the canonical
+JSON encoding of the result object inside each entry's envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Any
+
+
+def crc32_bytes(*payloads: bytes) -> int:
+    """CRC32 over the concatenation of ``payloads`` (unsigned 32-bit)."""
+    value = 0
+    for payload in payloads:
+        value = zlib.crc32(payload, value)
+    return value & 0xFFFFFFFF
+
+
+def crc32_json(obj: Any) -> int:
+    """CRC32 of the canonical JSON encoding of ``obj``.
+
+    Canonical means sorted keys and compact separators — exactly the
+    encoding that is stable across processes and Python versions for the
+    JSON-safe dicts the stores persist, so a value computed at write
+    time verifies at read time regardless of who reads it.
+    """
+    canonical = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    return crc32_bytes(canonical.encode("utf-8"))

@@ -1,0 +1,71 @@
+"""Move damaged store entries aside instead of deleting them.
+
+A checksum mismatch or torn file is *evidence* — of a flaky disk, a
+crashed writer, an interrupted copy — so the stores never silently
+unlink one.  The entry is renamed into a ``quarantine/`` directory
+sibling to the store's own layout (preserving the relative path, with a
+numeric suffix if the slot is taken), an obs warning + counter record
+the event, and the caller regenerates transparently.  ``python -m repro
+doctor --gc`` reclaims the quarantine when the post-mortem is done.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.observer import emit_warning
+
+_QUARANTINED = REGISTRY.counter("integrity.quarantined")
+
+#: Directory name the damaged entries land in, under each store root.
+QUARANTINE_DIR = "quarantine"
+
+
+def quarantine_root(store_root: Union[str, Path]) -> Path:
+    """Where a store rooted at ``store_root`` keeps its quarantine."""
+    return Path(store_root) / QUARANTINE_DIR
+
+
+def quarantine_file(
+    path: Union[str, Path],
+    store_root: Union[str, Path],
+    reason: str,
+) -> Optional[Path]:
+    """Move ``path`` into ``store_root``'s quarantine; return its new home.
+
+    The move is a same-filesystem rename (cheap, atomic).  Returns
+    ``None`` when the file vanished first (a concurrent reader already
+    quarantined it — the rename simply fails) or the quarantine root is
+    unwritable; either way the caller proceeds to regenerate.
+    """
+    path = Path(path)
+    store_root = Path(store_root)
+    try:
+        relative = path.relative_to(store_root)
+    except ValueError:
+        relative = Path(path.name)
+    target = quarantine_root(store_root) / relative
+    try:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        if target.exists():
+            stem, suffix = target.stem, target.suffix
+            for attempt in range(1, 1000):
+                candidate = target.with_name(f"{stem}.{attempt}{suffix}")
+                if not candidate.exists():
+                    target = candidate
+                    break
+        os.replace(path, target)
+    except OSError:
+        return None
+    _QUARANTINED.inc()
+    emit_warning(
+        f"quarantined {path} -> {target} ({reason})",
+        kind="quarantine",
+        path=str(path),
+        quarantine_path=str(target),
+        reason=reason,
+    )
+    return target

@@ -23,7 +23,7 @@ through both its serial loop and the process pool; see the README's
 """
 
 from repro.resilience.faults import FaultInjected, FaultPlan, FaultSpec, WorkerKilled
-from repro.resilience.journal import CampaignJournal, JOURNAL_SCHEMA_VERSION
+from repro.resilience.journal import CampaignJournal, JOURNAL_SCHEMA_VERSION, JournalLocked
 from repro.resilience.policy import PointFailed, PointTimeout, RetryPolicy, time_limit
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "JOURNAL_SCHEMA_VERSION",
+    "JournalLocked",
     "PointFailed",
     "PointTimeout",
     "RetryPolicy",

@@ -22,6 +22,23 @@ i.e. comma-separated ``kind@index[:arg]`` entries:
     After point ``N`` completes, its freshly written result-cache entry
     is overwritten with garbage — exercising the corrupt-entry recovery
     path on the next lookup/resume.
+``torn@N[:fraction]``
+    After point ``N``'s cache entry is written, the file is truncated to
+    ``fraction`` (default 0.5) of its bytes — the signature of a crash
+    or power cut mid-write.  Detected by the entry checksum on the next
+    read and by ``python -m repro doctor``.
+``bitflip@N[:offset]``
+    One bit of point ``N``'s freshly written cache entry is flipped (at
+    byte ``offset``, default mid-file) — simulated bit rot that only a
+    payload checksum can catch (the JSON often still parses).
+``diskfull@N``
+    Point ``N``'s result-cache write fails with ``ENOSPC`` *inside the
+    real write path* — exercising the put-error tolerance (the campaign
+    must continue uncached).
+``stalelock@N``
+    Before point ``N`` executes, a stale single-flight lease (dead PID,
+    expired heartbeat) is planted on its cache entry — the claim path
+    must reap it instead of waiting forever.
 
 Every injector fires on a point's *first* attempt only (``attempt == 1``),
 so a retried point succeeds and the campaign converges; this is what
@@ -40,10 +57,18 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 #: Injector kinds ``REPRO_FAULTS`` understands.
-FAULT_KINDS = ("raise", "sleep", "kill", "corrupt")
+FAULT_KINDS = (
+    "raise", "sleep", "kill", "corrupt", "torn", "bitflip", "diskfull", "stalelock",
+)
+
+#: Fault kinds that vandalise a freshly written cache entry.
+POST_WRITE_KINDS = ("corrupt", "torn", "bitflip")
 
 #: Default hang for ``sleep@N`` when no seconds are given.
 DEFAULT_SLEEP_S = 30.0
+
+#: Default surviving fraction for ``torn@N``.
+DEFAULT_TORN_FRACTION = 0.5
 
 
 class FaultInjected(RuntimeError):
@@ -180,3 +205,89 @@ class FaultPlan:
                 handle.write("{corrupted by REPRO_FAULTS")
         except OSError:
             pass
+
+    def diskfull_target(self, index: int, attempt: int) -> bool:
+        """``True`` when point ``index``'s cache write should hit ENOSPC."""
+        return self._active("diskfull", index, attempt) is not None
+
+    def stalelock_target(self, index: int, attempt: int) -> bool:
+        """``True`` when a stale lease should be planted before point ``index``."""
+        return self._active("stalelock", index, attempt) is not None
+
+    def apply_post_write(self, index: int, attempt: int, path: object) -> None:
+        """Vandalise the freshly written entry at ``path`` as the plan directs.
+
+        Dispatches every :data:`POST_WRITE_KINDS` injector active for
+        this ``(index, attempt)``: ``corrupt`` overwrites with garbage,
+        ``torn`` truncates mid-write, ``bitflip`` flips one payload bit.
+        """
+        if self.corrupt_target(index, attempt):
+            self.corrupt_file(path)
+        spec = self._active("torn", index, attempt)
+        if spec is not None:
+            tear_file(path, spec.arg if spec.arg is not None else DEFAULT_TORN_FRACTION)
+        spec = self._active("bitflip", index, attempt)
+        if spec is not None:
+            flip_bit(path, int(spec.arg) if spec.arg is not None else None)
+
+
+def tear_file(path: object, fraction: float = DEFAULT_TORN_FRACTION) -> None:
+    """Truncate ``path`` to ``fraction`` of its size (a torn write)."""
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb+") as handle:
+            handle.truncate(max(0, int(size * fraction)))
+    except OSError:
+        pass
+
+
+def flip_bit(path: object, offset: Optional[int] = None) -> None:
+    """Flip one bit of ``path`` at byte ``offset`` (default: mid-file)."""
+    try:
+        size = os.path.getsize(path)
+        if size == 0:
+            return
+        position = min(size - 1, size // 2 if offset is None else offset)
+        with open(path, "rb+") as handle:
+            handle.seek(position)
+            byte = handle.read(1)
+            if not byte:
+                return
+            handle.seek(position)
+            handle.write(bytes([byte[0] ^ 0x40]))
+    except OSError:
+        pass
+
+
+def plant_stale_lease(lease_path: object) -> None:
+    """Write a lease file whose holder is provably dead and heartbeat old.
+
+    The ``stalelock@N`` payload: the claim path must reap this instead
+    of waiting a full TTL (the PID check short-circuits).
+    """
+    import json
+    import socket
+
+    dead_pid = _find_dead_pid()
+    path = os.fspath(lease_path)
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"pid": dead_pid, "host": socket.gethostname(), "created": 0.0},
+                handle,
+            )
+        # Age the heartbeat too, so TTL-based reaping agrees.
+        os.utime(path, (0, 0))
+    except OSError:
+        pass
+
+
+def _find_dead_pid() -> int:
+    """A PID that is certainly not a live process on this host."""
+    from repro.integrity.locks import pid_alive
+
+    candidate = 2 ** 22 - 17  # just under the default Linux pid_max
+    while pid_alive(candidate):  # pragma: no cover - astronomically unlikely loop
+        candidate -= 1
+    return candidate

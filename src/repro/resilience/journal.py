@@ -26,6 +26,7 @@ import os
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, TextIO, Union
 
+from repro.integrity.locks import FileLock
 from repro.obs.events import encode_event, make_event, read_events_tolerant
 from repro.obs.observer import emit_warning
 
@@ -35,6 +36,16 @@ JOURNAL_SCHEMA_VERSION = 1
 
 #: Point statuses that count as "completed" for resume purposes.
 COMPLETED_STATUSES = ("ok", "retried")
+
+
+class JournalLocked(OSError):
+    """Another live campaign process holds this journal's writer lock.
+
+    An ``OSError`` on purpose: the runner's journal-open tolerance
+    (degrade to an un-journaled campaign with a warning) applies
+    unchanged — two same-name campaigns can run concurrently, but only
+    the first gets the journal; the second never interleaves lines.
+    """
 
 
 def safe_campaign_name(name: str) -> str:
@@ -60,6 +71,9 @@ class CampaignJournal:
         self.campaign = campaign
         self.fsync = fsync
         self.path = self.root / f"{safe_campaign_name(campaign)}.jsonl"
+        #: Per-name exclusive writer lock: two same-name campaigns can
+        #: never interleave journal lines (the loser runs un-journaled).
+        self.lock = FileLock(self.root / f"{safe_campaign_name(campaign)}.lock")
         self._handle: Optional[TextIO] = None
 
     # ------------------------------------------------------------------ reading
@@ -74,7 +88,13 @@ class CampaignJournal:
         if not self.path.is_file():
             return set()
         events, problems = read_events_tolerant(self.path)
+        last_line = _count_lines(self.path)
         for line_number, message in problems:
+            if line_number == last_line:
+                # A torn *final* line is the normal signature of a crash
+                # mid-append — treat the point as simply absent (it will
+                # re-run) instead of warning on every resume.
+                continue
             emit_warning(
                 f"{self.path}:{line_number}: corrupt journal line skipped ({message})",
                 path=str(self.path),
@@ -101,8 +121,21 @@ class CampaignJournal:
 
     # ------------------------------------------------------------------ writing
     def begin(self, num_points: int, resume: bool, jobs: int = 1) -> None:
-        """Open the journal for a run: truncate on a fresh start, append on resume."""
+        """Open the journal for a run: truncate on a fresh start, append on resume.
+
+        Takes the per-name exclusive writer lock first; raises
+        :class:`JournalLocked` when another live campaign process holds
+        it.  On resume, a torn trailing line (crash mid-append) is
+        trimmed before appending so the journal never concatenates a new
+        event onto half of an old one.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
+        if not self.lock.acquire(blocking=False):
+            raise JournalLocked(
+                f"journal {self.path} is locked by another campaign process"
+            )
+        if resume:
+            _trim_torn_tail(self.path)
         self._handle = open(self.path, "a" if resume else "w", encoding="utf-8")
         self._write(
             make_event(
@@ -136,6 +169,7 @@ class CampaignJournal:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        self.lock.release()
 
     def __enter__(self) -> "CampaignJournal":
         return self
@@ -150,3 +184,37 @@ class CampaignJournal:
         self._handle.flush()
         if self.fsync:
             os.fsync(self._handle.fileno())
+
+
+def _count_lines(path: Path) -> int:
+    """Number of lines in ``path`` (a final unterminated line counts)."""
+    count = 0
+    with open(path, "rb") as handle:
+        for _ in handle:
+            count += 1
+    return count
+
+
+def _trim_torn_tail(path: Path) -> None:
+    """Drop an unterminated trailing line (the residue of a mid-append crash).
+
+    Appending after a partial line would weld the next event onto it,
+    corrupting *two* records; truncating back to the last newline loses
+    only the already-unreadable fragment.
+    """
+    try:
+        with open(path, "rb+") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return
+            # Walk back to the last newline (journals are small; read whole).
+            handle.seek(0)
+            data = handle.read()
+            cut = data.rfind(b"\n") + 1  # 0 when no newline at all
+            handle.truncate(cut)
+    except OSError:
+        pass

@@ -60,6 +60,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.integrity.checksum import crc32_bytes
+from repro.integrity.locks import Lease, lease_path_for, single_flight_disabled
+from repro.integrity.quarantine import quarantine_file
 from repro.obs.metrics import REGISTRY
 from repro.obs.observer import emit_warning
 from repro.trace.stream import TraceColumns, TraceStream
@@ -72,17 +75,46 @@ _STORE_PREFIX_HITS = REGISTRY.counter("trace_store.prefix_hits")
 _STORE_MISSES = REGISTRY.counter("trace_store.misses")
 _STORE_GENERATED = REGISTRY.counter("trace_store.generated")
 _STORE_INVALID = REGISTRY.counter("trace_store.invalid")
+_STORE_PUT_ERRORS = REGISTRY.counter("trace_store.put_errors")
+_STORE_QUARANTINED = REGISTRY.counter("trace_store.quarantined")
+_STORE_COALESCED = REGISTRY.counter("trace_store.coalesced")
 
 #: Bump when the binary layout (or the meaning of a column) changes.
 #: Folded into every file's content key *and* into campaign cache keys
 #: (:meth:`repro.campaign.spec.PointSpec.key`), so a bump invalidates
 #: both stale trace files and stale cached simulation results.
-TRACE_FORMAT_VERSION = 1
+#: v2 added a CRC32 of the column payload to the JSON header; v1 files
+#: remain readable (size-checked only — they carry no checksum).
+TRACE_FORMAT_VERSION = 2
+
+#: Format versions :func:`read_trace_file` still understands.
+READABLE_FORMAT_VERSIONS = (1, 2)
 
 _MAGIC = b"REPROTRC"
 _HEADER_STRUCT = struct.Struct("<8sHHI")
 _FLAG_BIG_ENDIAN = 1
 _SUFFIX = ".rtrc"
+
+#: ``REPRO_VERIFY`` checksum-verification modes: ``once`` (default)
+#: verifies each distinct file version once per process and memoises;
+#: ``always`` recomputes on every read; ``never`` skips verification.
+VERIFY_MODES = ("once", "always", "never")
+
+#: Lease TTL for single-flight trace generation (generous: generating
+#: the largest standard traces takes seconds, not minutes).
+GENERATION_LEASE_TTL_S = 120.0
+
+#: Files whose payload checksum this process already verified, keyed by
+#: ``(path, size, mtime_ns)`` so any rewrite re-verifies.
+_VERIFIED: set = set()
+
+
+def verify_mode() -> str:
+    """Checksum-verification mode (``REPRO_VERIFY``, default ``once``)."""
+    mode = os.environ.get("REPRO_VERIFY", "").strip().lower() or "once"
+    if mode not in VERIFY_MODES:
+        raise ValueError(f"REPRO_VERIFY must be one of {VERIFY_MODES}, got {mode!r}")
+    return mode
 
 
 class TraceStoreError(ValueError):
@@ -146,11 +178,21 @@ def write_trace_file(
     path = Path(path)
     columns = trace.as_arrays()
     count = len(columns)
+    payload = (
+        _column_bytes(columns.pc, "q"),
+        _column_bytes(columns.address, "q"),
+        _column_bytes(columns.icount, "q"),
+        _column_bytes(columns.is_write, "b"),
+    )
     header = {
         "name": trace.name,
         "num_accesses": count,
         "metadata": dict(trace.metadata),
         "spec": dict(spec or {}),
+        # CRC32 of the concatenated column payload exactly as written
+        # (always little-endian on disk); verified on read per
+        # ``REPRO_VERIFY`` and by `python -m repro doctor`.
+        "crc32": crc32_bytes(*payload),
     }
     header_json = json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
     preamble = _HEADER_STRUCT.pack(_MAGIC, TRACE_FORMAT_VERSION, 0, len(header_json))
@@ -160,10 +202,8 @@ def write_trace_file(
         with os.fdopen(fd, "wb") as handle:
             handle.write(preamble)
             handle.write(header_json)
-            handle.write(_column_bytes(columns.pc, "q"))
-            handle.write(_column_bytes(columns.address, "q"))
-            handle.write(_column_bytes(columns.icount, "q"))
-            handle.write(_column_bytes(columns.is_write, "b"))
+            for blob in payload:
+                handle.write(blob)
         os.replace(tmp_name, path)
     except BaseException:
         try:
@@ -182,10 +222,10 @@ def _read_preamble(handle) -> Dict[str, Any]:
     magic, version, flags, header_len = _HEADER_STRUCT.unpack(raw)
     if magic != _MAGIC:
         raise TraceStoreError("not a repro trace file (bad magic)")
-    if version != TRACE_FORMAT_VERSION:
+    if version not in READABLE_FORMAT_VERSIONS:
         raise TraceStoreError(
             f"trace format v{version} is not supported (this build reads "
-            f"v{TRACE_FORMAT_VERSION}); regenerate or `python -m repro.trace clean`"
+            f"v{READABLE_FORMAT_VERSIONS}); regenerate or `python -m repro.trace clean`"
         )
     header_json = handle.read(header_len)
     if len(header_json) != header_len:
@@ -199,6 +239,7 @@ def _read_preamble(handle) -> Dict[str, Any]:
         raise TraceStoreError("corrupt trace header: bad num_accesses")
     header["_flags"] = flags
     header["_data_offset"] = _HEADER_STRUCT.size + header_len
+    header["_format_version"] = version
     return header
 
 
@@ -208,12 +249,54 @@ def read_trace_header(path: Union[str, Path]) -> Dict[str, Any]:
         return _read_preamble(handle)
 
 
-def read_trace_file(path: Union[str, Path]) -> TraceStream:
+def _should_verify(path: Path, size: int, mtime_ns: int, verify: Optional[bool]) -> bool:
+    """Whether this read must recompute the payload checksum.
+
+    ``verify=None`` follows :func:`verify_mode`: under ``once`` (the
+    default) each distinct file version — path, size, mtime — is
+    verified the first time any read in this process touches it, then
+    served straight off the ``mmap`` with no byte-touching overhead.
+    That keeps integrity checking off the hot path (the warm-store
+    bench) while still guaranteeing no *unverified* payload is ever
+    replayed.  ``verify=True`` (the doctor) always recomputes.
+    """
+    if verify is not None:
+        return verify
+    mode = verify_mode()
+    if mode == "never":
+        return False
+    if mode == "always":
+        return True
+    return (str(path), size, mtime_ns) not in _VERIFIED
+
+
+def verify_payload_crc(header: Dict[str, Any], payload: "memoryview") -> None:
+    """Raise :class:`TraceStoreError` when ``payload`` fails the header CRC.
+
+    v1 headers carry no checksum; they pass (size checking in the
+    caller is their only protection — exactly the pre-v2 behaviour).
+    """
+    expected = header.get("crc32")
+    if expected is None:
+        return
+    actual = crc32_bytes(payload)
+    if actual != expected:
+        raise TraceStoreError(
+            f"payload checksum mismatch (stored {expected:#010x}, "
+            f"computed {actual:#010x}) — torn write or bit rot"
+        )
+
+
+def read_trace_file(path: Union[str, Path], verify: Optional[bool] = None) -> TraceStream:
     """Load a stored trace with zero per-record objects.
 
     The four columns are served straight out of an ``mmap`` of the file
     through ``memoryview.cast`` — no copies, no record objects; the views
     keep the mapping alive for the lifetime of the returned stream.
+
+    ``verify`` controls payload-checksum verification: ``None`` follows
+    ``REPRO_VERIFY`` (default: verify each file version once per
+    process), ``True`` forces a recompute, ``False`` skips it.
     """
     path = Path(path)
     with open(path, "rb") as handle:
@@ -221,16 +304,24 @@ def read_trace_file(path: Union[str, Path]) -> TraceStream:
         count = header["num_accesses"]
         offset = header["_data_offset"]
         expected = offset + count * 25  # three int64 columns + one int8 column
-        size = os.fstat(handle.fileno()).st_size
+        stat = os.fstat(handle.fileno())
+        size = stat.st_size
         if size != expected:
             raise TraceStoreError(
                 f"truncated or padded trace file ({size} bytes, expected {expected})"
             )
+        check = _should_verify(path, size, stat.st_mtime_ns, verify)
         swapped = bool(header["_flags"] & _FLAG_BIG_ENDIAN) != (sys.byteorder == "big")
         if count == 0:
+            if check:
+                verify_payload_crc(header, memoryview(b""))
+                _VERIFIED.add((str(path), size, stat.st_mtime_ns))
             columns = TraceColumns(array("q"), array("q"), array("b"), array("q"))
         elif not swapped:
             view = memoryview(mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ))
+            if check:
+                verify_payload_crc(header, view[offset:])
+                _VERIFIED.add((str(path), size, stat.st_mtime_ns))
             span = 8 * count
             pc = view[offset:offset + span].cast("q")
             address = view[offset + span:offset + 2 * span].cast("q")
@@ -238,6 +329,10 @@ def read_trace_file(path: Union[str, Path]) -> TraceStream:
             is_write = view[offset + 3 * span:offset + 3 * span + count].cast("b")
             columns = TraceColumns(pc, address, is_write, icount)
         else:  # pragma: no cover - byte order differs from the writing host
+            if check:
+                handle.seek(offset)
+                verify_payload_crc(header, memoryview(handle.read()))
+                _VERIFIED.add((str(path), size, stat.st_mtime_ns))
             handle.seek(offset)
             pc = array("q")
             address = array("q")
@@ -264,6 +359,14 @@ class TraceStoreStats:
     misses: int = 0
     generated: int = 0
     invalid: int = 0
+    #: Failed persists (disk full, read-only root): the in-memory trace
+    #: is still served; the store just stays cold for that spec.
+    put_errors: int = 0
+    #: Corrupt entries moved into ``quarantine/`` before regeneration.
+    quarantined: int = 0
+    #: Misses served by waiting out another process's generation lease
+    #: (single-flight: the entry appeared instead of being regenerated).
+    coalesced: int = 0
 
 
 @dataclass
@@ -334,28 +437,44 @@ class TraceStore:
             return None
         return trace[: config.num_accesses]
 
+    def _try_load(self, path: Path) -> Optional[TraceStream]:
+        """Read a stored entry; quarantine + count it when damaged."""
+        try:
+            return read_trace_file(path)
+        except (OSError, TraceStoreError) as exc:
+            self.stats.invalid += 1
+            _STORE_INVALID.inc()
+            emit_warning(
+                f"invalid trace-store entry {path} ({exc}); regenerating",
+                path=str(path),
+            )
+            if path.exists():
+                if quarantine_file(path, self.root, reason=str(exc)) is not None:
+                    self.stats.quarantined += 1
+                    _STORE_QUARANTINED.inc()
+            return None
+
     def load_or_generate(self, benchmark: str, config=None) -> TraceStream:
         """The trace for ``(benchmark, config)`` — loaded if stored, else generated.
 
-        Generation happens at most once per unique spec per store: the
-        generated trace is persisted (atomic rename, so concurrent
-        campaign workers race benignly) before it is returned.
+        Generation happens at most once per unique spec per store, even
+        across concurrent processes: a miss takes a TTL'd generation
+        lease (``<entry>.lease``), and every other process needing the
+        same spec waits for the entry to appear instead of regenerating
+        (single-flight; ``REPRO_NO_SINGLE_FLIGHT=1`` disables).  Stale
+        leases left by dead processes are reaped by PID/heartbeat check.
+        The persist itself is an atomic rename, so even the lease-less
+        race stays benign.  A damaged stored entry (bad checksum,
+        truncation) is moved to ``quarantine/`` and regenerated
+        transparently.
         """
         from repro.workloads.base import WorkloadConfig
 
         config = config or WorkloadConfig()
         path = self.path_for(benchmark, config)
         if path.exists():
-            try:
-                trace = read_trace_file(path)
-            except (OSError, TraceStoreError) as exc:
-                self.stats.invalid += 1
-                _STORE_INVALID.inc()
-                emit_warning(
-                    f"invalid trace-store entry {path} ({exc}); regenerating",
-                    path=str(path),
-                )
-            else:
+            trace = self._try_load(path)
+            if trace is not None:
                 self.stats.hits += 1
                 _STORE_HITS.inc()
                 return trace
@@ -366,17 +485,45 @@ class TraceStore:
             return prefix
         self.stats.misses += 1
         _STORE_MISSES.inc()
-        from repro.workloads.registry import get_workload
-
-        trace = get_workload(benchmark, config).generate()
-        self.stats.generated += 1
-        _STORE_GENERATED.inc()
+        lease: Optional[Lease] = None
+        if not single_flight_disabled():
+            lease = Lease(lease_path_for(path), ttl_s=GENERATION_LEASE_TTL_S)
+            outcome = lease.acquire_or_wait(produced=path.exists)
+            if path.exists():
+                # Another process published while we waited — or between
+                # our miss and our claim (the double-check that makes
+                # generation exactly-once, not just usually-once).
+                trace = self._try_load(path)
+                if trace is not None:
+                    self.stats.coalesced += 1
+                    _STORE_COALESCED.inc()
+                    lease.release()
+                    return trace
+                # The producer's entry is damaged: regenerate ourselves.
+            if outcome != "acquired":
+                lease = None  # waited out or timed out: no claim to hold
         try:
-            self.save(trace, benchmark, config)
-        except (OSError, TraceStoreError):
-            # Read-only/full disk, or columns that do not fit the int64
-            # format: serve the in-memory trace anyway.
-            pass
+            from repro.workloads.registry import get_workload
+
+            trace = get_workload(benchmark, config).generate()
+            self.stats.generated += 1
+            _STORE_GENERATED.inc()
+            try:
+                self.save(trace, benchmark, config)
+            except (OSError, TraceStoreError) as error:
+                # Read-only/full disk, or columns that do not fit the
+                # int64 format: serve the in-memory trace anyway.
+                self.stats.put_errors += 1
+                _STORE_PUT_ERRORS.inc()
+                emit_warning(
+                    f"trace-store write failed for {path} "
+                    f"({type(error).__name__}: {error}); serving the in-memory trace",
+                    kind="trace_put_error",
+                    path=str(path),
+                )
+        finally:
+            if lease is not None:
+                lease.release()
         return trace
 
     def save(self, trace: TraceStream, benchmark: str, config) -> Path:

@@ -1,0 +1,672 @@
+"""Tests for ``repro.integrity``: checksums, quarantine, locks and leases,
+single-flight dedup, the new fault kinds, and ``python -m repro doctor``.
+
+The multi-process stress drills at the bottom are the core contract of
+this layer: several concurrent processes hammering one shared cold store
+must produce exactly-once generation (per-process generation counters
+sum to the unique-spec count), zero corruption (the doctor scan comes
+back clean), and results bit-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List
+
+import pytest
+
+from conftest import make_trace
+from repro.campaign import CampaignRunner, PointSpec, ResultCache
+from repro.campaign.cache import result_to_dict
+from repro.integrity import (
+    FileLock,
+    Lease,
+    crc32_bytes,
+    crc32_json,
+    lease_path_for,
+    pid_alive,
+    quarantine_file,
+    run_doctor,
+)
+from repro.integrity.quarantine import quarantine_root
+from repro.obs.metrics import REGISTRY
+from repro.resilience import CampaignJournal, FaultPlan, JournalLocked
+from repro.resilience.faults import flip_bit, plant_stale_lease, tear_file
+from repro.resilience.journal import default_journal_root
+from repro.trace.store import (
+    _HEADER_STRUCT,
+    _MAGIC,
+    TraceStore,
+    TraceStoreError,
+    read_trace_file,
+    read_trace_header,
+    verify_mode,
+    write_trace_file,
+)
+from repro.workloads.base import WorkloadConfig
+
+ACCESSES = 2000
+
+
+def _points(count: int = 3) -> List[PointSpec]:
+    benchmarks = ["mcf", "swim", "art", "mst", "em3d"]
+    return [
+        PointSpec(benchmark=benchmarks[i % len(benchmarks)], num_accesses=ACCESSES)
+        for i in range(count)
+    ]
+
+
+def _serialized(campaign) -> List[Dict[str, Any]]:
+    return [result_to_dict(point.sim, result) for point, result in campaign.items()]
+
+
+# ---------------------------------------------------------------------------
+# Checksums
+# ---------------------------------------------------------------------------
+
+class TestChecksums:
+    def test_crc32_bytes_matches_zlib_over_concatenation(self):
+        parts = (b"hello ", b"integrity ", b"world")
+        assert crc32_bytes(*parts) == (zlib.crc32(b"".join(parts)) & 0xFFFFFFFF)
+
+    def test_crc32_json_is_key_order_independent(self):
+        assert crc32_json({"a": 1, "b": [2, 3]}) == crc32_json({"b": [2, 3], "a": 1})
+
+    def test_crc32_json_sees_value_changes(self):
+        assert crc32_json({"a": 1}) != crc32_json({"a": 2})
+
+
+# ---------------------------------------------------------------------------
+# Trace-store integrity
+# ---------------------------------------------------------------------------
+
+class TestTraceStoreChecksums:
+    def test_header_carries_payload_crc_and_verifies(self, tmp_path):
+        trace = make_trace([0x1000 + 64 * i for i in range(200)])
+        path = write_trace_file(trace, tmp_path / "t.rtrc")
+        header = read_trace_header(path)
+        assert isinstance(header["crc32"], int)
+        loaded = read_trace_file(path, verify=True)
+        assert list(loaded.as_arrays().address) == list(trace.as_arrays().address)
+
+    def test_bitflip_is_detected_by_forced_verification(self, tmp_path):
+        trace = make_trace([0x1000 + 64 * i for i in range(200)])
+        path = write_trace_file(trace, tmp_path / "t.rtrc")
+        flip_bit(path)
+        with pytest.raises(TraceStoreError, match="checksum mismatch"):
+            read_trace_file(path, verify=True)
+
+    def test_v1_files_remain_readable_without_checksum(self, tmp_path):
+        # Hand-build a v1 file: same layout, version 1, no crc32 header field.
+        trace = make_trace([0x2000 + 64 * i for i in range(50)])
+        path = write_trace_file(trace, tmp_path / "t.rtrc")
+        raw = path.read_bytes()
+        _, _, _, header_len = _HEADER_STRUCT.unpack(raw[: _HEADER_STRUCT.size])
+        header = json.loads(raw[_HEADER_STRUCT.size : _HEADER_STRUCT.size + header_len])
+        payload = raw[_HEADER_STRUCT.size + header_len :]
+        del header["crc32"]
+        header_json = json.dumps(header, sort_keys=True, separators=(",", ":")).encode()
+        v1 = tmp_path / "v1.rtrc"
+        v1.write_bytes(
+            _HEADER_STRUCT.pack(_MAGIC, 1, 0, len(header_json)) + header_json + payload
+        )
+        loaded = read_trace_file(v1, verify=True)  # size-checked only; passes
+        assert list(loaded.as_arrays().address) == list(trace.as_arrays().address)
+
+    def test_verify_mode_parses_and_rejects(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        assert verify_mode() == "once"
+        monkeypatch.setenv("REPRO_VERIFY", "always")
+        assert verify_mode() == "always"
+        monkeypatch.setenv("REPRO_VERIFY", "sometimes")
+        with pytest.raises(ValueError):
+            verify_mode()
+
+    def test_damaged_entry_is_quarantined_and_regenerated(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY", "always")
+        store = TraceStore(tmp_path / "traces")
+        config = WorkloadConfig(num_accesses=ACCESSES)
+        first = store.load_or_generate("mcf", config)
+        path = store.path_for("mcf", config)
+        flip_bit(path)
+        again = store.load_or_generate("mcf", config)
+        assert store.stats.invalid == 1
+        assert store.stats.quarantined == 1
+        assert store.stats.generated == 2
+        assert list(again.as_arrays().address) == list(first.as_arrays().address)
+        # The damaged bytes moved aside (never deleted), entry regenerated.
+        assert any(quarantine_root(store.root).rglob("*.rtrc"))
+        read_trace_file(path, verify=True)
+
+    def test_unwritable_root_degrades_to_in_memory_trace(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        store = TraceStore(blocker / "store")
+        errors_before = REGISTRY.counter("trace_store.put_errors").value
+        trace = store.load_or_generate("mcf", WorkloadConfig(num_accesses=ACCESSES))
+        assert len(trace) == ACCESSES
+        assert store.stats.put_errors == 1
+        assert REGISTRY.counter("trace_store.put_errors").value == errors_before + 1
+
+
+# ---------------------------------------------------------------------------
+# Result-cache integrity
+# ---------------------------------------------------------------------------
+
+class TestCacheChecksums:
+    def test_envelope_carries_crc_and_roundtrips(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        point = _points(1)[0]
+        result = CampaignRunner(jobs=1, cache=cache).run([point]).results[0]
+        envelope = json.loads(cache.path_for(point).read_text())
+        assert envelope["crc32"] == crc32_json(envelope["result"])
+        assert cache.get(point) is not None
+
+    def test_bitflip_fails_checksum_and_quarantines(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        point = _points(1)[0]
+        CampaignRunner(jobs=1, cache=cache).run([point])
+        path = cache.path_for(point)
+        # Simulated bit rot inside the result payload that keeps the
+        # JSON parseable: only the checksum can catch this.
+        envelope = json.loads(path.read_text())
+
+        def perturb(obj) -> bool:
+            if isinstance(obj, dict):
+                for key, value in obj.items():
+                    if isinstance(value, int) and not isinstance(value, bool):
+                        obj[key] = value + 1
+                        return True
+                    if perturb(value):
+                        return True
+            elif isinstance(obj, list):
+                return any(perturb(item) for item in obj)
+            return False
+
+        assert perturb(envelope["result"])
+        path.write_text(json.dumps(envelope, sort_keys=True))
+        assert cache.get(point) is None
+        assert cache.corrupt == 1
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert any(quarantine_root(cache.root).rglob("*.json"))
+        # Quarantined entries never count as (or mask) live entries.
+        assert cache.entry_count() == 0
+
+
+# ---------------------------------------------------------------------------
+# Locks and leases
+# ---------------------------------------------------------------------------
+
+class TestFileLock:
+    def test_exclusive_across_open_descriptions(self, tmp_path):
+        first = FileLock(tmp_path / "j.lock")
+        second = FileLock(tmp_path / "j.lock")
+        assert first.acquire(blocking=False)
+        assert not second.acquire(blocking=False)
+        first.release()
+        assert second.acquire(blocking=False)
+        second.release()
+
+    def test_context_manager(self, tmp_path):
+        with FileLock(tmp_path / "j.lock") as lock:
+            assert lock.held
+        assert not lock.held
+
+
+class TestLease:
+    def test_exclusion_and_release(self, tmp_path):
+        path = tmp_path / "entry.lease"
+        first, second = Lease(path), Lease(path)
+        assert first.acquire()
+        assert not second.acquire()
+        holder = second.holder()
+        assert holder["pid"] == os.getpid()
+        first.release()
+        assert not path.exists()
+        assert second.acquire()
+        second.release()
+
+    def test_stale_lease_from_dead_pid_is_reaped(self, tmp_path):
+        path = tmp_path / "entry.lease"
+        plant_stale_lease(path)
+        assert path.exists()
+        reaped_before = REGISTRY.counter("integrity.stale_leases_reaped").value
+        lease = Lease(path)
+        assert lease.is_stale()
+        assert lease.acquire()
+        assert REGISTRY.counter("integrity.stale_leases_reaped").value == reaped_before + 1
+        lease.release()
+
+    def test_fresh_lease_from_live_pid_is_not_stale(self, tmp_path):
+        path = tmp_path / "entry.lease"
+        holder = Lease(path)
+        assert holder.acquire()
+        assert not Lease(path).is_stale()
+        holder.release()
+
+    def test_acquire_or_wait_sees_production(self, tmp_path):
+        entry = tmp_path / "entry"
+        holder = Lease(lease_path_for(entry))
+        assert holder.acquire()
+
+        def produce():
+            time.sleep(0.1)
+            entry.write_text("done")
+            holder.release()
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        waiter = Lease(lease_path_for(entry))
+        outcome = waiter.acquire_or_wait(produced=entry.exists, timeout_s=5.0)
+        thread.join()
+        assert outcome == "produced"
+
+    def test_pid_alive(self):
+        assert pid_alive(os.getpid())
+        assert not pid_alive(-1)
+
+
+class TestQuarantine:
+    def test_collision_gets_numeric_suffix(self, tmp_path):
+        root = tmp_path / "store"
+        (root / "a").mkdir(parents=True)
+        first, second = root / "a" / "x.json", root / "a" / "x.json"
+        first.write_text("one")
+        moved1 = quarantine_file(first, root, reason="test")
+        second.write_text("two")
+        moved2 = quarantine_file(second, root, reason="test")
+        assert moved1 != moved2
+        assert moved1.read_text() == "one" and moved2.read_text() == "two"
+
+
+# ---------------------------------------------------------------------------
+# Single-flight dedup (in-process plumbing; cross-process below)
+# ---------------------------------------------------------------------------
+
+class TestSingleFlight:
+    def test_trace_store_coalesces_onto_concurrent_producer(self, tmp_path):
+        store = TraceStore(tmp_path / "traces")
+        config = WorkloadConfig(num_accesses=ACCESSES)
+        path = store.path_for("mcf", config)
+        # Another (simulated live) process holds the generation lease...
+        holder = Lease(lease_path_for(path))
+        assert holder.acquire()
+
+        def produce():
+            time.sleep(0.1)
+            TraceStore(tmp_path / "traces").save(
+                TraceStore(tmp_path / "other").load_or_generate("mcf", config),
+                "mcf",
+                config,
+            )
+            holder.release()
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        trace = store.load_or_generate("mcf", config)
+        thread.join()
+        assert len(trace) == ACCESSES
+        assert store.stats.coalesced == 1
+        assert store.stats.generated == 0  # never generated it ourselves
+
+    def test_campaign_serial_loop_coalesces_onto_published_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        point = _points(1)[0]
+        reference = CampaignRunner(jobs=1, cache=ResultCache(tmp_path / "ref")).run([point])
+        holder = Lease(cache.lease_path_for(point))
+        assert holder.acquire()
+
+        def produce():
+            time.sleep(0.1)
+            ResultCache(tmp_path / "cache").put(point, reference.results[0])
+            holder.release()
+
+        thread = threading.Thread(target=produce)
+        thread.start()
+        campaign = CampaignRunner(jobs=1, cache=cache).run([point])
+        thread.join()
+        assert campaign.point_cached == [True]
+        assert _serialized(campaign) == _serialized(reference)
+
+    def test_env_kill_switch_disables_leases(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SINGLE_FLIGHT", "1")
+        store = TraceStore(tmp_path / "traces")
+        config = WorkloadConfig(num_accesses=ACCESSES)
+        store.load_or_generate("mcf", config)
+        assert not lease_path_for(store.path_for("mcf", config)).exists()
+        assert store.stats.generated == 1
+
+
+# ---------------------------------------------------------------------------
+# New fault kinds, driven through the real write paths
+# ---------------------------------------------------------------------------
+
+class TestNewFaultKinds:
+    def test_parse_accepts_new_kinds(self):
+        plan = FaultPlan.parse("torn@0:0.3,bitflip@1,diskfull@2,stalelock@3")
+        assert [s.kind for s in plan.specs] == ["torn", "bitflip", "diskfull", "stalelock"]
+        assert plan.specs[0].arg == pytest.approx(0.3)
+
+    def test_diskfull_fires_inside_real_put_path(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        points = _points(2)
+        errors_before = REGISTRY.counter("cache.put_errors").value
+        campaign = CampaignRunner(
+            jobs=1, cache=cache, faults=FaultPlan.parse("diskfull@0")
+        ).run(points)
+        assert campaign.point_status == ["ok", "ok"]
+        assert cache.put_errors == 1
+        assert REGISTRY.counter("cache.put_errors").value == errors_before + 1
+        # Point 0 stayed uncached; point 1 cached normally.
+        assert not cache.path_for(points[0]).exists()
+        assert cache.path_for(points[1]).exists()
+
+    @pytest.mark.parametrize("fault", ["torn@0", "bitflip@0"])
+    def test_post_write_damage_is_caught_on_next_read(self, tmp_path, fault):
+        cache = ResultCache(tmp_path / "cache")
+        points = _points(2)
+        first = CampaignRunner(jobs=1, cache=cache, faults=FaultPlan.parse(fault)).run(points)
+        # The campaign itself succeeded; the entry on disk is damaged.
+        assert first.point_status == ["ok", "ok"]
+        rerun_cache = ResultCache(tmp_path / "cache")
+        second = CampaignRunner(jobs=1, cache=rerun_cache).run(points)
+        assert rerun_cache.corrupt == 1
+        assert rerun_cache.quarantined == 1
+        assert second.point_cached == [False, True]
+        assert _serialized(second) == _serialized(first)
+
+    def test_stalelock_is_reaped_not_waited_out(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        points = _points(1)
+        reaped_before = REGISTRY.counter("integrity.stale_leases_reaped").value
+        started = time.monotonic()
+        campaign = CampaignRunner(
+            jobs=1, cache=cache, faults=FaultPlan.parse("stalelock@0")
+        ).run(points)
+        assert campaign.point_status == ["ok"]
+        assert time.monotonic() - started < 30.0  # reaped, not TTL-waited
+        assert REGISTRY.counter("integrity.stale_leases_reaped").value == reaped_before + 1
+        assert cache.path_for(points[0]).exists()
+        assert not cache.lease_path_for(points[0]).exists()
+
+
+# ---------------------------------------------------------------------------
+# Journal: torn tails and writer locks
+# ---------------------------------------------------------------------------
+
+class TestJournalIntegrity:
+    def _journal_with_points(self, root, keys) -> CampaignJournal:
+        journal = CampaignJournal(root, "stress")
+        journal.begin(num_points=len(keys), resume=False)
+        for index, key in enumerate(keys):
+            journal.record_point(index, key, "ok")
+        journal.close()
+        return journal
+
+    def test_torn_final_line_is_silent_and_trimmed_on_resume(self, tmp_path, monkeypatch):
+        root = tmp_path / "journals"
+        journal = self._journal_with_points(root, ["k0", "k1"])
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "point_done", "key": "k2"')  # no newline: torn
+
+        warnings: List[str] = []
+        monkeypatch.setattr(
+            "repro.resilience.journal.emit_warning",
+            lambda message, **fields: warnings.append(message),
+        )
+        keys = CampaignJournal(root, "stress").completed_keys()
+        assert keys == {"k0", "k1"}  # torn line treated as absent
+        assert warnings == []  # and without warning-spam on every resume
+
+        resumed = CampaignJournal(root, "stress")
+        resumed.begin(num_points=3, resume=True)
+        resumed.record_point(2, "k2", "ok")
+        resumed.close()
+        assert CampaignJournal(root, "stress").completed_keys() == {"k0", "k1", "k2"}
+
+    def test_interior_corruption_still_warns(self, tmp_path, monkeypatch):
+        root = tmp_path / "journals"
+        journal = self._journal_with_points(root, ["k0", "k1"])
+        lines = journal.path.read_text().splitlines(keepends=True)
+        lines[1] = "{ garbage mid-journal\n"
+        journal.path.write_text("".join(lines))
+        warnings: List[str] = []
+        monkeypatch.setattr(
+            "repro.resilience.journal.emit_warning",
+            lambda message, **fields: warnings.append(message),
+        )
+        assert CampaignJournal(root, "stress").completed_keys() == {"k1"}
+        assert len(warnings) == 1
+
+    def test_writer_lock_excludes_second_campaign(self, tmp_path):
+        root = tmp_path / "journals"
+        first = CampaignJournal(root, "stress")
+        first.begin(num_points=1, resume=False)
+        second = CampaignJournal(root, "stress")
+        with pytest.raises(JournalLocked):
+            second.begin(num_points=1, resume=False)
+        first.close()
+        second.begin(num_points=1, resume=False)
+        second.close()
+
+
+# ---------------------------------------------------------------------------
+# Doctor
+# ---------------------------------------------------------------------------
+
+class TestDoctor:
+    def _warm(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        store = TraceStore(tmp_path / "traces")
+        runner = CampaignRunner(jobs=1, cache=cache, trace_store=store)
+        campaign = runner.run(_points(2), name="doctored")
+        return cache, store, campaign
+
+    def test_clean_scan_is_ok(self, tmp_path):
+        cache, store, _ = self._warm(tmp_path)
+        report = run_doctor(trace_root=store.root, cache_root=cache.root)
+        assert report["ok"]
+        assert report["scanned"]["trace_entries"] == 2
+        assert report["scanned"]["cache_entries"] == 2
+        assert report["scanned"]["journals"] == 1
+        assert report["findings"] == []
+
+    def test_detects_and_repairs_every_corruption_kind(self, tmp_path):
+        cache, store, campaign = self._warm(tmp_path)
+        traces = sorted(store.root.glob("*/*.rtrc"))
+        entries = sorted(cache.results_dir.glob("*/*.json"))
+        flip_bit(traces[0])  # bad-checksum
+        tear_file(traces[1], 0.4)  # truncated
+        tear_file(entries[0], 0.5)  # unreadable JSON
+        # bad magic on a third artifact: plant a bogus trace file.
+        bogus = store.root / "mcf" / "bogus.rtrc"
+        bogus.write_bytes(b"NOTMAGIC" + b"\0" * 64)
+        # Journal: torn final line.
+        journal_path = default_journal_root(cache.root) / "doctored.jsonl"
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"type": "point_done"')
+        # Debris: an old orphan tmp and a stale lease.
+        orphan = cache.results_dir / "ab" / "orphan.tmp"
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_text("leftover")
+        os.utime(orphan, (0, 0))
+        plant_stale_lease(traces[0].with_name(traces[0].name + ".lease"))
+
+        report = run_doctor(trace_root=store.root, cache_root=cache.root)
+        problems = {f["problem"] for f in report["findings"]}
+        assert {"bad-checksum", "truncated", "bad-magic", "unreadable",
+                "torn-tail", "orphan-tmp", "stale-lease"} <= problems
+        assert not report["ok"]
+
+        repaired = run_doctor(
+            trace_root=store.root, cache_root=cache.root, repair=True, gc=True
+        )
+        assert repaired["ok"]
+        assert repaired["repaired"] == 4  # both traces, bogus file, cache entry
+        assert repaired["trimmed"] == 1
+
+        # A fresh scan after repair+gc is clean, and the stores heal on use.
+        clean = run_doctor(trace_root=store.root, cache_root=cache.root, gc=True)
+        assert clean["ok"] and clean["errors"] == 0
+        again = CampaignRunner(jobs=1, cache=ResultCache(cache.root),
+                               trace_store=TraceStore(store.root)).run(_points(2))
+        assert _serialized(again) == _serialized(campaign)
+
+    def test_gc_reclaims_quarantine(self, tmp_path):
+        cache, store, _ = self._warm(tmp_path)
+        path = sorted(cache.results_dir.glob("*/*.json"))[0]
+        tear_file(path, 0.5)
+        run_doctor(trace_root=store.root, cache_root=cache.root, repair=True)
+        assert any(quarantine_root(cache.root).rglob("*"))
+        report = run_doctor(trace_root=store.root, cache_root=cache.root, gc=True)
+        assert report["removed"] >= 1
+        assert not quarantine_root(cache.root).exists()
+
+    def test_cli_doctor_json_and_exit_codes(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        cache, store, _ = self._warm(tmp_path)
+        argv = ["doctor", "--json",
+                "--trace-dir", str(store.root), "--cache-dir", str(cache.root)]
+        assert main(argv) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"]
+        flip_bit(sorted(store.root.glob("*/*.rtrc"))[0])
+        assert main(argv) == 1
+        assert main(argv + ["--repair"]) == 0  # quarantined = resolved
+
+
+# ---------------------------------------------------------------------------
+# Multi-process stress drills (the PR's acceptance contract)
+# ---------------------------------------------------------------------------
+
+_TRACE_HAMMER = """
+import json, sys
+from repro.trace.store import TraceStore
+from repro.workloads.base import WorkloadConfig
+
+store = TraceStore(sys.argv[1])
+config = WorkloadConfig(num_accesses={accesses})
+lengths = {{}}
+for benchmark in {benchmarks!r}:
+    lengths[benchmark] = len(store.load_or_generate(benchmark, config))
+print(json.dumps({{
+    "generated": store.stats.generated,
+    "coalesced": store.stats.coalesced,
+    "invalid": store.stats.invalid,
+    "lengths": lengths,
+}}))
+"""
+
+_CAMPAIGN_HAMMER = """
+import json, sys
+from repro.campaign import CampaignRunner, PointSpec, ResultCache
+from repro.campaign.cache import result_to_dict
+from repro.obs.metrics import REGISTRY
+
+benchmarks = {benchmarks!r}
+points = [PointSpec(benchmark=b, num_accesses={accesses}) for b in benchmarks]
+cache = ResultCache(sys.argv[1])
+campaign = CampaignRunner(jobs=1, cache=cache, journal=False).run(points)
+print(json.dumps({{
+    "executed": sum(1 for cached in campaign.point_cached if not cached),
+    "generated": REGISTRY.counter("trace_store.generated").value,
+    "corrupt": cache.corrupt,
+    "results": [result_to_dict(p.sim, r) for p, r in campaign.items()],
+}}))
+"""
+
+
+def _run_hammers(script: str, arg: str, env: Dict[str, str], count: int = 4):
+    """Launch ``count`` concurrent worker processes; return their JSON outputs."""
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", script, arg],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        for _ in range(count)
+    ]
+    outputs = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, err
+        outputs.append(json.loads(out))
+    return outputs
+
+
+@pytest.fixture
+def _worker_env(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(__file__).resolve().parent.parent / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    env["REPRO_TRACE_DIR"] = str(tmp_path / "worker_traces")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "worker_cache")
+    env["REPRO_JOBS"] = "1"
+    return env
+
+
+class TestMultiProcessStress:
+    BENCHMARKS = ("mcf", "swim", "art")
+
+    def test_shared_cold_trace_store_generates_exactly_once(self, tmp_path, _worker_env):
+        shared = tmp_path / "shared_traces"
+        script = _TRACE_HAMMER.format(accesses=ACCESSES, benchmarks=list(self.BENCHMARKS))
+        outputs = _run_hammers(script, str(shared), _worker_env)
+
+        # Exactly-once generation: the per-process generation counters sum
+        # to the number of unique specs, however the work was distributed.
+        assert sum(o["generated"] for o in outputs) == len(self.BENCHMARKS)
+        assert all(o["invalid"] == 0 for o in outputs)
+        assert all(
+            o["lengths"] == {b: ACCESSES for b in self.BENCHMARKS} for o in outputs
+        )
+
+        # No corruption, no leftover leases; bit-identical to serial files.
+        report = run_doctor(trace_root=shared, cache_root=tmp_path / "nocache")
+        assert report["ok"] and report["findings"] == []
+        assert not list(shared.glob("*/*.lease"))
+        serial = TraceStore(tmp_path / "serial_traces")
+        config = WorkloadConfig(num_accesses=ACCESSES)
+        for benchmark in self.BENCHMARKS:
+            serial.load_or_generate(benchmark, config)
+            shared_file = TraceStore(shared).path_for(benchmark, config)
+            serial_file = serial.path_for(benchmark, config)
+            assert hashlib.sha256(shared_file.read_bytes()).hexdigest() == \
+                hashlib.sha256(serial_file.read_bytes()).hexdigest()
+
+    def test_shared_cold_result_cache_executes_exactly_once(self, tmp_path, _worker_env):
+        shared = tmp_path / "shared_cache"
+        script = _CAMPAIGN_HAMMER.format(
+            accesses=ACCESSES, benchmarks=list(self.BENCHMARKS)
+        )
+        outputs = _run_hammers(script, str(shared), _worker_env)
+
+        # Every point executed exactly once across all four processes
+        # (the rest were cache hits or single-flight waits), traces
+        # likewise, and nobody observed corruption.
+        assert sum(o["executed"] for o in outputs) == len(self.BENCHMARKS)
+        assert sum(o["generated"] for o in outputs) == len(self.BENCHMARKS)
+        assert all(o["corrupt"] == 0 for o in outputs)
+
+        # Bit-identical results everywhere, including vs a serial run.
+        reference = CampaignRunner(
+            jobs=1, cache=ResultCache(tmp_path / "serial_cache"), journal=False
+        ).run([PointSpec(benchmark=b, num_accesses=ACCESSES) for b in self.BENCHMARKS])
+        expected = _serialized(reference)
+        for output in outputs:
+            assert output["results"] == expected
+
+        report = run_doctor(trace_root=tmp_path / "unused", cache_root=shared)
+        assert report["ok"] and report["findings"] == []
+        assert not list((shared / "results").glob("*/*.lease"))

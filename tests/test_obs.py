@@ -437,9 +437,18 @@ class TestCorruptCacheEntries:
             remove_global_observer(collected)
         assert cache.corrupt == 1
         assert REGISTRY.counter("cache.corrupt").value == corrupt_before + 1
-        (warning,) = collected.events
-        assert warning["type"] == "warning"
+        # Two warnings now: the corrupt-entry report and the quarantine move.
+        corrupt_warnings = [
+            event for event in collected.events
+            if event["type"] == "warning" and event.get("kind") != "quarantine"
+        ]
+        (warning,) = corrupt_warnings
         assert str(path) in warning["message"]
+        quarantined = [
+            event for event in collected.events if event.get("kind") == "quarantine"
+        ]
+        assert len(quarantined) == 1
+        assert not path.exists()  # moved into quarantine/, not left in place
 
         # The point transparently re-runs and re-caches, bit-identically.
         again = session.run(point)
