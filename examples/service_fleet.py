@@ -1,0 +1,154 @@
+"""The campaign service end to end: server, worker fleet, chaos drill.
+
+Spawns the real processes a fleet deployment uses — no shortcuts:
+
+1. ``python -m repro serve`` on an ephemeral loopback port;
+2. a local reference run of the same sweep (private cache), the bits
+   the fleet must reproduce;
+3. a two-worker fleet (``python -m repro worker``) executing a submitted
+   job, streamed live over the NDJSON events endpoint and checked
+   **bit-identical** to the reference;
+4. the same drill under chaos: a worker started with
+   ``REPRO_FAULTS=kill@1`` SIGKILLs itself mid-sweep, the server spots
+   its dead heartbeat lease, requeues the orphaned point, and a healthy
+   worker still converges to the identical bits;
+5. the repro doctor over the service state afterwards.
+
+    PYTHONPATH=src python examples/service_fleet.py
+
+Everything runs against a throwaway cache under /tmp; your real stores
+are never touched.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+ACCESSES = 20_000
+BENCHMARKS = ["mcf", "swim", "art"]
+
+workdir = Path(tempfile.mkdtemp(prefix="repro-fleet-"))
+env = dict(os.environ)
+env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+env["REPRO_CACHE_DIR"] = str(workdir / "cache")
+env["REPRO_TRACE_DIR"] = str(workdir / "traces")
+print(f"fleet root: {workdir}\n")
+
+
+def repro(*args, extra_env=None):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env={**env, **(extra_env or {})}, cwd=str(REPO),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+# -- 1. Server ---------------------------------------------------------------
+server = repro("serve", "--port", "0", "--worker-ttl", "5")
+url = None
+for line in server.stdout:
+    if line.startswith("serving on "):
+        url = line.split()[-1].strip()
+        break
+assert url, "server never announced its address"
+print(f"server     : {url}")
+
+from repro.campaign.cache import ResultCache, result_to_dict  # noqa: E402
+from repro.campaign.runner import CampaignRunner  # noqa: E402
+from repro.campaign.spec import PointSpec  # noqa: E402
+from repro.service import ServiceClient  # noqa: E402
+from repro.trace.store import TraceStore  # noqa: E402
+
+client = ServiceClient(url)
+
+
+def local_reference(points, name):
+    """Serialized results of the same points against a private cache."""
+    campaign = CampaignRunner(
+        jobs=1,
+        cache=ResultCache(workdir / "reference_cache"),
+        trace_store=TraceStore(workdir / "reference_traces"),
+    ).run(points, name=name)
+    return [result_to_dict(p.sim, r) for p, r in campaign.items()]
+
+
+def stream_and_fetch(job_id, num_points):
+    """Follow the job's NDJSON event stream, then return its payloads."""
+    done = 0
+    for event in client.watch(job_id):
+        if event["type"] == "point_done":
+            done += 1
+            print(f"  point {event['index']} {event['status']:>7} "
+                  f"({'cache' if event['cache_hit'] else 'fleet'}, "
+                  f"{done}/{num_points})")
+    status = client.wait(job_id, timeout_s=300.0)
+    assert status["status"] == "done", status
+    record = client.results(job_id)
+    return [entry["result"] for entry in record["results"]], status
+
+
+# -- 2+3. Clean fleet run vs. local reference --------------------------------
+points = [PointSpec(benchmark=b, num_accesses=ACCESSES) for b in BENCHMARKS]
+reference = local_reference(points, "reference")
+print(f"reference  : {len(reference)} points, local\n")
+
+print("fleet run  : 2 workers, clean")
+job_id = client.submit(points, name="fleet-clean", mode="workers")
+workers = [
+    repro("worker", "--server", url, "--id", f"clean-w{i}",
+          "--max-idle", "10", "--max-unreachable", "10")
+    for i in range(2)
+]
+payloads, status = stream_and_fetch(job_id, len(points))
+for worker in workers:
+    worker.terminate()
+    worker.wait(timeout=30)
+assert payloads == reference, "fleet diverged from the local reference!"
+print("fleet == local reference: bit-identical\n")
+
+# -- 4. Chaos: a worker SIGKILLs itself mid-sweep ----------------------------
+# Fresh points (the clean run already cached the sweep server-side), and
+# a deterministic kill: the doomed worker runs the fleet alone, finishes
+# point 0, then kill@1 fires on point 1's first dispatch — os._exit, no
+# completion report, just a heartbeat lease naming a dead PID.  The
+# server requeues the orphan (uncharged) and the healthy worker started
+# afterwards finishes the sweep.  Same bits, chaos or not.
+points = [PointSpec(benchmark=b, num_accesses=ACCESSES // 2) for b in BENCHMARKS]
+reference = local_reference(points, "reference-chaos")
+
+print("fleet run  : worker with REPRO_FAULTS=kill@1, then a healthy one")
+job_id = client.submit(points, name="fleet-chaos", mode="workers")
+doomed = repro("worker", "--server", url, "--id", "chaos-doomed",
+               extra_env={"REPRO_FAULTS": "kill@1"})
+code = doomed.wait(timeout=120)
+print(f"  worker chaos-doomed killed itself (exit {code})")
+healthy = repro("worker", "--server", url, "--id", "chaos-healthy",
+                "--max-idle", "10", "--max-unreachable", "10")
+payloads, status = stream_and_fetch(job_id, len(points))
+healthy.terminate()
+healthy.wait(timeout=30)
+assert payloads == reference, "chaos changed the results!"
+print(f"chaos == local reference: bit-identical "
+      f"({status['generated']} traces generated fleet-wide)\n")
+
+# -- 5. Shut down, then let the doctor look at the aftermath -----------------
+urllib.request.urlopen(
+    urllib.request.Request(url + "/v1/shutdown", data=b"{}", method="POST"),
+    timeout=10,
+).read()
+server.wait(timeout=30)
+
+from repro.integrity.doctor import run_doctor  # noqa: E402
+
+report = run_doctor(
+    trace_root=env["REPRO_TRACE_DIR"], cache_root=env["REPRO_CACHE_DIR"], gc=True
+)
+print(f"doctor     : ok={report['ok']} "
+      f"({report['scanned']['service_jobs']} service jobs scanned, "
+      f"{report['warnings']} warning(s), {report['removed']} lease(s) removed)")
+assert report["ok"], report
+print("\nall fleet drills passed")

@@ -25,7 +25,8 @@ one serializable :class:`RunSpec` type::
 >>> result = session.run("mcf", predictor="dbcp", num_accesses=50_000)
 
 and ``python -m repro`` exposes the same machinery on the command line
-(``run`` / ``sweep`` / ``figures`` / ``bench`` / ``trace`` / ``info``).
+(``run`` / ``sweep`` / ``figures`` / ``bench`` / ``trace`` / ``obs`` /
+``serve`` / ``worker`` / ``service`` / ``doctor`` / ``info``).
 """
 
 from repro.api import (
@@ -40,6 +41,7 @@ from repro.multicore import MulticoreResult, MulticoreSpec
 from repro.registry import register_config_class, register_predictor, register_workload
 from repro.resilience import FaultPlan, RetryPolicy
 from repro.run import RunSpec, Session
+from repro.service.client import ServiceClient
 from repro.version import __version__
 
 __all__ = [
@@ -49,6 +51,7 @@ __all__ = [
     "MulticoreSpec",
     "RetryPolicy",
     "RunSpec",
+    "ServiceClient",
     "Session",
     "available_benchmarks",
     "available_predictors",

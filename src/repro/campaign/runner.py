@@ -343,6 +343,58 @@ class CampaignResult:
         return len(self.points)
 
 
+class ExecutorBackend:
+    """Strategy deciding *where* the uncached points of a campaign run.
+
+    ``CampaignRunner.run`` owns everything around point execution — the
+    cache-first pass, journaling/resume, per-point event streaming, and
+    result assembly — and delegates the actual execution of the pending
+    (cache-missed) points to its executor backend.  The default
+    :class:`LocalExecutor` keeps the historical in-process serial loop /
+    ``ProcessPoolExecutor`` behaviour; :mod:`repro.service` plugs in a
+    queue-backed executor that feeds the same points to a fleet of
+    remote pull-protocol workers instead, without touching any of the
+    surrounding campaign semantics.
+
+    A backend receives the live runner (for its cache, retry policy,
+    fault plan, and the ``_finish``/``_handle_failure`` bookkeeping
+    helpers), the run's :class:`_RunState`, the pending point indices,
+    and the ``emit_point_done`` callback it must invoke exactly once per
+    point as that point reaches a terminal status.
+    """
+
+    #: Human-readable backend name (surfaced in service/job metadata).
+    name = "?"
+
+    def execute(
+        self,
+        runner: "CampaignRunner",
+        state: "_RunState",
+        pending: List[int],
+        emit_point_done,
+    ) -> None:
+        raise NotImplementedError
+
+
+class LocalExecutor(ExecutorBackend):
+    """The in-process backend: serial loop or ``ProcessPoolExecutor``."""
+
+    name = "local"
+
+    def execute(
+        self,
+        runner: "CampaignRunner",
+        state: "_RunState",
+        pending: List[int],
+        emit_point_done,
+    ) -> None:
+        workers = min(runner.jobs, len(pending))
+        if workers <= 1:
+            runner._run_serial(state, pending, emit_point_done)
+        else:
+            runner._run_pooled(state, pending, workers, emit_point_done)
+
+
 class _RunState:
     """Mutable bookkeeping for one ``CampaignRunner.run`` invocation."""
 
@@ -377,6 +429,7 @@ class CampaignRunner:
         faults: Optional[FaultPlan] = None,
         journal: bool = True,
         journal_fsync: bool = False,
+        executor: Optional[ExecutorBackend] = None,
     ) -> None:
         self.jobs = jobs if jobs is not None else default_jobs()
         if self.jobs < 1:
@@ -396,6 +449,10 @@ class CampaignRunner:
         #: Whether named campaigns journal completed points for resume.
         self.journal_enabled = journal
         self.journal_fsync = journal_fsync
+        #: Where uncached points execute: the default :class:`LocalExecutor`
+        #: (serial loop / process pool) or a pluggable backend such as the
+        #: campaign service's worker-fleet queue.
+        self.executor = executor if executor is not None else LocalExecutor()
 
     # ------------------------------------------------------------------ run
     def run(
@@ -512,11 +569,7 @@ class CampaignRunner:
                     pending.append(index)
 
             if pending:
-                workers = min(self.jobs, len(pending))
-                if workers <= 1:
-                    self._run_serial(state, pending, emit_point_done)
-                else:
-                    self._run_pooled(state, pending, workers, emit_point_done)
+                self.executor.execute(self, state, pending, emit_point_done)
         except BaseException:
             # Interrupted (Ctrl-C) or aborted (PointFailed): leave the
             # journal behind as the partial record --resume reads (every

@@ -157,10 +157,16 @@ class Lease:
         self,
         path: Union[str, Path],
         ttl_s: float = DEFAULT_LEASE_TTL_S,
+        data: Optional[Dict[str, Any]] = None,
     ) -> None:
         #: The lease file itself (usually ``lease_path_for(entry)``).
         self.path = Path(path)
         self.ttl_s = ttl_s
+        #: Extra JSON-safe fields recorded alongside the PID/host stamp —
+        #: e.g. the campaign service's worker heartbeat leases record the
+        #: worker id and server URL so ``doctor`` findings name the
+        #: holder, not just its PID.  Staleness ignores these fields.
+        self.data = dict(data) if data else None
         self._owned = False
 
     # ------------------------------------------------------------------ claim
@@ -185,15 +191,15 @@ class Lease:
                 # Unwritable store root: single-flight degrades to the
                 # benign generate-anyway race rather than failing loads.
                 return True
+            stamp = {
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "created": time.time(),
+            }
+            if self.data:
+                stamp.update(self.data)
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(
-                    {
-                        "pid": os.getpid(),
-                        "host": socket.gethostname(),
-                        "created": time.time(),
-                    },
-                    handle,
-                )
+                json.dump(stamp, handle)
             self._owned = True
             return True
         return False

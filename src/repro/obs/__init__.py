@@ -41,6 +41,7 @@ from repro.obs.metrics import (
     quantile,
 )
 from repro.obs.observer import (
+    BufferObserver,
     JsonlObserver,
     NullObserver,
     RunObserver,
@@ -56,6 +57,7 @@ from repro.obs.summary import format_summary, summarize_events
 from repro.obs.timers import PHASE_REPLAY, PHASE_SETTLE, PHASE_TRACE_ACQUIRE, phase
 
 __all__ = [
+    "BufferObserver",
     "EVENT_TYPES",
     "OBS_SCHEMA_VERSION",
     "REGISTRY",

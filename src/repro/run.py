@@ -408,7 +408,64 @@ class Session:
                 "bytes": store.size_bytes(),
             },
             "obs": self.obs_info(),
+            "service": self.service_info(),
         }
+
+    def service_info(self) -> Dict[str, Any]:
+        """The campaign-service view for ``repro info``.
+
+        With ``REPRO_SERVER`` set, asks the server (short timeout) for
+        its live queue depth and worker fleet; otherwise (or when the
+        server is unreachable) falls back to the on-disk job records and
+        worker heartbeat leases under ``<cache root>/service``.
+        """
+        import os
+        from pathlib import Path
+
+        server_url = os.environ.get("REPRO_SERVER", "").strip() or None
+        info: Dict[str, Any] = {
+            "server": server_url,
+            "reachable": False,
+            "jobs": {},
+            "queue_depth": {"jobs": 0, "points": None},
+            "workers": 0,
+            "workers_active": 0,
+        }
+        if server_url is not None:
+            try:
+                from repro.service.client import ServiceClient
+
+                remote = ServiceClient(server_url, timeout_s=2.0).info()
+                info.update(
+                    reachable=True,
+                    jobs=remote.get("jobs", {}),
+                    queue_depth=remote.get("queue_depth", info["queue_depth"]),
+                    workers=len(remote.get("workers", {})),
+                    workers_active=remote.get("workers_active", 0),
+                )
+                return info
+            except Exception:
+                pass  # fall through to the on-disk snapshot
+        from repro.integrity.locks import Lease
+        from repro.service.jobs import JobStore
+        from repro.service.server import DEFAULT_WORKER_TTL_S
+
+        service_root = Path(self.cache.root) / "service"
+        if not service_root.is_dir():
+            return info
+        for job in JobStore(service_root).list_jobs():
+            info["jobs"][job.status] = info["jobs"].get(job.status, 0) + 1
+        info["queue_depth"]["jobs"] = info["jobs"].get("queued", 0)
+        workers_dir = service_root / "workers"
+        if workers_dir.is_dir():
+            leases = sorted(workers_dir.glob("*.lease"))
+            info["workers"] = len(leases)
+            info["workers_active"] = sum(
+                1
+                for path in leases
+                if not Lease(path, ttl_s=DEFAULT_WORKER_TTL_S).is_stale()
+            )
+        return info
 
     @staticmethod
     def obs_info() -> Dict[str, Any]:

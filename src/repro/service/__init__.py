@@ -1,0 +1,78 @@
+"""``repro.service``: the campaign service and its worker fleet.
+
+Turns the campaign engine from a library into a served system:
+
+* :class:`CampaignService` + :class:`ServiceHTTPServer` — a stdlib-only
+  HTTP/JSON server (``python -m repro serve``) with a durable job queue,
+  per-job NDJSON progress streaming, and restart recovery through the
+  campaign journal's ``--resume`` path;
+* :class:`ServiceWorker` — the pull-protocol fleet worker
+  (``python -m repro worker --server URL``), executing points through
+  the same single-flight machinery as the in-process pool;
+* :class:`ServiceClient` — the thin submit/status/watch/results client;
+* a version/schema handshake (:mod:`repro.service.protocol`) that keeps
+  mixed-version fleets from silently splitting the content-addressed
+  cache.
+
+Security note: the server authenticates nobody.  Run it on loopback or a
+trusted fleet network only.
+"""
+
+from repro.service.client import ServiceClient, ServiceError, TERMINAL_STATUSES
+from repro.service.jobs import (
+    JOB_MODES,
+    JOB_STATUSES,
+    Job,
+    JobStore,
+    JobValidationError,
+    validate_job_payload,
+)
+from repro.service.protocol import (
+    HEADER_PROTOCOL,
+    HEADER_SCHEMA,
+    HEADER_VERSION,
+    PROTOCOL_VERSION,
+    HandshakeError,
+    check_handshake_headers,
+    check_handshake_payload,
+    handshake_headers,
+    handshake_payload,
+)
+from repro.service.server import (
+    DEFAULT_REQUEUE_LIMIT,
+    DEFAULT_WORKER_TTL_S,
+    CampaignService,
+    QueueExecutor,
+    ServiceHTTPServer,
+    serve,
+)
+from repro.service.worker import ServiceWorker, default_worker_id
+
+__all__ = [
+    "CampaignService",
+    "DEFAULT_REQUEUE_LIMIT",
+    "DEFAULT_WORKER_TTL_S",
+    "HandshakeError",
+    "HEADER_PROTOCOL",
+    "HEADER_SCHEMA",
+    "HEADER_VERSION",
+    "JOB_MODES",
+    "JOB_STATUSES",
+    "Job",
+    "JobStore",
+    "JobValidationError",
+    "PROTOCOL_VERSION",
+    "QueueExecutor",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ServiceWorker",
+    "TERMINAL_STATUSES",
+    "check_handshake_headers",
+    "check_handshake_payload",
+    "default_worker_id",
+    "handshake_headers",
+    "handshake_payload",
+    "serve",
+    "validate_job_payload",
+]

@@ -1,0 +1,234 @@
+"""Thin stdlib HTTP client for the campaign service.
+
+:class:`ServiceClient` wraps ``urllib.request`` with the service's JSON
+conventions: every request carries the version/schema handshake headers
+(:func:`repro.service.protocol.handshake_headers`), every error response
+surfaces as a :class:`ServiceError` carrying the HTTP status and the
+server's ``error`` message, and the NDJSON progress stream is exposed as
+a plain event-dict generator (:meth:`watch`).
+
+The same client serves both audiences: submitting clients
+(``submit`` / ``status`` / ``watch`` / ``results``) and pull-protocol
+workers (``register_worker`` / ``lease_point`` / ``complete_point``) —
+one wire convention, no second code path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.campaign.cache import result_from_dict
+from repro.campaign.runner import _plugin_modules
+from repro.campaign.spec import PointSpec, SweepSpec
+from repro.service.protocol import check_handshake_payload, handshake_headers
+
+#: Statuses after which a job's record stops changing.
+TERMINAL_STATUSES = ("done", "failed")
+
+
+class ServiceError(RuntimeError):
+    """An HTTP-level failure talking to the campaign service."""
+
+    def __init__(self, status: Optional[int], message: str) -> None:
+        super().__init__(message)
+        #: The HTTP status code (``None`` for transport-level failures).
+        self.status = status
+
+
+class ServiceClient:
+    """JSON/NDJSON client for one campaign server."""
+
+    def __init__(self, url: str, timeout_s: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------ transport
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        timeout_s: Optional[float] = None,
+        stream: bool = False,
+    ) -> Any:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = dict(handshake_headers())
+        if data is not None:
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=timeout_s if timeout_s is not None else self.timeout_s
+            )
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                message = json.loads(raw.decode("utf-8")).get("error") or str(error)
+            except (ValueError, UnicodeDecodeError):
+                message = str(error)
+            raise ServiceError(error.code, message) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                None, f"cannot reach campaign server at {self.url}: {error.reason}"
+            ) from None
+        if stream:
+            return response
+        with response:
+            raw = response.read()
+        return json.loads(raw.decode("utf-8")) if raw else None
+
+    # ------------------------------------------------------------------ client verbs
+    def handshake(self, verify: bool = True) -> Dict[str, Any]:
+        """The server's handshake payload; ``verify`` checks it client-side."""
+        payload = self._request("GET", "/v1/handshake")
+        if verify:
+            check_handshake_payload(payload)
+        return payload
+
+    def info(self, timeout_s: Optional[float] = None) -> Dict[str, Any]:
+        return self._request("GET", "/v1/info", timeout_s=timeout_s)
+
+    def submit(
+        self,
+        spec: Union[SweepSpec, Sequence[PointSpec]],
+        name: Optional[str] = None,
+        mode: str = "local",
+    ) -> str:
+        """Submit a sweep (or bare point list) and return its job id.
+
+        Points travel as the same ``to_dict`` encoding the cache key is
+        computed from; third-party plugin modules are collected exactly
+        as for pool workers so the fleet can re-import them.
+        """
+        if isinstance(spec, SweepSpec):
+            points = spec.points()
+            name = name if name is not None else spec.name
+        else:
+            points = list(spec)
+        plugins = sorted({module for point in points for module in _plugin_modules(point)})
+        payload = {
+            "name": name or "service-job",
+            "points": [point.to_dict() for point in points],
+            "plugins": plugins,
+            "mode": mode,
+        }
+        return str(self._request("POST", "/v1/jobs", body=payload)["job_id"])
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return list(self._request("GET", "/v1/jobs")["jobs"])
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def results(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's raw per-point records (409 while running)."""
+        return self._request("GET", f"/v1/jobs/{job_id}/results", timeout_s=None)
+
+    def result_objects(self, job_id: str) -> List[Any]:
+        """The finished job's results decoded back into result objects.
+
+        Slot order matches submission order; points a continue-on-error
+        policy gave up on decode to ``None`` (same contract as
+        ``CampaignResult.results``).
+        """
+        record = self.results(job_id)
+        decoded: List[Any] = []
+        for entry in record.get("results") or []:
+            if entry.get("result") is None:
+                decoded.append(None)
+            else:
+                decoded.append(
+                    result_from_dict(entry.get("sim") or "trace", entry["result"])
+                )
+        return decoded
+
+    def watch(
+        self,
+        job_id: str,
+        since: int = 0,
+        follow: bool = True,
+        timeout_s: Optional[float] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield the job's obs events as they stream (NDJSON lines)."""
+        follow_flag = "1" if follow else "0"
+        response = self._request(
+            "GET",
+            f"/v1/jobs/{job_id}/events?since={int(since)}&follow={follow_flag}",
+            timeout_s=timeout_s if timeout_s is not None else 600.0,
+            stream=True,
+        )
+        with response:
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if line:
+                    yield json.loads(line)
+
+    def wait(
+        self, job_id: str, timeout_s: float = 300.0, poll_s: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal status (or raise)."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status["status"] in TERMINAL_STATUSES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    None,
+                    f"job {job_id} still {status['status']} after {timeout_s:g}s",
+                )
+            time.sleep(poll_s)
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (best effort; used by tests/examples)."""
+        try:
+            self._request("POST", "/v1/shutdown", body={})
+        except ServiceError:
+            pass
+
+    # ------------------------------------------------------------------ worker verbs
+    def register_worker(self, worker_id: str, **info: Any) -> Dict[str, Any]:
+        return self._request(
+            "POST", "/v1/workers/register", body={"worker": worker_id, **info}
+        )
+
+    def worker_heartbeat(self, worker_id: str) -> Dict[str, Any]:
+        return self._request(
+            "POST", "/v1/workers/heartbeat", body={"worker": worker_id}, timeout_s=10.0
+        )
+
+    def lease_point(self, worker_id: str) -> Dict[str, Any]:
+        return self._request("POST", "/v1/points/lease", body={"worker": worker_id})
+
+    def complete_point(
+        self,
+        worker_id: str,
+        job_id: str,
+        index: int,
+        ok: bool,
+        payload: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+        generated: int = 0,
+    ) -> Dict[str, Any]:
+        return self._request(
+            "POST",
+            "/v1/points/complete",
+            body={
+                "worker": worker_id,
+                "job_id": job_id,
+                "index": index,
+                "ok": ok,
+                "payload": payload,
+                "error": error,
+                "generated": generated,
+            },
+        )
+
+
+__all__ = ["ServiceClient", "ServiceError", "TERMINAL_STATUSES"]

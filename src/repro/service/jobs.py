@@ -1,0 +1,236 @@
+"""Durable job records for the campaign service.
+
+A *job* is one submitted campaign: an ordered list of point-spec dicts
+(the same ``to_dict`` encoding the cache key is computed from), a
+campaign name, an execution mode, and a lifecycle status
+(``queued → running → done | failed``).  Each job persists as one JSON
+file under ``<cache root>/service/jobs/<id>.json``, written atomically
+(tmp + rename) after every transition, so a restarted server recovers
+its queue from disk: jobs found ``running`` are demoted back to
+``queued`` with ``resume=True`` and re-executed through the campaign
+runner's journal/cache resume path — journaled, cache-verified points
+are served without re-execution, exactly like ``--resume``.
+
+Validation happens here (:func:`validate_job_payload`) so the HTTP layer
+can map every malformed submission to a 400 with the specific complaint,
+and so a corrupt on-disk record is skipped with a warning instead of
+wedging recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.campaign.spec import spec_from_dict
+from repro.obs.observer import emit_warning
+
+#: The job lifecycle, in order.  ``done``/``failed`` are terminal.
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+#: Execution modes: ``local`` runs on the server's in-process pool (the
+#: default backend), ``workers`` queues points for the pull-protocol
+#: worker fleet.
+JOB_MODES = ("local", "workers")
+
+
+class JobValidationError(ValueError):
+    """A submission payload the service refuses (mapped to HTTP 400)."""
+
+
+@dataclass
+class Job:
+    """One submitted campaign and everything the server knows about it."""
+
+    id: str
+    name: str
+    points: List[Dict[str, Any]]
+    mode: str = "local"
+    status: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Set when a server restart demoted this job from ``running`` back
+    #: to ``queued``: the rerun passes ``resume=True`` to the runner.
+    resume: bool = False
+    #: Third-party plugin modules workers must import before decoding
+    #: points (same transport as the process-pool payloads).
+    plugins: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+    #: Terminal per-point records (filled when the job finishes): one
+    #: ``{index, key, status, cached, duration_s, result}`` dict each.
+    results: Optional[List[Dict[str, Any]]] = None
+    #: Roll-up of the finished campaign (counts, elapsed, resumed...).
+    summary: Dict[str, Any] = field(default_factory=dict)
+    #: Total trace-store generations reported by workers for this job
+    #: (the exactly-once drills sum this across the fleet).
+    generated: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "name": self.name,
+            "points": self.points,
+            "mode": self.mode,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "resume": self.resume,
+            "plugins": self.plugins,
+            "error": self.error,
+            "results": self.results,
+            "summary": self.summary,
+            "generated": self.generated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Job":
+        if not isinstance(data, dict) or not data.get("id"):
+            raise JobValidationError("job record must be a dict with an 'id'")
+        return cls(
+            id=str(data["id"]),
+            name=str(data.get("name", "service-job")),
+            points=list(data.get("points", [])),
+            mode=str(data.get("mode", "local")),
+            status=str(data.get("status", "queued")),
+            submitted_at=float(data.get("submitted_at") or 0.0),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
+            resume=bool(data.get("resume", False)),
+            plugins=list(data.get("plugins", [])),
+            error=data.get("error"),
+            results=data.get("results"),
+            summary=dict(data.get("summary", {})),
+            generated=int(data.get("generated", 0)),
+        )
+
+    def public_status(self) -> Dict[str, Any]:
+        """The job as the status endpoint reports it (no result bodies)."""
+        return {
+            "id": self.id,
+            "name": self.name,
+            "mode": self.mode,
+            "status": self.status,
+            "num_points": len(self.points),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "resume": self.resume,
+            "error": self.error,
+            "generated": self.generated,
+            "summary": self.summary,
+        }
+
+
+def new_job_id() -> str:
+    """A short, unique, filesystem-safe job id."""
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+def validate_job_payload(payload: Any) -> Job:
+    """Turn a submission body into a :class:`Job`, or explain why not.
+
+    Every point dict must round-trip through :func:`spec_from_dict` *at
+    submission time* — an unknown ``sim`` kind or a malformed spec is the
+    submitter's problem (400), never a queued time bomb for the fleet.
+    """
+    if not isinstance(payload, dict):
+        raise JobValidationError("submission body must be a JSON object")
+    points = payload.get("points")
+    if not isinstance(points, list) or not points:
+        raise JobValidationError("submission must carry a non-empty 'points' list")
+    for index, point in enumerate(points):
+        if not isinstance(point, dict):
+            raise JobValidationError(f"points[{index}] must be a spec dict")
+        try:
+            spec_from_dict(point)
+        except Exception as error:
+            raise JobValidationError(
+                f"points[{index}] is not a valid spec "
+                f"({type(error).__name__}: {error})"
+            ) from error
+    mode = payload.get("mode", "local")
+    if mode not in JOB_MODES:
+        raise JobValidationError(
+            f"unknown mode {mode!r} (expected one of {', '.join(JOB_MODES)})"
+        )
+    name = payload.get("name") or "service-job"
+    if not isinstance(name, str):
+        raise JobValidationError("'name' must be a string")
+    plugins = payload.get("plugins", [])
+    if not isinstance(plugins, list) or not all(isinstance(p, str) for p in plugins):
+        raise JobValidationError("'plugins' must be a list of module names")
+    return Job(
+        id=new_job_id(),
+        name=name,
+        points=[dict(point) for point in points],
+        mode=mode,
+        submitted_at=time.time(),
+        plugins=list(plugins),
+    )
+
+
+class JobStore:
+    """Atomic one-file-per-job persistence under ``<root>/jobs/``."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        #: The service state directory (``<cache root>/service``).
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+
+    def path_for(self, job_id: str) -> Path:
+        safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in job_id)
+        return self.jobs_dir / f"{safe}.json"
+
+    def save(self, job: Job) -> Path:
+        """Persist ``job`` atomically (write-to-tmp, rename-over)."""
+        path = self.path_for(job.id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(job.to_dict(), handle, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    def load(self, job_id: str) -> Optional[Job]:
+        """The stored job, or ``None`` when absent/corrupt (warned)."""
+        path = self.path_for(job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as error:
+            emit_warning(
+                f"unreadable job record {path} ({type(error).__name__}: {error})",
+                kind="service_job_corrupt",
+                path=str(path),
+            )
+            return None
+        try:
+            return Job.from_dict(data)
+        except JobValidationError as error:
+            emit_warning(
+                f"invalid job record {path} ({error})",
+                kind="service_job_corrupt",
+                path=str(path),
+            )
+            return None
+
+    def list_jobs(self) -> List[Job]:
+        """Every readable job record, oldest submission first."""
+        if not self.jobs_dir.is_dir():
+            return []
+        jobs = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            job = self.load(path.stem)
+            if job is not None:
+                jobs.append(job)
+        jobs.sort(key=lambda job: (job.submitted_at, job.id))
+        return jobs

@@ -1,0 +1,102 @@
+"""Version/schema handshake for the campaign service wire protocol.
+
+A mixed fleet is the silent killer of a content-addressed system: a
+worker running a different ``repro`` version computes different content
+keys (the key folds in ``__version__`` and the trace format version), so
+its results would land under keys the server never looks up — every
+point silently re-executes and the "shared" cache splits in two.  The
+handshake makes that failure loud instead: every worker and client sends
+its package version, obs event schema, and wire-protocol version on
+connect, and the server rejects any mismatch with a clear, actionable
+error (HTTP 409) naming both sides.
+
+The same triplet travels two ways:
+
+* as HTTP request headers (:data:`HEADER_VERSION` /
+  :data:`HEADER_SCHEMA` / :data:`HEADER_PROTOCOL`) on every state-changing
+  request, checked server-side;
+* as the JSON body of ``GET /v1/handshake``, checked client-side before
+  a worker registers (so a stale worker refuses to join rather than
+  waiting to be refused).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.obs.events import OBS_SCHEMA_VERSION
+from repro.version import __version__
+
+#: Version of the HTTP/JSON wire protocol itself (endpoint shapes, task
+#: payload fields).  Bump on incompatible changes so old workers are
+#: turned away instead of mis-parsing task payloads.
+PROTOCOL_VERSION = 1
+
+#: Request headers carrying the client/worker side of the handshake.
+HEADER_VERSION = "X-Repro-Version"
+HEADER_SCHEMA = "X-Repro-Schema"
+HEADER_PROTOCOL = "X-Repro-Protocol"
+
+
+class HandshakeError(ValueError):
+    """Raised when the two sides of a connection disagree on versions."""
+
+
+def handshake_payload(**extra: Any) -> Dict[str, Any]:
+    """This process's side of the handshake (plus any ``extra`` fields)."""
+    payload = {
+        "repro_version": __version__,
+        "obs_schema": OBS_SCHEMA_VERSION,
+        "protocol": PROTOCOL_VERSION,
+    }
+    payload.update(extra)
+    return payload
+
+
+def handshake_headers() -> Dict[str, str]:
+    """The handshake as HTTP request headers (attached by the client)."""
+    return {
+        HEADER_VERSION: __version__,
+        HEADER_SCHEMA: str(OBS_SCHEMA_VERSION),
+        HEADER_PROTOCOL: str(PROTOCOL_VERSION),
+    }
+
+
+def _mismatch(field: str, theirs: Any, ours: Any, who: str) -> HandshakeError:
+    return HandshakeError(
+        f"handshake mismatch: {who} sent {field} {theirs!r}, expected {ours!r}; "
+        f"run the same repro version on every node of the fleet "
+        f"(mixed versions would split the content-addressed cache)"
+    )
+
+
+def check_handshake_headers(headers: Mapping[str, str], who: str = "client") -> None:
+    """Server-side check of the handshake headers on a request.
+
+    Missing headers fail too — an unversioned client is indistinguishable
+    from an incompatible one, and accepting it would defeat the check.
+    """
+    version = headers.get(HEADER_VERSION)
+    if version != __version__:
+        raise _mismatch("repro version", version, __version__, who)
+    schema = headers.get(HEADER_SCHEMA)
+    if schema != str(OBS_SCHEMA_VERSION):
+        raise _mismatch("obs schema", schema, OBS_SCHEMA_VERSION, who)
+    protocol = headers.get(HEADER_PROTOCOL)
+    if protocol != str(PROTOCOL_VERSION):
+        raise _mismatch("protocol version", protocol, PROTOCOL_VERSION, who)
+
+
+def check_handshake_payload(payload: Optional[Mapping[str, Any]]) -> None:
+    """Client/worker-side check of the server's ``/v1/handshake`` body."""
+    if not isinstance(payload, Mapping):
+        raise HandshakeError("handshake failed: server returned no handshake payload")
+    version = payload.get("repro_version")
+    if version != __version__:
+        raise _mismatch("repro version", version, __version__, "server")
+    schema = payload.get("obs_schema")
+    if schema != OBS_SCHEMA_VERSION:
+        raise _mismatch("obs schema", schema, OBS_SCHEMA_VERSION, "server")
+    protocol = payload.get("protocol")
+    if protocol != PROTOCOL_VERSION:
+        raise _mismatch("protocol version", protocol, PROTOCOL_VERSION, "server")

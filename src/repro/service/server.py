@@ -1,0 +1,817 @@
+"""The campaign service: job queue, worker-fleet executor, HTTP front end.
+
+Three layers, composed bottom-up:
+
+:class:`QueueExecutor`
+    An :class:`~repro.campaign.runner.ExecutorBackend` that publishes a
+    run's pending points onto the service's shared point queue and folds
+    worker-reported completions back through the runner's own
+    bookkeeping (``_finish`` / ``_handle_failure`` / ``emit_point_done``).
+    Because the runner still owns the cache-first pass, the journal, the
+    retry policy, and the event stream, a fleet-executed campaign has
+    *identical* semantics — and bit-identical results — to a local one.
+
+:class:`CampaignService`
+    The long-lived core: a durable job queue (:class:`JobStore` records,
+    one scheduler thread executing jobs through ``CampaignRunner.run``),
+    per-job :class:`~repro.obs.observer.BufferObserver` event buffers for
+    NDJSON streaming, worker bookkeeping (registration, heartbeats, and
+    death detection via the workers' TTL'd lease files), and
+    crash-recovery: on start, jobs found ``running`` on disk are demoted
+    back to ``queued`` with ``resume=True``, so a restarted server
+    re-serves journaled, cache-verified points without re-executing them.
+
+:class:`ServiceHTTPServer` / :class:`ServiceRequestHandler`
+    A stdlib-only ``ThreadingHTTPServer`` JSON front end.  Deliberately
+    HTTP/1.0 (one request per connection, no chunked encoding) so the
+    NDJSON progress stream is plain lines-until-close.  **The server
+    trusts its network**: there is no authentication — bind it to
+    loopback or a private fleet network only.
+
+Execution-path reuse is the point: workers run points through the exact
+same ``_execute_point_payload`` function as the in-process pool, so
+single-flight claims, publish-before-release, fault injection, and phase
+collection behave identically whether a point runs in a pool child or on
+a remote worker.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.campaign.cache import ResultCache, result_from_dict, result_to_dict
+from repro.campaign.runner import (
+    CampaignRunner,
+    ExecutorBackend,
+    LocalExecutor,
+    _RunState,
+)
+from repro.campaign.spec import spec_from_dict
+from repro.integrity.locks import Lease
+from repro.obs.events import encode_event
+from repro.obs.metrics import REGISTRY
+from repro.obs.observer import BufferObserver, emit_warning
+from repro.resilience.faults import plant_stale_lease
+from repro.resilience.policy import RetryPolicy
+from repro.service.jobs import Job, JobStore, JobValidationError, validate_job_payload
+from repro.service.protocol import (
+    HandshakeError,
+    check_handshake_headers,
+    handshake_payload,
+)
+from repro.version import __version__
+
+_JOBS_SUBMITTED = REGISTRY.counter("service.jobs_submitted")
+_POINTS_SERVED = REGISTRY.counter("service.points_served")
+_POINTS_REQUEUED = REGISTRY.counter("service.points_requeued")
+_WORKERS_ACTIVE = REGISTRY.gauge("service.workers_active")
+
+#: Default worker-heartbeat lease TTL.  Short on purpose: a worker whose
+#: PID died on the same host is detected immediately (dead-PID check);
+#: the TTL only gates cross-host/hung-worker detection.
+DEFAULT_WORKER_TTL_S = 30.0
+
+#: Uncharged requeues per point before a worker-death is charged as a
+#: point failure (mirrors the pool's respawn budget in spirit).
+DEFAULT_REQUEUE_LIMIT = 3
+
+#: How often the queue executor wakes to poll completions / reap workers.
+_EXECUTOR_POLL_S = 0.1
+
+
+class _ServiceStopped(RuntimeError):
+    """Internal: the service is stopping mid-job (job stays ``running``).
+
+    Deliberately leaves the on-disk job record in the ``running`` state —
+    the exact residue of a crashed server — so the next start's recovery
+    path (demote to ``queued`` + ``resume=True``) is the one and only
+    way interrupted jobs continue.
+    """
+
+
+@dataclass
+class _Task:
+    """One pending point of a workers-mode job, on or off the queue."""
+
+    job_id: str
+    index: int
+    runner: CampaignRunner
+    state: _RunState
+    worker: Optional[str] = None
+    leased_at: Optional[float] = None
+    requeues: int = 0
+    #: Completion body delivered by a worker (``None`` while in flight).
+    outcome: Optional[Dict[str, Any]] = None
+
+
+class QueueExecutor(ExecutorBackend):
+    """Runs a campaign's pending points on the pull-protocol worker fleet."""
+
+    name = "workers"
+
+    def __init__(self, service: "CampaignService", job: Job) -> None:
+        self.service = service
+        self.job = job
+
+    def execute(
+        self,
+        runner: CampaignRunner,
+        state: _RunState,
+        pending: List[int],
+        emit_point_done,
+    ) -> None:
+        service = self.service
+        job_id = self.job.id
+        with service._cv:
+            for index in pending:
+                task = _Task(job_id, index, runner, state)
+                service._tasks[(job_id, index)] = task
+                service._ready.append((job_id, index))
+            service._cv.notify_all()
+        remaining = set(pending)
+        try:
+            while remaining:
+                finished: List[_Task] = []
+                with service._cv:
+                    if service._stop.is_set():
+                        raise _ServiceStopped()
+                    service._requeue_dead(job_id)
+                    for index in sorted(remaining):
+                        task = service._tasks.get((job_id, index))
+                        if task is not None and task.outcome is not None:
+                            finished.append(task)
+                    if not finished:
+                        service._cv.wait(timeout=_EXECUTOR_POLL_S)
+                        continue
+                for task in finished:
+                    if self._fold(runner, state, task, emit_point_done):
+                        remaining.discard(task.index)
+        finally:
+            service._clear_job_tasks(job_id)
+
+    def _fold(
+        self,
+        runner: CampaignRunner,
+        state: _RunState,
+        task: _Task,
+        emit_point_done,
+    ) -> bool:
+        """Fold one completion into the run state.
+
+        Mirrors the pooled completion loop case-for-case.  Returns
+        ``True`` when the point reached a terminal status, ``False``
+        when it was re-enqueued for another attempt.
+        """
+        service = self.service
+        index = task.index
+        outcome = task.outcome or {}
+        if outcome.get("ok"):
+            payload = outcome.get("payload") or {}
+            state.durations[index] = float(payload.get("duration_s", 0.0))
+            result = result_from_dict(state.points[index].sim, payload["result"])
+            if payload.get("from_cache"):
+                # Another producer published this point while the worker
+                # held (or waited on) the claim — a coalesced hit.
+                state.results[index] = result
+                state.cached[index] = True
+                state.statuses[index] = "retried" if state.attempts[index] else "ok"
+                emit_point_done(index, True)
+            else:
+                runner._finish(
+                    state, index, result, published=bool(payload.get("published"))
+                )
+                emit_point_done(index, False, payload.get("phases"))
+            return True
+        error = RuntimeError(outcome.get("error") or "worker reported failure")
+        # May raise PointFailed under on_error="fail": propagates out of
+        # CampaignRunner.run and fails the job (tasks cleared in execute's
+        # finally).
+        pause = runner._handle_failure(state, index, error)
+        if pause is None:
+            emit_point_done(index, False)
+            return True
+        if pause > 0:
+            time.sleep(pause)
+        with service._cv:
+            task.outcome = None
+            task.worker = None
+            task.leased_at = None
+            service._ready.append((task.job_id, index))
+            service._cv.notify_all()
+        return False
+
+
+class CampaignService:
+    """The long-running campaign service core (transport-independent).
+
+    Everything the HTTP layer exposes is a plain method here, so tests
+    can drive the service in-process and the handler stays a thin
+    JSON-to-method shim.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        trace_store: Optional[Any] = None,
+        jobs: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        worker_ttl_s: float = DEFAULT_WORKER_TTL_S,
+        requeue_limit: int = DEFAULT_REQUEUE_LIMIT,
+    ) -> None:
+        from repro.trace.store import TraceStore
+
+        self.cache = cache if cache is not None else ResultCache()
+        self.trace_store = trace_store if trace_store is not None else TraceStore()
+        #: Pool width for ``local``-mode jobs (None = REPRO_JOBS / CPUs).
+        self.jobs = jobs
+        self.retry = retry
+        self.worker_ttl_s = worker_ttl_s
+        self.requeue_limit = requeue_limit
+        #: Durable service state: ``<cache root>/service``.
+        self.service_root = Path(self.cache.root) / "service"
+        self.store = JobStore(self.service_root)
+        self.workers_dir = self.service_root / "workers"
+        #: The server's own liveness lease (``doctor`` reads it to tell a
+        #: served-but-busy job from an orphaned one).
+        self.server_lease = Lease(
+            self.service_root / "server.lease",
+            ttl_s=worker_ttl_s,
+            data={"role": "service-server"},
+        )
+        self._lock = threading.RLock()
+        self._cv = threading.Condition(self._lock)
+        self._jobs: Dict[str, Job] = {}
+        self._job_queue: Deque[str] = deque()
+        self._buffers: Dict[str, BufferObserver] = {}
+        self._tasks: Dict[Tuple[str, int], _Task] = {}
+        self._ready: Deque[Tuple[str, int]] = deque()
+        self._workers: Dict[str, Dict[str, Any]] = {}
+        self._stop = threading.Event()
+        self._scheduler: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Recover persisted jobs and start the scheduler thread."""
+        self.service_root.mkdir(parents=True, exist_ok=True)
+        self.server_lease.acquire()
+        self._recover()
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="repro-service-scheduler", daemon=True
+        )
+        self._scheduler.start()
+
+    def stop(self, wait_s: float = 10.0) -> None:
+        """Stop the scheduler; an in-flight workers-mode job stays ``running``
+        on disk and resumes on the next start."""
+        self._stop.set()
+        with self._cv:
+            self._cv.notify_all()
+        if self._scheduler is not None:
+            self._scheduler.join(timeout=wait_s)
+        self.server_lease.release()
+
+    def _recover(self) -> None:
+        """Load persisted jobs; demote interrupted ``running`` jobs to
+        ``queued`` with ``resume=True`` (the `--resume` path re-serves
+        their journaled, cache-verified points)."""
+        for job in self.store.list_jobs():
+            if job.status == "running":
+                job.status = "queued"
+                job.resume = True
+                self.store.save(job)
+                emit_warning(
+                    f"service job {job.id} was interrupted; requeued with resume",
+                    kind="service_resume",
+                    job=job.id,
+                )
+            self._jobs[job.id] = job
+            if job.status == "queued":
+                self._job_queue.append(job.id)
+
+    def _scheduler_loop(self) -> None:
+        while not self._stop.is_set():
+            self.server_lease.refresh()
+            with self._cv:
+                job_id = self._job_queue.popleft() if self._job_queue else None
+                if job_id is None:
+                    self._cv.wait(timeout=0.2)
+                    continue
+                job = self._jobs[job_id]
+            try:
+                self._run_job(job)
+            except _ServiceStopped:
+                return
+            except Exception as error:  # defensive: keep the scheduler alive
+                emit_warning(
+                    f"service job {job.id} crashed the scheduler iteration "
+                    f"({type(error).__name__}: {error})",
+                    kind="service_job_error",
+                    job=job.id,
+                )
+                job.status = "failed"
+                job.error = f"{type(error).__name__}: {error}"
+                job.finished_at = time.time()
+                self.store.save(job)
+
+    # ------------------------------------------------------------------ job execution
+    def _run_job(self, job: Job) -> None:
+        job.status = "running"
+        job.started_at = time.time()
+        self.store.save(job)
+        buffer = BufferObserver()
+        with self._cv:
+            self._buffers[job.id] = buffer
+        points = [spec_from_dict(point) for point in job.points]
+        executor: ExecutorBackend = (
+            QueueExecutor(self, job) if job.mode == "workers" else LocalExecutor()
+        )
+        runner = CampaignRunner(
+            jobs=self.jobs,
+            cache=self.cache,
+            trace_store=self.trace_store,
+            retry=self.retry,
+            executor=executor,
+        )
+        try:
+            campaign = runner.run(
+                points, name=f"service-{job.id}", observer=buffer, resume=job.resume
+            )
+        except _ServiceStopped:
+            # Mid-job shutdown: the job record stays "running" on disk —
+            # exactly what recovery demotes and resumes on restart.
+            raise
+        except Exception as error:
+            job.status = "failed"
+            job.error = f"{type(error).__name__}: {error}"
+            job.finished_at = time.time()
+            self.store.save(job)
+            return
+        job.results = [
+            {
+                "index": index,
+                "key": campaign.points[index].key(),
+                "sim": campaign.points[index].sim,
+                "status": campaign.point_status[index],
+                "cached": campaign.point_cached[index],
+                "duration_s": campaign.point_durations[index],
+                "error": campaign.point_errors[index],
+                "result": (
+                    result_to_dict(campaign.points[index].sim, result)
+                    if result is not None
+                    else None
+                ),
+            }
+            for index, result in enumerate(campaign.results)
+        ]
+        job.summary = {
+            "num_points": len(campaign),
+            "cached_count": campaign.cached_count,
+            "computed_count": campaign.computed_count,
+            "resumed_count": campaign.resumed_count,
+            "elapsed_seconds": campaign.elapsed_seconds,
+            "status_counts": campaign.status_counts(),
+        }
+        job.status = "done"
+        job.finished_at = time.time()
+        self.store.save(job)
+
+    def _clear_job_tasks(self, job_id: str) -> None:
+        with self._cv:
+            self._tasks = {
+                key: task for key, task in self._tasks.items() if key[0] != job_id
+            }
+            self._ready = deque(key for key in self._ready if key[0] != job_id)
+
+    # ------------------------------------------------------------------ worker fleet
+    def _touch_worker(self, worker_id: str, **info: Any) -> None:
+        record = self._workers.setdefault(worker_id, {})
+        record["last_seen"] = time.time()
+        record.update(info)
+        _WORKERS_ACTIVE.set(
+            sum(1 for wid in self._workers if self._worker_alive(wid))
+        )
+
+    def _worker_alive(self, worker_id: str) -> bool:
+        """Liveness: a fresh heartbeat lease file, else a fresh last-seen.
+
+        The lease file is authoritative when present — a SIGKILL-ed
+        same-host worker is declared dead the moment its PID is (no TTL
+        wait).  A worker whose lease vanished (clean release) counts as
+        alive only while its last heartbeat POST is within the TTL.
+        """
+        lease = Lease(self.workers_dir / f"{worker_id}.lease", ttl_s=self.worker_ttl_s)
+        if lease.age_s() is not None:
+            return not lease.is_stale()
+        record = self._workers.get(worker_id)
+        last_seen = record.get("last_seen") if record else None
+        return last_seen is not None and (time.time() - last_seen) <= self.worker_ttl_s
+
+    def _requeue_dead(self, job_id: str) -> None:
+        """Requeue leased points whose worker died (caller holds the lock).
+
+        Requeues are *uncharged* (like pool-crash re-dispatches) up to
+        :attr:`requeue_limit`; past that the death is delivered as a
+        point failure through the normal retry-policy path.
+        """
+        for (task_job, index), task in list(self._tasks.items()):
+            if task_job != job_id or task.worker is None or task.outcome is not None:
+                continue
+            if self._worker_alive(task.worker):
+                continue
+            dead = task.worker
+            task.worker = None
+            task.leased_at = None
+            task.requeues += 1
+            _POINTS_REQUEUED.inc()
+            if task.requeues > self.requeue_limit:
+                task.outcome = {
+                    "ok": False,
+                    "error": (
+                        f"worker {dead} died executing point {index} "
+                        f"(requeue budget {self.requeue_limit} exhausted)"
+                    ),
+                }
+            else:
+                emit_warning(
+                    f"worker {dead} died; requeued point {index} of job {job_id} "
+                    f"(requeue {task.requeues}/{self.requeue_limit})",
+                    kind="service_requeue",
+                    job=job_id,
+                    index=index,
+                    worker=dead,
+                )
+                self._ready.append((task_job, index))
+            self._cv.notify_all()
+
+    # ------------------------------------------------------------------ API methods
+    def submit(self, payload: Any) -> Dict[str, Any]:
+        """Validate and enqueue one job; returns ``{"job_id": ...}``."""
+        job = validate_job_payload(payload)
+        self.store.save(job)
+        with self._cv:
+            self._jobs[job.id] = job
+            self._job_queue.append(job.id)
+            self._cv.notify_all()
+        _JOBS_SUBMITTED.inc()
+        return {"job_id": job.id, "status": job.status, "num_points": len(job.points)}
+
+    def job(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def job_status(self, job_id: str) -> Optional[Dict[str, Any]]:
+        job = self.job(job_id)
+        if job is None:
+            return None
+        status = job.public_status()
+        if job.status == "running":
+            # Live progress from the campaign journal (tolerant read, no
+            # writer lock): how many points a watcher-less poller is past.
+            from repro.resilience.journal import CampaignJournal, default_journal_root
+
+            try:
+                journal = CampaignJournal(
+                    default_journal_root(self.cache.root), f"service-{job.id}"
+                )
+                status["progress"] = journal.progress()
+            except OSError:
+                pass
+        return status
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            jobs = sorted(
+                self._jobs.values(), key=lambda job: (job.submitted_at, job.id)
+            )
+            return [job.public_status() for job in jobs]
+
+    def job_results(self, job_id: str) -> Optional[Dict[str, Any]]:
+        job = self.job(job_id)
+        if job is None:
+            return None
+        return {
+            "id": job.id,
+            "status": job.status,
+            "results": job.results,
+            "summary": job.summary,
+            "generated": job.generated,
+            "error": job.error,
+        }
+
+    def events_since(self, job_id: str, index: int) -> List[Dict[str, Any]]:
+        with self._lock:
+            buffer = self._buffers.get(job_id)
+        return buffer.since(index) if buffer is not None else []
+
+    def register_worker(self, worker_id: str, **info: Any) -> Dict[str, Any]:
+        with self._cv:
+            self._touch_worker(worker_id, **info)
+        return {
+            "ok": True,
+            "worker": worker_id,
+            "ttl_s": self.worker_ttl_s,
+            "workers_dir": str(self.workers_dir),
+        }
+
+    def heartbeat(self, worker_id: str) -> Dict[str, Any]:
+        with self._cv:
+            self._touch_worker(worker_id)
+        return {"ok": True, "shutdown": self._stop.is_set()}
+
+    def lease_point(self, worker_id: str) -> Dict[str, Any]:
+        """Hand the next ready point to ``worker_id`` (or nothing)."""
+        with self._cv:
+            self._touch_worker(worker_id)
+            if self._stop.is_set():
+                return {"task": None, "shutdown": True}
+            while self._ready:
+                job_id, index = self._ready.popleft()
+                task = self._tasks.get((job_id, index))
+                if task is None or task.worker is not None or task.outcome is not None:
+                    continue
+                runner, state = task.runner, task.state
+                state.dispatches[index] += 1
+                if runner.use_cache and runner.faults.stalelock_target(
+                    index, state.dispatches[index]
+                ):
+                    plant_stale_lease(runner.cache.lease_path_for(state.points[index]))
+                trace_root = (
+                    str(getattr(runner.trace_store, "root"))
+                    if runner.trace_store is not None
+                    else None
+                )
+                payload = runner._worker_payload(state, index, trace_root)
+                task.worker = worker_id
+                task.leased_at = time.time()
+                _POINTS_SERVED.inc()
+                return {
+                    "task": {"job_id": job_id, "index": index, "payload": payload},
+                    "shutdown": False,
+                }
+            return {"task": None, "shutdown": False}
+
+    def complete_point(
+        self, worker_id: str, job_id: str, index: Any, body: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Accept one completion report (idempotent against requeues)."""
+        with self._cv:
+            self._touch_worker(worker_id)
+            job = self._jobs.get(job_id)
+            if job is not None and body.get("generated"):
+                # Fleet-wide trace-generation accounting (the exactly-once
+                # drills assert the sum equals the unique trace count).
+                job.generated += int(body.get("generated") or 0)
+            task = self._tasks.get((job_id, int(index)))
+            if task is None or task.worker != worker_id or task.outcome is not None:
+                # The point was requeued (this worker was presumed dead)
+                # or already folded; the late report is dropped — the
+                # content-addressed cache already absorbed any result.
+                return {"ok": True, "stale": True}
+            task.outcome = {
+                "ok": bool(body.get("ok")),
+                "payload": body.get("payload"),
+                "error": body.get("error"),
+            }
+            self._cv.notify_all()
+            return {"ok": True, "stale": False}
+
+    def info_snapshot(self) -> Dict[str, Any]:
+        """The ``/v1/info`` body (also the ``repro info`` service section)."""
+        with self._lock:
+            status_counts: Dict[str, int] = {}
+            for job in self._jobs.values():
+                status_counts[job.status] = status_counts.get(job.status, 0) + 1
+            workers = {
+                worker_id: {
+                    "last_seen_s": round(time.time() - record["last_seen"], 3)
+                    if record.get("last_seen")
+                    else None,
+                    "alive": self._worker_alive(worker_id),
+                }
+                for worker_id, record in self._workers.items()
+            }
+            queue_points = len(self._ready)
+            queue_jobs = len(self._job_queue)
+        alive = sum(1 for record in workers.values() if record["alive"])
+        _WORKERS_ACTIVE.set(alive)
+        return {
+            "version": __version__,
+            "service_root": str(self.service_root),
+            "cache_root": str(self.cache.root),
+            "jobs": status_counts,
+            "queue_depth": {"jobs": queue_jobs, "points": queue_points},
+            "workers": workers,
+            "workers_active": alive,
+            "counters": {
+                "service.jobs_submitted": _JOBS_SUBMITTED.value,
+                "service.points_served": _POINTS_SERVED.value,
+                "service.points_requeued": _POINTS_REQUEUED.value,
+                "service.workers_active": alive,
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# HTTP front end
+# ---------------------------------------------------------------------------
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` carrying the :class:`CampaignService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: CampaignService) -> None:
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[0], self.server_address[1]
+        return f"http://{host}:{port}"
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Thin JSON shim between HTTP and :class:`CampaignService` methods.
+
+    Error mapping: unknown path/job → 404, malformed JSON or invalid
+    submission → 400, version/schema handshake mismatch → 409.
+    """
+
+    server_version = f"repro-service/{__version__}"
+    # HTTP/1.0: every response closes its connection, so the NDJSON
+    # stream is plain write-lines-until-close (no chunked encoding).
+    protocol_version = "HTTP/1.0"
+
+    @property
+    def service(self) -> CampaignService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # requests are not worth a stderr line each; obs has counters
+
+    # ------------------------------------------------------------------ helpers
+    def _send_json(self, status: int, body: Dict[str, Any]) -> None:
+        encoded = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length > 0 else b""
+        if not raw:
+            return None
+        return json.loads(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------ GET
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            if parts == ["v1", "handshake"]:
+                self._send_json(
+                    200,
+                    handshake_payload(service_root=str(self.service.service_root)),
+                )
+            elif parts == ["v1", "info"]:
+                self._send_json(200, self.service.info_snapshot())
+            elif parts == ["v1", "jobs"]:
+                self._send_json(200, {"jobs": self.service.list_jobs()})
+            elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                status = self.service.job_status(parts[2])
+                if status is None:
+                    self._error(404, f"unknown job {parts[2]!r}")
+                else:
+                    self._send_json(200, status)
+            elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "results":
+                results = self.service.job_results(parts[2])
+                if results is None:
+                    self._error(404, f"unknown job {parts[2]!r}")
+                elif results["status"] not in ("done", "failed"):
+                    self._error(
+                        409, f"job {parts[2]} is {results['status']}; results not ready"
+                    )
+                else:
+                    self._send_json(200, results)
+            elif len(parts) == 4 and parts[:2] == ["v1", "jobs"] and parts[3] == "events":
+                self._stream_events(parts[2], parse_qs(parsed.query))
+            else:
+                self._error(404, f"unknown path {parsed.path!r}")
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def _stream_events(self, job_id: str, query: Dict[str, List[str]]) -> None:
+        service = self.service
+        if service.job(job_id) is None:
+            self._error(404, f"unknown job {job_id!r}")
+            return
+        try:
+            since = int(query.get("since", ["0"])[0])
+        except ValueError:
+            self._error(400, "'since' must be an integer")
+            return
+        follow = query.get("follow", ["1"])[0] not in ("0", "false", "no")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        index = max(0, since)
+        while True:
+            events = service.events_since(job_id, index)
+            for event in events:
+                self.wfile.write((encode_event(event) + "\n").encode("utf-8"))
+            if events:
+                self.wfile.flush()
+                index += len(events)
+            if not follow:
+                return
+            job = service.job(job_id)
+            terminal = job is None or job.status in ("done", "failed")
+            if terminal and not service.events_since(job_id, index):
+                return
+            time.sleep(0.1)
+
+    # ------------------------------------------------------------------ POST
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            try:
+                body = self._json_body()
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                self._error(400, f"malformed JSON body ({error})")
+                return
+            if parts == ["v1", "jobs"]:
+                check_handshake_headers(self.headers, who="client")
+                self._send_json(200, self.service.submit(body))
+            elif parts == ["v1", "workers", "register"]:
+                check_handshake_headers(self.headers, who="worker")
+                worker_id = self._worker_id(body)
+                info = {
+                    key: body[key] for key in ("pid", "host") if isinstance(body, dict) and key in body
+                }
+                self._send_json(200, self.service.register_worker(worker_id, **info))
+            elif parts == ["v1", "workers", "heartbeat"]:
+                self._send_json(200, self.service.heartbeat(self._worker_id(body)))
+            elif parts == ["v1", "points", "lease"]:
+                self._send_json(200, self.service.lease_point(self._worker_id(body)))
+            elif parts == ["v1", "points", "complete"]:
+                worker_id = self._worker_id(body)
+                if "job_id" not in body or "index" not in body:
+                    raise JobValidationError(
+                        "completion must carry 'job_id' and 'index'"
+                    )
+                self._send_json(
+                    200,
+                    self.service.complete_point(
+                        worker_id, str(body["job_id"]), int(body["index"]), body
+                    ),
+                )
+            elif parts == ["v1", "shutdown"]:
+                self._send_json(200, {"ok": True})
+                threading.Thread(target=self._shutdown_server, daemon=True).start()
+            else:
+                self._error(404, f"unknown path {parsed.path!r}")
+        except HandshakeError as error:
+            self._error(409, str(error))
+        except (JobValidationError, TypeError, ValueError) as error:
+            self._error(400, str(error))
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    @staticmethod
+    def _worker_id(body: Any) -> str:
+        if not isinstance(body, dict) or not isinstance(body.get("worker"), str):
+            raise JobValidationError("body must carry a 'worker' id string")
+        return body["worker"]
+
+    def _shutdown_server(self) -> None:
+        self.service.stop()
+        self.server.shutdown()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[CampaignService] = None,
+) -> ServiceHTTPServer:
+    """Build (but do not run) a bound server; callers drive ``serve_forever``."""
+    if service is None:
+        service = CampaignService()
+    server = ServiceHTTPServer((host, port), service)
+    service.start()
+    return server

@@ -1,0 +1,234 @@
+"""The pull-protocol fleet worker (``python -m repro worker --server URL``).
+
+A worker is deliberately dumb: it handshakes (refusing to join a
+mismatched-version fleet), registers, then loops *lease → execute →
+report*.  Execution is the exact pool-worker function
+(:func:`repro.campaign.runner._execute_point_payload`), so everything
+that makes the in-process pool safe — the single-flight cache claim with
+double-checked locking, publish-before-release, worker-side ``SIGALRM``
+timeouts, fault injection, phase collection — behaves identically on the
+fleet.  Points run on the worker's **main thread** (the heartbeat runs on
+a side thread) precisely so the ``SIGALRM`` timeout path stays live.
+
+Liveness has two channels, used together by the server:
+
+* a TTL'd heartbeat **lease file** under the shared cache root
+  (``<cache>/service/workers/<id>.lease``), PID/host-stamped and
+  ``refresh()``-ed periodically — a SIGKILL-ed same-host worker is
+  detected the moment its PID dies, with no TTL wait;
+* a heartbeat **POST** to the server, covering workers whose filesystem
+  view is shared but whose lease was cleanly released.
+
+On worker death the server requeues its in-flight point (uncharged, like
+a pool-crash re-dispatch); because fault injections fire only on a
+point's first dispatch, a ``REPRO_FAULTS=kill@N`` drill kills exactly one
+worker once and the requeued point completes elsewhere.
+
+Fault plans are process-local on purpose: a worker started with
+``REPRO_FAULTS`` in its environment *overrides* the (usually empty) plan
+shipped in the task payload, so chaos drills can target one member of
+the fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.campaign.runner import _execute_point_payload
+from repro.integrity.locks import Lease
+from repro.obs.metrics import REGISTRY
+from repro.resilience.faults import FaultPlan
+from repro.service.client import ServiceClient, ServiceError
+
+_TRACES_GENERATED = REGISTRY.counter("trace_store.generated")
+_POINTS_EXECUTED = REGISTRY.counter("service.worker_points")
+
+#: How long an idle worker sleeps between empty lease polls.
+DEFAULT_POLL_S = 0.2
+
+
+def default_worker_id() -> str:
+    """A fleet-unique worker id: host + PID."""
+    return f"worker-{socket.gethostname()}-{os.getpid()}"
+
+
+class ServiceWorker:
+    """One fleet member: lease points from a server, execute, report."""
+
+    def __init__(
+        self,
+        server_url: str,
+        worker_id: Optional[str] = None,
+        poll_s: float = DEFAULT_POLL_S,
+        max_points: Optional[int] = None,
+        max_idle_s: Optional[float] = None,
+        max_unreachable_s: Optional[float] = None,
+    ) -> None:
+        self.client = ServiceClient(server_url)
+        self.id = worker_id or default_worker_id()
+        self.poll_s = poll_s
+        #: Exit after this many executed points (None = unbounded).
+        self.max_points = max_points
+        #: Exit after this long without work (None = wait forever).
+        self.max_idle_s = max_idle_s
+        #: Exit after the server has been unreachable this long
+        #: (None = one fleet lease TTL, learned at registration).
+        self.max_unreachable_s = max_unreachable_s
+        self._ttl_s = 30.0
+        self.lease: Optional[Lease] = None
+        self.executed = 0
+        self._stop = threading.Event()
+        self._heartbeat: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Handshake, claim the heartbeat lease, register, start heartbeats.
+
+        Raises :class:`~repro.service.protocol.HandshakeError` when the
+        server runs a different repro/schema/protocol version — a stale
+        worker must refuse to join rather than poison the shared cache
+        with differently-keyed results.
+        """
+        payload = self.client.handshake(verify=True)
+        registration = self.client.register_worker(
+            self.id, pid=os.getpid(), host=socket.gethostname()
+        )
+        ttl_s = float(registration.get("ttl_s") or 30.0)
+        self._ttl_s = ttl_s
+        workers_dir = registration.get("workers_dir") or str(
+            Path(payload["service_root"]) / "workers"
+        )
+        self.lease = Lease(
+            Path(workers_dir) / f"{self.id}.lease",
+            ttl_s=ttl_s,
+            data={"role": "service-worker", "worker": self.id, "server": self.client.url},
+        )
+        self.lease.acquire()
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(max(0.5, ttl_s / 3.0),),
+            name=f"heartbeat-{self.id}",
+            daemon=True,
+        )
+        self._heartbeat.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout=2.0)
+        if self.lease is not None:
+            self.lease.release()
+
+    def _heartbeat_loop(self, interval_s: float) -> None:
+        while not self._stop.wait(interval_s):
+            if self.lease is not None:
+                self.lease.refresh()
+            try:
+                response = self.client.worker_heartbeat(self.id)
+                if response.get("shutdown"):
+                    self._stop.set()
+            except ServiceError:
+                pass  # transient server unavailability; the lease file carries us
+
+    # ------------------------------------------------------------------ work loop
+    def run_forever(self) -> int:
+        """Lease-execute-report until stopped; returns points executed."""
+        idle_since = time.monotonic()
+        unreachable_since: Optional[float] = None
+        unreachable_budget = (
+            self.max_unreachable_s if self.max_unreachable_s is not None else self._ttl_s
+        )
+        while not self._stop.is_set():
+            try:
+                response = self.client.lease_point(self.id)
+            except ServiceError as error:
+                # Server briefly unreachable (restarting?): back off, retry.
+                # A *persistently* dead server is a reason to exit: once the
+                # outage outlives a lease TTL, its death detection would have
+                # requeued anything we held anyway.
+                if error.status is None:
+                    now = time.monotonic()
+                    if unreachable_since is None:
+                        unreachable_since = now
+                    elif now - unreachable_since > unreachable_budget:
+                        break
+                if self._sleep_idle(idle_since):
+                    break
+                continue
+            unreachable_since = None
+            if response.get("shutdown"):
+                break
+            task = response.get("task")
+            if not task:
+                if self._sleep_idle(idle_since):
+                    break
+                continue
+            idle_since = time.monotonic()
+            self._execute_task(task)
+            self.executed += 1
+            _POINTS_EXECUTED.inc()
+            if self.max_points is not None and self.executed >= self.max_points:
+                break
+        return self.executed
+
+    def _sleep_idle(self, idle_since: float) -> bool:
+        """Sleep one poll interval; ``True`` when the idle budget ran out."""
+        if (
+            self.max_idle_s is not None
+            and time.monotonic() - idle_since > self.max_idle_s
+        ):
+            return True
+        return self._stop.wait(self.poll_s)
+
+    def _execute_task(self, task: Dict[str, Any]) -> None:
+        job_id, index = str(task["job_id"]), int(task["index"])
+        payload = dict(task["payload"])
+        env_faults = FaultPlan.from_env()
+        if env_faults:
+            # This worker's own chaos plan trumps the (normally empty)
+            # one in the payload — drills target individual fleet members.
+            payload["faults"] = env_faults.encode()
+        generated_before = _TRACES_GENERATED.value
+        try:
+            outcome = _execute_point_payload(payload)
+        except BaseException as error:
+            generated = _TRACES_GENERATED.value - generated_before
+            try:
+                self.client.complete_point(
+                    self.id,
+                    job_id,
+                    index,
+                    ok=False,
+                    error=f"{type(error).__name__}: {error}",
+                    generated=generated,
+                )
+            except ServiceError:
+                pass  # the server will requeue via death detection
+            if not isinstance(error, Exception):
+                raise  # KeyboardInterrupt / SystemExit propagate
+            return
+        generated = _TRACES_GENERATED.value - generated_before
+        try:
+            self.client.complete_point(
+                self.id, job_id, index, ok=True, payload=outcome, generated=generated
+            )
+        except ServiceError:
+            # Undeliverable result: the cache already holds the published
+            # entry, so the requeued point will coalesce onto it.
+            pass
+
+    def run(self) -> int:
+        """Convenience: ``start()`` + ``run_forever()`` + ``stop()``."""
+        self.start()
+        try:
+            return self.run_forever()
+        finally:
+            self.stop()
+
+
+__all__ = ["ServiceWorker", "default_worker_id", "DEFAULT_POLL_S"]

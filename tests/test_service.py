@@ -1,0 +1,666 @@
+"""Tests for ``repro.service``: the campaign service and worker fleet.
+
+The load-bearing contracts:
+
+* a fleet-executed (``mode="workers"``) campaign is **bit-identical** —
+  per-point content keys and serialized result payloads — to a local
+  run of the same points against a fresh cache;
+* that identity survives chaos: a ``REPRO_FAULTS=kill@N`` drill SIGKILLs
+  one worker mid-sweep, the orphaned point is requeued, and the fleet's
+  summed ``generated`` reports still equal the unique trace count
+  (exactly-once generation);
+* a server restarted mid-job resumes through the campaign journal
+  without re-executing completed points;
+* the HTTP surface maps failure modes honestly: version-handshake
+  mismatch → 409, malformed submissions → 400, unknown jobs/paths → 404.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import pytest
+
+from repro.campaign import CampaignJournal, CampaignRunner, PointSpec, ResultCache
+from repro.campaign.cache import result_to_dict
+from repro.obs.events import check_events
+from repro.obs.metrics import REGISTRY
+from repro.obs.observer import BufferObserver
+from repro.service import (
+    CampaignService,
+    HEADER_PROTOCOL,
+    HEADER_SCHEMA,
+    HEADER_VERSION,
+    JobStore,
+    JobValidationError,
+    ServiceClient,
+    ServiceError,
+    ServiceWorker,
+    handshake_headers,
+    check_handshake_payload,
+    handshake_payload,
+    serve,
+    validate_job_payload,
+)
+from repro.service.protocol import HandshakeError
+from repro.trace.store import TraceStore
+from repro.version import __version__
+
+ACCESSES = 2000
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _points(count: int = 3) -> List[PointSpec]:
+    benchmarks = ["mcf", "swim", "art", "em3d", "treeadd"]
+    return [
+        PointSpec(benchmark=benchmarks[i % len(benchmarks)], num_accesses=ACCESSES)
+        for i in range(count)
+    ]
+
+
+def _baseline_payloads(points: List[PointSpec], root: Path) -> List[Dict[str, Any]]:
+    """Serialized results of a local run against fresh, private stores."""
+    runner = CampaignRunner(
+        jobs=1,
+        cache=ResultCache(root / "baseline_cache"),
+        trace_store=TraceStore(root / "baseline_traces"),
+    )
+    campaign = runner.run(points, name="baseline")
+    return [
+        result_to_dict(point.sim, result) for point, result in campaign.items()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Fixtures: an in-process HTTP server and in-thread workers
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def server():
+    """A served CampaignService on an ephemeral loopback port."""
+    http_server = serve(host="127.0.0.1", port=0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield http_server
+    finally:
+        http_server.service.stop(wait_s=5.0)
+        http_server.shutdown()
+        http_server.server_close()
+        thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url)
+
+
+class _Fleet:
+    """In-thread workers against a served URL (timeouts stay unset, so
+    the SIGALRM-free thread context is safe)."""
+
+    def __init__(self, url: str, count: int) -> None:
+        self.workers = [
+            ServiceWorker(url, worker_id=f"test-worker-{i}", poll_s=0.02)
+            for i in range(count)
+        ]
+        self.threads: List[threading.Thread] = []
+
+    def __enter__(self) -> "_Fleet":
+        for worker in self.workers:
+            worker.start()
+            thread = threading.Thread(target=worker.run_forever, daemon=True)
+            thread.start()
+            self.threads.append(thread)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for worker in self.workers:
+            worker._stop.set()
+        for thread in self.threads:
+            thread.join(timeout=10.0)
+        for worker in self.workers:
+            worker.stop()
+
+
+def _raw_post(url: str, path: str, data: bytes, headers: Dict[str, str]):
+    request = urllib.request.Request(
+        url + path, data=data, headers=headers, method="POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.getcode(), json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# Handshake
+# ---------------------------------------------------------------------------
+
+
+class TestHandshake:
+    def test_handshake_payload_roundtrip(self):
+        payload = handshake_payload()
+        assert payload["repro_version"] == __version__
+        check_handshake_payload(payload)  # no raise
+
+    def test_payload_mismatch_raises(self):
+        payload = handshake_payload()
+        payload["repro_version"] = "0.0.0"
+        with pytest.raises(HandshakeError, match="handshake mismatch"):
+            check_handshake_payload(payload)
+
+    def test_endpoint_reports_version(self, client):
+        payload = client.handshake(verify=True)
+        assert payload["repro_version"] == __version__
+        assert "service_root" in payload
+
+    def test_submit_with_wrong_version_is_409(self, server):
+        headers = dict(handshake_headers())
+        headers[HEADER_VERSION] = "0.0.0"
+        headers["Content-Type"] = "application/json"
+        body = json.dumps(
+            {"points": [_points(1)[0].to_dict()], "mode": "local"}
+        ).encode("utf-8")
+        code, payload = _raw_post(server.url, "/v1/jobs", body, headers)
+        assert code == 409
+        assert "handshake mismatch" in payload["error"]
+
+    @pytest.mark.parametrize("header", [HEADER_VERSION, HEADER_SCHEMA, HEADER_PROTOCOL])
+    def test_missing_header_is_409(self, server, header):
+        headers = dict(handshake_headers())
+        del headers[header]
+        headers["Content-Type"] = "application/json"
+        body = json.dumps(
+            {"points": [_points(1)[0].to_dict()], "mode": "local"}
+        ).encode("utf-8")
+        code, payload = _raw_post(server.url, "/v1/jobs", body, headers)
+        assert code == 409
+
+    def test_mismatched_worker_registration_is_409(self, server):
+        headers = dict(handshake_headers())
+        headers[HEADER_SCHEMA] = "999"
+        headers["Content-Type"] = "application/json"
+        code, payload = _raw_post(
+            server.url,
+            "/v1/workers/register",
+            json.dumps({"worker": "stale"}).encode("utf-8"),
+            headers,
+        )
+        assert code == 409
+        assert "handshake mismatch" in payload["error"]
+
+
+# ---------------------------------------------------------------------------
+# Validation and error mapping
+# ---------------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_empty_points_rejected(self):
+        with pytest.raises(JobValidationError, match="non-empty 'points'"):
+            validate_job_payload({"points": []})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(JobValidationError, match="JSON object"):
+            validate_job_payload([1, 2])
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(JobValidationError, match=r"points\[0\]"):
+            validate_job_payload({"points": [{"sim": "warp-drive"}]})
+
+    def test_unknown_mode_rejected(self):
+        point = _points(1)[0].to_dict()
+        with pytest.raises(JobValidationError, match="unknown mode"):
+            validate_job_payload({"points": [point], "mode": "telepathy"})
+
+    def test_bad_plugins_rejected(self):
+        point = _points(1)[0].to_dict()
+        with pytest.raises(JobValidationError, match="plugins"):
+            validate_job_payload({"points": [point], "plugins": [42]})
+
+    def test_http_maps_bad_submission_to_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/v1/jobs", body={"points": []})
+        assert excinfo.value.status == 400
+
+    def test_http_maps_unknown_spec_to_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request(
+                "POST", "/v1/jobs", body={"points": [{"sim": "warp-drive"}]}
+            )
+        assert excinfo.value.status == 400
+        assert "points[0]" in str(excinfo.value)
+
+    def test_malformed_json_body_is_400(self, server):
+        headers = dict(handshake_headers())
+        headers["Content-Type"] = "application/json"
+        code, payload = _raw_post(server.url, "/v1/jobs", b"{nope", headers)
+        assert code == 400
+        assert "malformed JSON" in payload["error"]
+
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/v1/flux-capacitor")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_is_404(self, client):
+        for path in ("/v1/jobs/job-missing", "/v1/jobs/job-missing/results",
+                     "/v1/jobs/job-missing/events"):
+            with pytest.raises(ServiceError) as excinfo:
+                client._request("GET", path)
+            assert excinfo.value.status == 404
+
+    def test_unreachable_server_raises_transport_error(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout_s=0.5)
+        with pytest.raises(ServiceError) as excinfo:
+            client.info()
+        assert excinfo.value.status is None
+        assert "cannot reach" in str(excinfo.value)
+
+
+class TestJobStore:
+    def test_roundtrip(self, tmp_path):
+        store = JobStore(tmp_path / "service")
+        job = validate_job_payload(
+            {"points": [p.to_dict() for p in _points(2)], "name": "rt"}
+        )
+        store.save(job)
+        loaded = store.load(job.id)
+        assert loaded is not None
+        assert loaded.to_dict() == job.to_dict()
+        assert [j.id for j in store.list_jobs()] == [job.id]
+
+    def test_corrupt_record_skipped(self, tmp_path):
+        store = JobStore(tmp_path / "service")
+        job = validate_job_payload({"points": [_points(1)[0].to_dict()]})
+        store.save(job)
+        (store.jobs_dir / "job-bogus.json").write_text("{not json", encoding="utf-8")
+        assert store.load("job-bogus") is None
+        assert [j.id for j in store.list_jobs()] == [job.id]
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: local mode
+# ---------------------------------------------------------------------------
+
+
+class TestLocalMode:
+    def test_submit_wait_results_bit_identical(self, client, tmp_path):
+        points = _points(3)
+        job_id = client.submit(points, name="local-e2e", mode="local")
+        status = client.wait(job_id, timeout_s=180.0)
+        assert status["status"] == "done"
+        assert status["summary"]["num_points"] == 3
+        assert status["summary"]["status_counts"] == {"ok": 3}
+
+        record = client.results(job_id)
+        baseline = _baseline_payloads(points, tmp_path)
+        assert [entry["key"] for entry in record["results"]] == [
+            point.key() for point in points
+        ]
+        assert [entry["result"] for entry in record["results"]] == baseline
+        assert all(entry["status"] == "ok" for entry in record["results"])
+
+        decoded = client.result_objects(job_id)
+        assert [
+            result_to_dict(point.sim, result)
+            for point, result in zip(points, decoded)
+        ] == baseline
+
+    def test_event_stream_passes_check_events(self, client):
+        points = _points(2)
+        job_id = client.submit(points, name="events-e2e")
+        client.wait(job_id, timeout_s=180.0)
+        events = list(client.watch(job_id, follow=False))
+        problems = check_events(
+            events, require_types=("run_start", "point_done", "run_end")
+        )
+        assert problems == []
+        assert sum(1 for e in events if e["type"] == "point_done") == len(points)
+        # The stream honours ?since= (resume a dropped watch).
+        tail = list(client.watch(job_id, since=len(events) - 1, follow=False))
+        assert [e["type"] for e in tail] == ["run_end"]
+
+    def test_jobs_listing_and_info(self, client):
+        job_id = client.submit(_points(1), name="listed")
+        client.wait(job_id, timeout_s=180.0)
+        listed = client.jobs()
+        assert [job["id"] for job in listed] == [job_id]
+        info = client.info()
+        assert info["version"] == __version__
+        assert info["jobs"].get("done") == 1
+        assert info["counters"]["service.jobs_submitted"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: worker fleet
+# ---------------------------------------------------------------------------
+
+
+class TestWorkersMode:
+    def test_fleet_matches_local_bit_identical(self, server, client, tmp_path):
+        points = _points(3)
+        job_id = client.submit(points, name="fleet-e2e", mode="workers")
+
+        # With no fleet attached the job parks as "running" and the
+        # results endpoint says so (409) instead of serving partials.
+        deadline = time.monotonic() + 60.0
+        while client.status(job_id)["status"] == "queued":
+            assert time.monotonic() < deadline, "job never started"
+            time.sleep(0.05)
+        running = client.status(job_id)
+        assert running["status"] == "running"
+        # Running jobs report live journal progress alongside their state.
+        assert set(running["progress"]) == {"completed", "total", "finished"}
+        with pytest.raises(ServiceError) as excinfo:
+            client.results(job_id)
+        assert excinfo.value.status == 409
+
+        served_before = REGISTRY.counter("service.points_served").value
+        with _Fleet(server.url, count=2) as fleet:
+            status = client.wait(job_id, timeout_s=180.0)
+            assert status["status"] == "done"
+            info = client.info()
+            assert info["workers_active"] == 2
+            assert set(info["workers"]) == {"test-worker-0", "test-worker-1"}
+            executed = sum(worker.executed for worker in fleet.workers)
+
+        assert executed == len(points)
+        assert (
+            REGISTRY.counter("service.points_served").value - served_before
+            == len(points)
+        )
+
+        record = client.results(job_id)
+        baseline = _baseline_payloads(points, tmp_path)
+        assert [entry["result"] for entry in record["results"]] == baseline
+        assert [entry["key"] for entry in record["results"]] == [
+            point.key() for point in points
+        ]
+        events = list(client.watch(job_id, follow=False))
+        assert check_events(
+            events, require_types=("run_start", "point_done", "run_end")
+        ) == []
+
+    def test_worker_refuses_mismatched_server(self, server, monkeypatch):
+        # Server and worker share this process, so fake the *server's*
+        # advertised payload rather than the module-level constant.
+        def foreign_payload(**extra):
+            payload = handshake_payload(**extra)
+            payload["protocol"] = 999
+            return payload
+
+        monkeypatch.setattr(
+            "repro.service.server.handshake_payload", foreign_payload
+        )
+        worker = ServiceWorker(server.url, worker_id="stale-worker")
+        with pytest.raises(HandshakeError, match="handshake mismatch"):
+            worker.start()
+
+    def test_worker_exits_when_server_unreachable(self):
+        worker = ServiceWorker(
+            "http://127.0.0.1:9",
+            worker_id="orphan",
+            poll_s=0.02,
+            max_unreachable_s=0.2,
+        )
+        started = time.monotonic()
+        assert worker.run_forever() == 0
+        assert time.monotonic() - started < 10.0
+
+
+@pytest.mark.slow
+class TestWorkerKillDrill:
+    def test_sigkilled_worker_requeues_and_results_stay_identical(
+        self, server, client, tmp_path
+    ):
+        """The fleet chaos drill from the PR contract.
+
+        A worker started with ``REPRO_FAULTS=kill@1`` completes point 0,
+        then ``os._exit``s mid-lease on point 1.  Its heartbeat lease now
+        names a dead PID, so the server requeues the orphaned point
+        (uncharged), and a healthy worker finishes the sweep.  Results
+        must stay bit-identical to a local run, and the workers' summed
+        ``generated`` reports must equal the unique-trace count: the
+        killed attempt never double-generates.
+        """
+        points = _points(3)
+        job_id = client.submit(points, name="kill-drill", mode="workers")
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        requeued_before = REGISTRY.counter("service.points_requeued").value
+
+        doomed = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--server", server.url,
+             "--id", "doomed", "--poll", "0.05"],
+            env={**env, "REPRO_FAULTS": "kill@1"},
+            cwd=str(REPO_ROOT),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            # kill@1 fires inside the worker executing point 1: the
+            # process os._exit(13)s without reporting.
+            assert doomed.wait(timeout=120) == 13
+        finally:
+            if doomed.poll() is None:
+                doomed.kill()
+
+        healthy = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--server", server.url,
+             "--id", "healthy", "--poll", "0.05", "--max-idle", "5",
+             "--max-unreachable", "5"],
+            env=env,
+            cwd=str(REPO_ROOT),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            status = client.wait(job_id, timeout_s=180.0)
+        finally:
+            healthy.terminate()
+            healthy.wait(timeout=30)
+
+        assert status["status"] == "done"
+        assert status["summary"]["status_counts"] == {"ok": 3}
+        assert (
+            REGISTRY.counter("service.points_requeued").value - requeued_before >= 1
+        )
+
+        # Exactly-once generation: the three distinct benchmarks cost
+        # three trace generations fleet-wide, kill or no kill.
+        assert status["generated"] == 3
+
+        record = client.results(job_id)
+        baseline = _baseline_payloads(points, tmp_path)
+        assert [entry["result"] for entry in record["results"]] == baseline
+
+
+# ---------------------------------------------------------------------------
+# Restart recovery (the service's --resume path)
+# ---------------------------------------------------------------------------
+
+
+class TestRestartResume:
+    def test_interrupted_job_resumes_without_reexecution(self):
+        points = _points(4)
+        first = CampaignService()
+        job_id = first.submit(
+            {
+                "name": "resume-drill",
+                "points": [point.to_dict() for point in points],
+                "mode": "local",
+            }
+        )["job_id"]
+
+        # Simulate the server dying mid-job: two points already executed
+        # (journaled + cached under the job's campaign name), the job
+        # record left "running" on disk.
+        runner = CampaignRunner(
+            jobs=1, cache=first.cache, trace_store=first.trace_store
+        )
+        runner.run(points[:2], name=f"service-{job_id}")
+        job = first.store.load(job_id)
+        job.status = "running"
+        first.store.save(job)
+
+        second = CampaignService()
+        second.start()
+        try:
+            deadline = time.monotonic() + 180.0
+            while True:
+                status = second.job_status(job_id)
+                if status["status"] in ("done", "failed"):
+                    break
+                assert time.monotonic() < deadline, f"stuck at {status['status']}"
+                time.sleep(0.05)
+        finally:
+            second.stop(wait_s=10.0)
+
+        assert status["status"] == "done"
+        assert status["resume"] is True
+        # The journaled, cache-verified points were served, not re-run.
+        assert status["summary"]["resumed_count"] == 2
+        assert status["summary"]["num_points"] == 4
+        assert status["summary"]["status_counts"] == {"ok": 4}
+
+
+# ---------------------------------------------------------------------------
+# Doctor: stuck jobs and stale worker leases
+# ---------------------------------------------------------------------------
+
+
+class TestDoctorService:
+    def _dead_pid(self) -> int:
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()
+        return probe.pid
+
+    def test_stuck_job_flagged_and_requeued(self, tmp_path):
+        from repro.integrity.doctor import run_doctor
+
+        cache_root = Path(os.environ["REPRO_CACHE_DIR"])
+        trace_root = Path(os.environ["REPRO_TRACE_DIR"])
+        store = JobStore(cache_root / "service")
+        job = validate_job_payload(
+            {"points": [_points(1)[0].to_dict()], "name": "orphan"}
+        )
+        job.status = "running"
+        store.save(job)
+
+        workers_dir = cache_root / "service" / "workers"
+        workers_dir.mkdir(parents=True, exist_ok=True)
+        (workers_dir / "ghost.lease").write_text(
+            json.dumps(
+                {
+                    "pid": self._dead_pid(),
+                    "host": socket.gethostname(),
+                    "created": time.time(),
+                }
+            ),
+            encoding="utf-8",
+        )
+
+        report = run_doctor(trace_root=trace_root, cache_root=cache_root)
+        problems = {f["problem"] for f in report["findings"]}
+        assert "stuck-job" in problems
+        assert "stale-lease" in problems
+        assert report["ok"] is False  # unresolved error-severity finding
+
+        report = run_doctor(
+            trace_root=trace_root, cache_root=cache_root, repair=True, gc=True
+        )
+        assert report["requeued"] == 1
+        assert report["ok"] is True
+        repaired = store.load(job.id)
+        assert repaired.status == "queued"
+        assert repaired.resume is True
+        assert not (workers_dir / "ghost.lease").exists()
+
+    def test_live_server_lease_suppresses_stuck_job(self, tmp_path):
+        from repro.integrity.doctor import run_doctor
+        from repro.integrity.locks import Lease
+
+        cache_root = Path(os.environ["REPRO_CACHE_DIR"])
+        trace_root = Path(os.environ["REPRO_TRACE_DIR"])
+        store = JobStore(cache_root / "service")
+        job = validate_job_payload(
+            {"points": [_points(1)[0].to_dict()], "name": "busy"}
+        )
+        job.status = "running"
+        store.save(job)
+        lease = Lease(cache_root / "service" / "server.lease")
+        lease.acquire()
+        try:
+            report = run_doctor(trace_root=trace_root, cache_root=cache_root)
+            assert "stuck-job" not in {f["problem"] for f in report["findings"]}
+        finally:
+            lease.release()
+
+
+# ---------------------------------------------------------------------------
+# Supporting pieces: journal progress, buffer observer, lease stamps
+# ---------------------------------------------------------------------------
+
+
+class TestSupportingPieces:
+    def test_journal_progress(self, tmp_path):
+        journal = CampaignJournal(tmp_path, "progress-test")
+        assert journal.progress() == {"completed": 0, "total": None, "finished": False}
+        journal.begin(3, resume=False)
+        journal.record_point(0, "key-a", "ok", cache_hit=False)
+        journal.record_point(1, "key-b", "ok", cache_hit=True)
+        progress = journal.progress()
+        assert progress["completed"] == 2
+        assert progress["total"] == 3
+        assert progress["finished"] is False
+
+    def test_buffer_observer_since(self):
+        buffer = BufferObserver()
+        for i in range(5):
+            buffer.emit({"type": "tick", "i": i})
+        assert len(buffer) == 5
+        assert [e["i"] for e in buffer.since(3)] == [3, 4]
+        assert buffer.since(99) == []
+
+    def test_lease_carries_extra_data(self, tmp_path):
+        from repro.integrity.locks import Lease
+
+        lease = Lease(tmp_path / "stamped.lease", data={"role": "service-worker"})
+        assert lease.acquire()
+        try:
+            stamp = json.loads((tmp_path / "stamped.lease").read_text())
+            assert stamp["role"] == "service-worker"
+            assert stamp["pid"] == os.getpid()
+        finally:
+            lease.release()
+
+    def test_session_info_reports_service_section(self):
+        from repro.run import Session
+
+        cache_root = Path(os.environ["REPRO_CACHE_DIR"])
+        store = JobStore(cache_root / "service")
+        job = validate_job_payload(
+            {"points": [_points(1)[0].to_dict()], "name": "pending"}
+        )
+        store.save(job)
+        info = Session().info()
+        assert info["service"]["jobs"] == {"queued": 1}
+        assert info["service"]["queue_depth"]["jobs"] == 1
