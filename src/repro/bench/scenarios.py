@@ -129,7 +129,14 @@ def run_scenarios(
 
 
 def derive_speedups(results: Dict[str, BenchResult]) -> Dict[str, float]:
-    """Fast-vs-legacy speedups for every measured ``.legacy`` twin."""
+    """Engine speedups for every measured twin pair.
+
+    Each scenario declaring ``speedup_of`` is the slower half of a pair;
+    the derived ratio is keyed by the faster twin's name: ``.legacy``
+    scenarios yield the fast engine's speedup over legacy, and fast
+    scenarios with a ``.vector`` twin yield the vector engine's speedup
+    over fast.
+    """
     speedups: Dict[str, float] = {}
     for name, result in results.items():
         scenario = _SCENARIOS.get(name)
@@ -426,14 +433,20 @@ def _build_simulation(benchmark: str, predictor: str, accesses: int, engine: str
     return build
 
 
-def _register_simulation_pair(benchmark: str, predictor: str, accesses: int, quick: bool) -> None:
+def _register_simulation_pair(
+    benchmark: str, predictor: str, accesses: int, quick: bool, vector: bool = False
+) -> None:
     fast_name = f"sim.{predictor}.{benchmark}"
+    vector_name = f"{fast_name}.vector" if vector else None
     _register(Scenario(
         name=fast_name,
         description=f"simulate_benchmark({benchmark!r}, {predictor}, {accesses // 1000}k accesses), fast engine",
         build=_build_simulation(benchmark, predictor, accesses, "fast"),
         quick=quick,
         repeats=4,
+        # When a vector twin exists, the fast scenario is the slower half
+        # of that pair: the derived ratio is the vector engine's speedup.
+        speedup_of=vector_name,
     ))
     _register(Scenario(
         name=f"{fast_name}.legacy",
@@ -443,12 +456,22 @@ def _register_simulation_pair(benchmark: str, predictor: str, accesses: int, qui
         repeats=3,
         speedup_of=fast_name,
     ))
+    if vector_name is not None:
+        _register(Scenario(
+            name=vector_name,
+            description=f"simulate_benchmark({benchmark!r}, {predictor}, {accesses // 1000}k accesses), vector engine",
+            build=_build_simulation(benchmark, predictor, accesses, "vector"),
+            quick=quick,
+            repeats=4,
+        ))
 
 
-# The headline pair: the tentpole's >=3x acceptance gate is measured on
-# simulate_benchmark with DBCP over mcf at 200k accesses.
-_register_simulation_pair("mcf", "dbcp", 200_000, quick=True)
-_register_simulation_pair("mcf", "none", 200_000, quick=True)
+# The headline pairs: the fast-rewrite >=3x gate is measured on
+# simulate_benchmark with DBCP over mcf at 200k accesses (legacy vs
+# fast), and the vector-kernel >=5x gate on the same point (fast vs
+# vector).
+_register_simulation_pair("mcf", "dbcp", 200_000, quick=True, vector=True)
+_register_simulation_pair("mcf", "none", 200_000, quick=True, vector=True)
 _register_simulation_pair("em3d", "ltcords", 100_000, quick=False)
 _register_simulation_pair("swim", "ghb", 100_000, quick=False)
 # Predictor-focused pairs: GHB on an irregular pointer chase (index-table

@@ -18,9 +18,7 @@ from typing import Optional
 from repro.cache.cache import AccessResult, SetAssociativeCache
 from repro.cache.config import CacheConfig, L1D_CONFIG, L2_CONFIG
 from repro.cache.legacy import LegacySetAssociativeCache
-
-#: Cache model used for each engine name.
-ENGINES = ("fast", "legacy")
+from repro.engines import ENGINES, validate_engine
 
 
 class ServiceLevel(Enum):
@@ -119,22 +117,22 @@ class HierarchyStats:
 class CacheHierarchy:
     """Functional L1D + unified L2 hierarchy with prefetch-into-L1 support.
 
-    ``engine`` selects the cache model: ``"fast"`` (array-backed, the
-    default) or ``"legacy"`` (the original object-per-block reference
-    implementation, kept for equivalence testing and benchmarking).  The
-    fast engine additionally exposes the allocation-free
-    :meth:`access_fast` / :meth:`prefetch_into_l1_fast` entry points used
-    by the trace-driven simulator's hot loop; miss details are reported
-    through the per-cache reusable ``last`` structs and the hierarchy's
-    :attr:`last_level` (0 = L1, 1 = L2, 2 = memory).
+    ``engine`` selects the cache model: ``"legacy"`` uses the original
+    object-per-block reference implementation (kept for equivalence
+    testing and benchmarking); every other engine — ``"fast"`` (the
+    default) and the batch-replay ``"vector"`` engine — uses the
+    array-backed caches.  The array-backed caches additionally expose the
+    allocation-free :meth:`access_fast` / :meth:`prefetch_into_l1_fast`
+    entry points used by the trace-driven simulator's hot loop; miss
+    details are reported through the per-cache reusable ``last`` structs
+    and the hierarchy's :attr:`last_level` (0 = L1, 1 = L2, 2 = memory).
     """
 
     def __init__(self, config: Optional[HierarchyConfig] = None, engine: str = "fast") -> None:
-        if engine not in ENGINES:
-            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        validate_engine(engine)
         self.config = config or HierarchyConfig()
         self.engine = engine
-        cache_cls = SetAssociativeCache if engine == "fast" else LegacySetAssociativeCache
+        cache_cls = LegacySetAssociativeCache if engine == "legacy" else SetAssociativeCache
         self.l1 = cache_cls(self.config.l1, replacement="lru")
         self.l2 = cache_cls(self.config.l2, replacement="lru")
         self.stats = HierarchyStats()
@@ -262,11 +260,11 @@ class SharedL2Hierarchy:
     one-core instance is behaviourally identical to a private hierarchy
     (the differential collapse suite asserts this end to end).
 
-    Both engines are supported: ``"fast"`` callers drive
-    :meth:`access_fast` / :meth:`prefetch_into_l1_fast` (or the caches
-    directly, settling stats in bulk) and read miss details from the
-    per-cache ``last`` structs; ``"legacy"`` callers use the
-    object-returning :meth:`access` / :meth:`prefetch_into_l1`.  After a
+    Every engine is supported: array-backed callers (``"fast"``,
+    ``"vector"``) drive :meth:`access_fast` / :meth:`prefetch_into_l1_fast`
+    (or the caches directly, settling stats in bulk) and read miss
+    details from the per-cache ``last`` structs; ``"legacy"`` callers use
+    the object-returning :meth:`access` / :meth:`prefetch_into_l1`.  After a
     prefetch that allocated in the L2 (memory source),
     :attr:`last_l2_evicted_address` names the shared-L2 block the
     allocation displaced so callers can attribute cross-core
@@ -280,14 +278,13 @@ class SharedL2Hierarchy:
         num_cores: int = 1,
         engine: str = "fast",
     ) -> None:
-        if engine not in ENGINES:
-            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        validate_engine(engine)
         if num_cores < 1:
             raise ValueError("num_cores must be at least 1")
         self.config = config or HierarchyConfig()
         self.engine = engine
         self.num_cores = num_cores
-        cache_cls = SetAssociativeCache if engine == "fast" else LegacySetAssociativeCache
+        cache_cls = LegacySetAssociativeCache if engine == "legacy" else SetAssociativeCache
         self.l1s = [cache_cls(self.config.l1, replacement="lru") for _ in range(num_cores)]
         self.l2 = cache_cls(self.config.l2, replacement="lru")
         self.stats = [HierarchyStats() for _ in range(num_cores)]

@@ -1,0 +1,902 @@
+"""Compiled batch-replay kernel behind ``engine="vector"``.
+
+The vector engine's throughput comes from replaying the whole trace in
+one native call instead of interpreting four cache probes plus the
+predictor protocol per reference in Python.  This module holds the C
+source of that kernel (embedded as a string so the package ships no
+build step and keeps zero hard dependencies), compiles it on first use
+with whatever C compiler the host provides (``cc``/``gcc``/``clang``),
+caches the shared object on disk keyed by a hash of the source, and
+loads it through :mod:`ctypes`.
+
+The kernel is a bit-exact port of the fast engine's replay protocol:
+
+* ``repro_replay_dbcp`` — the dual-hierarchy DBCP replay loop of
+  ``TraceDrivenSimulator._run_fast_direct`` fused with
+  ``FastDBCPPrefetcher.on_access_fast`` / ``on_prefetch_installed`` and
+  ``FastHistoryTable``: array-backed caches with serial-stamp LRU, an
+  open-addressed history map, an order-preserving (LRU) correlation
+  table, and the outstanding/prefetched feedback maps.  Dict semantics
+  are reproduced exactly — linear probing with backward-shift deletion,
+  and a doubly-linked node pool for the insertion-ordered table.
+* ``repro_replay_baseline`` — the no-prefetcher loop (one simulated
+  L1/L2 pair; the caller mirrors the counters onto both hierarchies,
+  which are identical when nothing is ever prefetched).
+
+Both kernels fill a flat ``int64`` output array with the loop counters
+and a full per-cache ``CacheStats`` mirror; :mod:`repro.sim.vector_replay`
+settles those into the simulator's Python-side objects, so results and
+statistics are indistinguishable from a fast-engine run.
+
+Availability is best-effort by design: no compiler, a failed compile, a
+read-only filesystem, or ``REPRO_NO_VECTOR_KERNEL=1`` all simply make
+:func:`load_kernel` return ``None`` and the vector engine falls back to
+its pure-python batch loop.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import Optional
+
+#: Number of int64 slots in a kernel's output array.
+OUT_SLOTS = 64
+
+KERNEL_SOURCE = r"""
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define F_DIRTY 1u
+#define F_PREFETCHED 2u
+#define F_REFERENCED 4u
+
+#define HASH_MULT 0x9E3779B1ULL
+#define HASH_INC 0x7F4A7C15ULL
+
+/* ---------------------------------------------------------------- caches */
+
+typedef struct {
+    int64_t *tags;   /* -1 = invalid */
+    int64_t *blocks;
+    int64_t *stamps; /* last-touch serial == complete LRU state */
+    uint8_t *flags;
+    int32_t *counts;
+    int64_t serial;
+    int64_t set_mask;
+    int64_t block_mask;
+    int offset_bits;
+    int tag_shift;
+    int assoc;
+    int64_t num_sets;
+    /* CacheStats mirror, same order as repro.cache.cache.CacheStats */
+    int64_t accesses, hits, misses, evictions, prefetch_insertions,
+        prefetch_hits, prefetch_unused_evictions, writebacks,
+        prefetch_caused_evictions;
+} Cache;
+
+static int cache_init(Cache *c, int64_t num_sets, int64_t assoc,
+                      int64_t offset_bits, int64_t index_bits,
+                      int64_t block_mask) {
+    int64_t ways = num_sets * assoc;
+    memset(c, 0, sizeof(*c));
+    c->tags = (int64_t *)malloc((size_t)ways * sizeof(int64_t));
+    c->blocks = (int64_t *)calloc((size_t)ways, sizeof(int64_t));
+    c->stamps = (int64_t *)calloc((size_t)ways, sizeof(int64_t));
+    c->flags = (uint8_t *)calloc((size_t)ways, 1);
+    c->counts = (int32_t *)calloc((size_t)num_sets, sizeof(int32_t));
+    if (!c->tags || !c->blocks || !c->stamps || !c->flags || !c->counts)
+        return 1;
+    for (int64_t i = 0; i < ways; i++) c->tags[i] = -1;
+    c->set_mask = num_sets - 1;
+    c->block_mask = block_mask;
+    c->offset_bits = (int)offset_bits;
+    c->tag_shift = (int)(offset_bits + index_bits);
+    c->assoc = (int)assoc;
+    c->num_sets = num_sets;
+    return 0;
+}
+
+static void cache_free(Cache *c) {
+    free(c->tags);
+    free(c->blocks);
+    free(c->stamps);
+    free(c->flags);
+    free(c->counts);
+}
+
+/* access_fast: returns 1 (hit), 2 (hit consuming an unused prefetch) or
+ * 0 (miss; the block is allocated).  On a miss that evicted a block,
+ * *has_evicted = 1 and *evicted / *ev_unused describe the victim. */
+static int cache_access(Cache *c, int64_t address, int is_write,
+                        int64_t *evicted, int *has_evicted, int *ev_unused) {
+    int64_t serial = ++c->serial;
+    c->accesses++;
+    int64_t set_index = (address >> c->offset_bits) & c->set_mask;
+    int64_t tag = address >> c->tag_shift;
+    int assoc = c->assoc;
+    int64_t base = set_index * assoc;
+    int64_t *tags = c->tags + base;
+    int way = -1;
+    for (int w = 0; w < assoc; w++) {
+        if (tags[w] == tag) {
+            way = w;
+            break;
+        }
+    }
+    if (way >= 0) {
+        c->hits++;
+        uint8_t state = c->flags[base + way];
+        c->flags[base + way] =
+            is_write ? (state | F_REFERENCED | F_DIRTY) : (state | F_REFERENCED);
+        c->stamps[base + way] = serial;
+        if ((state & F_PREFETCHED) && !(state & F_REFERENCED)) {
+            c->prefetch_hits++;
+            return 2;
+        }
+        return 1;
+    }
+    c->misses++;
+    *has_evicted = 0;
+    *ev_unused = 0;
+    if (c->counts[set_index] == assoc) {
+        /* First-minimum scan == stamps.index(min(stamps)); stamps are
+         * distinct serials, so there are never ties to break. */
+        int64_t *stamps = c->stamps + base;
+        int64_t best = stamps[0];
+        way = 0;
+        for (int w = 1; w < assoc; w++) {
+            if (stamps[w] < best) {
+                best = stamps[w];
+                way = w;
+            }
+        }
+        uint8_t state = c->flags[base + way];
+        c->evictions++;
+        if (state & F_DIRTY) c->writebacks++;
+        if ((state & F_PREFETCHED) && !(state & F_REFERENCED)) {
+            c->prefetch_unused_evictions++;
+            *ev_unused = 1;
+        }
+        *evicted = c->blocks[base + way];
+        *has_evicted = 1;
+    } else {
+        way = 0;
+        while (tags[way] != -1) way++;
+        c->counts[set_index]++;
+    }
+    tags[way] = tag;
+    c->blocks[base + way] = address & c->block_mask;
+    c->flags[base + way] = is_write ? (F_REFERENCED | F_DIRTY) : F_REFERENCED;
+    c->stamps[base + way] = serial;
+    return 0;
+}
+
+/* _insert_prefetch_absent: the caller has verified the block is not
+ * resident.  victim_address is displaced iff it maps to the same set and
+ * is resident; otherwise the LRU way goes (full sets only). */
+static void cache_insert_prefetch(Cache *c, int64_t set_index, int64_t tag,
+                                  int64_t address, int64_t victim_address,
+                                  int64_t *evicted, int *has_evicted,
+                                  int *ev_unused) {
+    int64_t serial = ++c->serial;
+    c->prefetch_insertions++;
+    int assoc = c->assoc;
+    int64_t base = set_index * assoc;
+    int64_t *tags = c->tags + base;
+    int way = -1;
+    *has_evicted = 0;
+    *ev_unused = 0;
+    if (c->counts[set_index] == assoc) {
+        if (((victim_address >> c->offset_bits) & c->set_mask) == set_index) {
+            int64_t vtag = victim_address >> c->tag_shift;
+            for (int w = 0; w < assoc; w++) {
+                if (tags[w] == vtag) {
+                    way = w;
+                    break;
+                }
+            }
+        }
+        if (way < 0) {
+            int64_t *stamps = c->stamps + base;
+            int64_t best = stamps[0];
+            way = 0;
+            for (int w = 1; w < assoc; w++) {
+                if (stamps[w] < best) {
+                    best = stamps[w];
+                    way = w;
+                }
+            }
+        }
+        uint8_t state = c->flags[base + way];
+        c->evictions++;
+        c->prefetch_caused_evictions++;
+        if (state & F_DIRTY) c->writebacks++;
+        if ((state & F_PREFETCHED) && !(state & F_REFERENCED)) {
+            c->prefetch_unused_evictions++;
+            *ev_unused = 1;
+        }
+        *evicted = c->blocks[base + way];
+        *has_evicted = 1;
+    } else {
+        way = 0;
+        while (tags[way] != -1) way++;
+        c->counts[set_index]++;
+    }
+    tags[way] = tag;
+    c->blocks[base + way] = address & c->block_mask;
+    c->flags[base + way] = F_PREFETCHED;
+    c->stamps[base + way] = serial;
+}
+
+static void cache_dump_stats(const Cache *c, int64_t *out) {
+    out[0] = c->accesses;
+    out[1] = c->hits;
+    out[2] = c->misses;
+    out[3] = c->evictions;
+    out[4] = c->prefetch_insertions;
+    out[5] = c->prefetch_hits;
+    out[6] = c->prefetch_unused_evictions;
+    out[7] = c->writebacks;
+    out[8] = c->prefetch_caused_evictions;
+    out[9] = c->serial;
+}
+
+/* ------------------------------------------------- open-addressed map
+ * int64 key -> (uint64 v0, int64 v1).  Linear probing with
+ * backward-shift deletion (no tombstones), so lookup chains never
+ * degrade over the run. */
+
+typedef struct {
+    int64_t *keys;
+    uint64_t *v0;
+    int64_t *v1;
+    uint8_t *used;
+    uint64_t mask;
+} Map;
+
+static uint64_t mix64(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+static int map_init(Map *m, uint64_t cap_pow2) {
+    m->keys = (int64_t *)malloc(cap_pow2 * sizeof(int64_t));
+    m->v0 = (uint64_t *)malloc(cap_pow2 * sizeof(uint64_t));
+    m->v1 = (int64_t *)malloc(cap_pow2 * sizeof(int64_t));
+    m->used = (uint8_t *)calloc(cap_pow2, 1);
+    m->mask = cap_pow2 - 1;
+    return !(m->keys && m->v0 && m->v1 && m->used);
+}
+
+static void map_free(Map *m) {
+    free(m->keys);
+    free(m->v0);
+    free(m->v1);
+    free(m->used);
+}
+
+static int64_t map_find(const Map *m, int64_t key) {
+    uint64_t i = mix64((uint64_t)key) & m->mask;
+    while (m->used[i]) {
+        if (m->keys[i] == key) return (int64_t)i;
+        i = (i + 1) & m->mask;
+    }
+    return -1;
+}
+
+static int64_t map_get_or_insert(Map *m, int64_t key, int *inserted) {
+    uint64_t i = mix64((uint64_t)key) & m->mask;
+    while (m->used[i]) {
+        if (m->keys[i] == key) {
+            *inserted = 0;
+            return (int64_t)i;
+        }
+        i = (i + 1) & m->mask;
+    }
+    m->used[i] = 1;
+    m->keys[i] = key;
+    m->v0[i] = 0;
+    m->v1[i] = 0;
+    *inserted = 1;
+    return (int64_t)i;
+}
+
+static void map_set(Map *m, int64_t key, uint64_t v0, int64_t v1) {
+    int inserted;
+    int64_t i = map_get_or_insert(m, key, &inserted);
+    m->v0[i] = v0;
+    m->v1[i] = v1;
+}
+
+static void map_del(Map *m, uint64_t i) {
+    uint64_t mask = m->mask;
+    uint64_t j = i;
+    for (;;) {
+        j = (j + 1) & mask;
+        if (!m->used[j]) break;
+        uint64_t k = mix64((uint64_t)m->keys[j]) & mask;
+        if (((j - k) & mask) >= ((j - i) & mask)) {
+            m->keys[i] = m->keys[j];
+            m->v0[i] = m->v0[j];
+            m->v1[i] = m->v1[j];
+            i = j;
+        }
+    }
+    m->used[i] = 0;
+}
+
+/* -------------------------------------------------- LRU-ordered table
+ * The correlation table: uint64 signature key -> packed
+ * (predicted << 8) | confidence, with python-dict insertion order as
+ * LRU order.  A hash index maps keys to nodes of a doubly-linked pool
+ * (head = oldest, tail = most recent). */
+
+typedef struct {
+    uint64_t *hkeys;
+    int32_t *hnode;
+    uint8_t *hused;
+    uint64_t hmask;
+    uint64_t *nkey;
+    int64_t *npacked;
+    int32_t *nprev;
+    int32_t *nnext;
+    int32_t head, tail, free_head;
+    int64_t count;
+} Lru;
+
+static int lru_init(Lru *t, uint64_t hash_cap_pow2, int64_t pool_cap) {
+    t->hkeys = (uint64_t *)malloc(hash_cap_pow2 * sizeof(uint64_t));
+    t->hnode = (int32_t *)malloc(hash_cap_pow2 * sizeof(int32_t));
+    t->hused = (uint8_t *)calloc(hash_cap_pow2, 1);
+    t->hmask = hash_cap_pow2 - 1;
+    t->nkey = (uint64_t *)malloc((size_t)pool_cap * sizeof(uint64_t));
+    t->npacked = (int64_t *)malloc((size_t)pool_cap * sizeof(int64_t));
+    t->nprev = (int32_t *)malloc((size_t)pool_cap * sizeof(int32_t));
+    t->nnext = (int32_t *)malloc((size_t)pool_cap * sizeof(int32_t));
+    if (!(t->hkeys && t->hnode && t->hused && t->nkey && t->npacked &&
+          t->nprev && t->nnext))
+        return 1;
+    for (int64_t i = 0; i < pool_cap; i++) t->nnext[i] = (int32_t)(i + 1);
+    if (pool_cap > 0) t->nnext[pool_cap - 1] = -1;
+    t->free_head = pool_cap > 0 ? 0 : -1;
+    t->head = -1;
+    t->tail = -1;
+    t->count = 0;
+    return 0;
+}
+
+static void lru_free(Lru *t) {
+    free(t->hkeys);
+    free(t->hnode);
+    free(t->hused);
+    free(t->nkey);
+    free(t->npacked);
+    free(t->nprev);
+    free(t->nnext);
+}
+
+static int64_t lru_hfind(const Lru *t, uint64_t key) {
+    uint64_t i = mix64(key) & t->hmask;
+    while (t->hused[i]) {
+        if (t->hkeys[i] == key) return (int64_t)i;
+        i = (i + 1) & t->hmask;
+    }
+    return -1;
+}
+
+static void lru_hdel(Lru *t, uint64_t i) {
+    uint64_t mask = t->hmask;
+    uint64_t j = i;
+    for (;;) {
+        j = (j + 1) & mask;
+        if (!t->hused[j]) break;
+        uint64_t k = mix64(t->hkeys[j]) & mask;
+        if (((j - k) & mask) >= ((j - i) & mask)) {
+            t->hkeys[i] = t->hkeys[j];
+            t->hnode[i] = t->hnode[j];
+            i = j;
+        }
+    }
+    t->hused[i] = 0;
+}
+
+static void lru_unlink(Lru *t, int32_t node) {
+    int32_t p = t->nprev[node];
+    int32_t nx = t->nnext[node];
+    if (p >= 0) t->nnext[p] = nx; else t->head = nx;
+    if (nx >= 0) t->nprev[nx] = p; else t->tail = p;
+}
+
+static void lru_append(Lru *t, int32_t node) {
+    t->nprev[node] = t->tail;
+    t->nnext[node] = -1;
+    if (t->tail >= 0) t->nnext[t->tail] = node; else t->head = node;
+    t->tail = node;
+}
+
+/* table.pop(key) + table[key] = ... == move to the MRU end */
+static void lru_touch(Lru *t, int32_t node) {
+    if (t->tail == node) return;
+    lru_unlink(t, node);
+    lru_append(t, node);
+}
+
+/* del table[next(iter(table))] */
+static void lru_evict_oldest(Lru *t) {
+    int32_t node = t->head;
+    int64_t slot = lru_hfind(t, t->nkey[node]);
+    lru_hdel(t, (uint64_t)slot);
+    lru_unlink(t, node);
+    t->nnext[node] = t->free_head;
+    t->free_head = node;
+    t->count--;
+}
+
+static void lru_insert(Lru *t, uint64_t key, int64_t packed) {
+    int32_t node = t->free_head;
+    t->free_head = t->nnext[node];
+    t->nkey[node] = key;
+    t->npacked[node] = packed;
+    lru_append(t, node);
+    uint64_t i = mix64(key) & t->hmask;
+    while (t->hused[i]) i = (i + 1) & t->hmask;
+    t->hused[i] = 1;
+    t->hkeys[i] = key;
+    t->hnode[i] = node;
+    t->count++;
+}
+
+static uint64_t next_pow2(uint64_t x) {
+    uint64_t p = 1;
+    while (p < x) p <<= 1;
+    return p;
+}
+
+/* ------------------------------------------------------- DBCP replay */
+
+typedef struct {
+    Map hist;        /* block -> (pc_trace_hash, previous_block) */
+    Map outstanding; /* predicted block -> signature key */
+    Map prefetched;  /* resident prefetched block -> (key, source) */
+    Lru table;
+    int64_t dbcp_block_mask;
+    int key_bits;
+    uint64_t key_mask;
+    int64_t conf_threshold, init_conf, max_conf, table_entries;
+    int64_t history_evictions, history_cold, table_hits, low_conf,
+        signatures_recorded, table_evictions, predictions_issued,
+        prefetches_used, prefetches_evicted_unused, incorrect_prefetches,
+        incorrect_mem;
+} Dbcp;
+
+/* FastDBCPPrefetcher._record */
+static void dbcp_record(Dbcp *d, uint64_t key, int64_t predicted) {
+    Lru *t = &d->table;
+    int64_t slot = lru_hfind(t, key);
+    if (slot >= 0) {
+        int32_t node = t->hnode[slot];
+        t->npacked[node] = (predicted << 8) | (t->npacked[node] & 255);
+        lru_touch(t, node);
+        return;
+    }
+    if (d->table_entries >= 0 && t->count >= d->table_entries) {
+        lru_evict_oldest(t);
+        d->table_evictions++;
+    }
+    lru_insert(t, key, (predicted << 8) | d->init_conf);
+    d->signatures_recorded++;
+}
+
+/* FastHistoryTable.observe_eviction fused with _record */
+static void dbcp_evict_record(Dbcp *d, int64_t evicted_address,
+                              int64_t replacement_address) {
+    d->history_evictions++;
+    int64_t evicted_block = evicted_address & d->dbcp_block_mask;
+    uint64_t eh = 0;
+    int64_t ep = 0;
+    int64_t slot = map_find(&d->hist, evicted_block);
+    if (slot >= 0) {
+        eh = d->hist.v0[slot];
+        ep = d->hist.v1[slot];
+        map_del(&d->hist, (uint64_t)slot);
+    } else {
+        d->history_cold++;
+    }
+    uint64_t raw = (eh ^ (uint64_t)ep) * HASH_MULT + HASH_INC;
+    raw = (raw ^ (uint64_t)evicted_block) * HASH_MULT + HASH_INC;
+    uint64_t key = (raw & d->key_mask) ^ (raw >> d->key_bits);
+    int64_t predicted = replacement_address & d->dbcp_block_mask;
+    map_set(&d->hist, predicted, 0, evicted_block);
+    dbcp_record(d, key, predicted);
+}
+
+/* _update_confidence: outstanding.pop(block) wins over the stored tag;
+ * table.get (NO LRU refresh) then clamp into [0, max_confidence]. */
+static void dbcp_feedback(Dbcp *d, int64_t block_address, uint64_t tagkey,
+                          int64_t delta) {
+    uint64_t key;
+    int64_t oslot = map_find(&d->outstanding, block_address);
+    if (oslot >= 0) {
+        key = d->outstanding.v0[oslot];
+        map_del(&d->outstanding, (uint64_t)oslot);
+    } else {
+        key = tagkey;
+    }
+    int64_t slot = lru_hfind(&d->table, key);
+    if (slot < 0) return;
+    int32_t node = d->table.hnode[slot];
+    int64_t packed = d->table.npacked[node];
+    int64_t conf = (packed & 255) + delta;
+    if (conf < 0) conf = 0;
+    if (conf > d->max_conf) conf = d->max_conf;
+    d->table.npacked[node] = (packed & ~(int64_t)255) | conf;
+}
+
+/* cfg: 0 l1_num_sets, 1 l1_assoc, 2 l1_offset_bits, 3 l1_index_bits,
+ *      4 l2_num_sets, 5 l2_assoc, 6 l2_offset_bits, 7 l2_index_bits,
+ *      8 hier_block_mask, 9 dbcp_block_mask, 10 key_bits, 11 key_mask,
+ *      12 confidence_threshold, 13 initial_confidence, 14 max_confidence,
+ *      15 table_entries (-1 = unlimited)
+ * out: see repro.sim.vector_replay (64 int64 slots). */
+int repro_replay_dbcp(int64_t n, const int64_t *pc, const int64_t *addr,
+                      const int8_t *is_write, const int64_t *cfg,
+                      int64_t *out) {
+    Cache main_l1, main_l2, base_l1, base_l2;
+    Dbcp d;
+    int rc = 1;
+    memset(out, 0, 64 * sizeof(int64_t));
+    memset(&d, 0, sizeof(d));
+    if (cache_init(&main_l1, cfg[0], cfg[1], cfg[2], cfg[3], cfg[8])) goto done0;
+    if (cache_init(&main_l2, cfg[4], cfg[5], cfg[6], cfg[7], cfg[8])) goto done0;
+    if (cache_init(&base_l1, cfg[0], cfg[1], cfg[2], cfg[3], cfg[8])) goto done0;
+    if (cache_init(&base_l2, cfg[4], cfg[5], cfg[6], cfg[7], cfg[8])) goto done0;
+
+    d.dbcp_block_mask = cfg[9];
+    d.key_bits = (int)cfg[10];
+    d.key_mask = (uint64_t)cfg[11];
+    d.conf_threshold = cfg[12];
+    d.init_conf = cfg[13];
+    d.max_conf = cfg[14];
+    d.table_entries = cfg[15];
+    {
+        /* At most one history insert per reference plus one per install,
+         * one outstanding/prefetched insert per issued prefetch, and at
+         * most 2n correlation-table inserts in total. */
+        int64_t pool = 2 * n + 16;
+        if (d.table_entries >= 0 && d.table_entries < pool)
+            pool = d.table_entries;
+        if (map_init(&d.hist, next_pow2((uint64_t)(4 * n + 64)))) goto done1;
+        if (map_init(&d.outstanding, next_pow2((uint64_t)(2 * n + 64)))) goto done1;
+        if (map_init(&d.prefetched, next_pow2((uint64_t)(2 * n + 64)))) goto done1;
+        if (lru_init(&d.table, next_pow2((uint64_t)(2 * pool + 64)), pool)) goto done1;
+    }
+
+    int64_t hier_block_mask = cfg[8];
+    int64_t base_misses = 0, correct = 0, early = 0;
+    int64_t base_l2_hits = 0, base_l2_misses = 0;
+    int64_t main_l1_hits = 0, main_l2_hits = 0, main_l2_misses = 0;
+    int64_t hier_prefetches_issued = 0, prefetches_from_l2 = 0,
+            prefetches_from_memory = 0;
+
+    for (int64_t i = 0; i < n; i++) {
+        int64_t address = addr[i];
+        int wr = is_write[i];
+        int64_t evicted = 0;
+        int has_evicted = 0, ev_unused = 0;
+        int64_t dump;
+        int dummy_h, dummy_u;
+
+        int code = cache_access(&main_l1, address, wr, &evicted, &has_evicted,
+                                &ev_unused);
+        if (code) {
+            main_l1_hits++;
+        } else if (cache_access(&main_l2, address, 0, &dump, &dummy_h,
+                                &dummy_u)) {
+            main_l2_hits++;
+        } else {
+            main_l2_misses++;
+        }
+
+        /* Classify against the prediction opportunity. */
+        if (cache_access(&base_l1, address, wr, &dump, &dummy_h, &dummy_u)) {
+            if (!code) early++;
+        } else {
+            base_misses++;
+            if (code) correct++;
+            if (cache_access(&base_l2, address, 0, &dump, &dummy_h, &dummy_u))
+                base_l2_hits++;
+            else
+                base_l2_misses++;
+        }
+
+        int64_t block_address = address & hier_block_mask;
+
+        /* Feedback for prefetched blocks. */
+        if (code) {
+            if (code == 2) {
+                int64_t pslot = map_find(&d.prefetched, block_address);
+                if (pslot >= 0) {
+                    uint64_t tagkey = d.prefetched.v0[pslot];
+                    map_del(&d.prefetched, (uint64_t)pslot);
+                    d.prefetches_used++;
+                    dbcp_feedback(&d, block_address, tagkey, 1);
+                }
+            }
+        } else {
+            if (ev_unused) {
+                int64_t pslot = map_find(&d.prefetched, evicted);
+                if (pslot >= 0) {
+                    uint64_t tagkey = d.prefetched.v0[pslot];
+                    int64_t source = d.prefetched.v1[pslot];
+                    map_del(&d.prefetched, (uint64_t)pslot);
+                    d.incorrect_prefetches++;
+                    if (source == 2) d.incorrect_mem++;
+                    d.prefetches_evicted_unused++;
+                    dbcp_feedback(&d, evicted, tagkey, -1);
+                }
+            }
+            /* on_access_fast: eviction branch. */
+            if (has_evicted) dbcp_evict_record(&d, evicted, block_address);
+        }
+
+        /* on_access_fast: fused observe_access. */
+        int64_t block = address & d.dbcp_block_mask;
+        int inserted;
+        int64_t hslot = map_get_or_insert(&d.hist, block, &inserted);
+        uint64_t trace_hash =
+            (d.hist.v0[hslot] ^ (uint64_t)pc[i]) * HASH_MULT + HASH_INC;
+        d.hist.v0[hslot] = trace_hash;
+        uint64_t raw =
+            (trace_hash ^ (uint64_t)d.hist.v1[hslot]) * HASH_MULT + HASH_INC;
+        raw = (raw ^ (uint64_t)block) * HASH_MULT + HASH_INC;
+        uint64_t candidate_key = (raw & d.key_mask) ^ (raw >> d.key_bits);
+
+        int64_t tslot = lru_hfind(&d.table, candidate_key);
+        if (tslot < 0) continue;
+        int32_t node = d.table.hnode[tslot];
+        lru_touch(&d.table, node); /* a table hit refreshes the LRU position */
+        d.table_hits++;
+        int64_t packed = d.table.npacked[node];
+        if ((packed & 255) < d.conf_threshold) {
+            d.low_conf++;
+            continue;
+        }
+        d.predictions_issued++;
+        int64_t predicted_address = packed >> 8;
+        map_set(&d.outstanding, predicted_address, candidate_key, 0);
+
+        /* Execute the command inline: prefetch_into_l1_fast. */
+        hier_prefetches_issued++;
+        int64_t pset = (predicted_address >> main_l1.offset_bits) & main_l1.set_mask;
+        int64_t ptag = predicted_address >> main_l1.tag_shift;
+        {
+            int64_t pbase = pset * main_l1.assoc;
+            int resident = 0;
+            for (int w = 0; w < main_l1.assoc; w++) {
+                if (main_l1.tags[pbase + w] == ptag) {
+                    resident = 1;
+                    break;
+                }
+            }
+            if (resident) continue;
+        }
+        int64_t source;
+        if (cache_access(&main_l2, predicted_address, 0, &dump, &dummy_h,
+                         &dummy_u)) {
+            prefetches_from_l2++;
+            source = 1;
+        } else {
+            prefetches_from_memory++;
+            source = 2;
+        }
+        int64_t pevicted = 0;
+        int phas = 0, punused = 0;
+        cache_insert_prefetch(&main_l1, pset, ptag, predicted_address,
+                              block_address, &pevicted, &phas, &punused);
+        int64_t pblock = predicted_address & hier_block_mask;
+        if (punused) {
+            int64_t pslot = map_find(&d.prefetched, pevicted);
+            if (pslot >= 0) {
+                uint64_t tagkey = d.prefetched.v0[pslot];
+                int64_t psource = d.prefetched.v1[pslot];
+                map_del(&d.prefetched, (uint64_t)pslot);
+                d.incorrect_prefetches++;
+                if (psource == 2) d.incorrect_mem++;
+                d.prefetches_evicted_unused++;
+                dbcp_feedback(&d, pevicted, tagkey, -1);
+            }
+        }
+        map_set(&d.prefetched, pblock, candidate_key, source);
+        /* on_prefetch_installed */
+        if (phas) dbcp_evict_record(&d, pevicted, pblock);
+    }
+
+    out[0] = base_misses;
+    out[1] = correct;
+    out[2] = early;
+    out[3] = base_l2_hits;
+    out[4] = base_l2_misses;
+    out[5] = main_l1_hits;
+    out[6] = main_l2_hits;
+    out[7] = main_l2_misses;
+    out[8] = d.predictions_issued;
+    out[9] = d.prefetches_used;
+    out[10] = d.prefetches_evicted_unused;
+    out[11] = d.incorrect_prefetches;
+    out[12] = d.incorrect_mem;
+    out[13] = hier_prefetches_issued;
+    out[14] = prefetches_from_l2;
+    out[15] = prefetches_from_memory;
+    out[16] = d.table_hits;
+    out[17] = d.low_conf;
+    out[18] = d.signatures_recorded;
+    out[19] = d.table_evictions;
+    out[20] = d.history_evictions;
+    out[21] = d.history_cold;
+    cache_dump_stats(&main_l1, out + 24);
+    cache_dump_stats(&main_l2, out + 34);
+    cache_dump_stats(&base_l1, out + 44);
+    cache_dump_stats(&base_l2, out + 54);
+    rc = 0;
+
+done1:
+    map_free(&d.hist);
+    map_free(&d.outstanding);
+    map_free(&d.prefetched);
+    lru_free(&d.table);
+done0:
+    cache_free(&main_l1);
+    cache_free(&main_l2);
+    cache_free(&base_l1);
+    cache_free(&base_l2);
+    return rc;
+}
+
+/* No-prefetcher replay: with the NullPrefetcher the main and baseline
+ * hierarchies receive identical streams, so one simulated L1/L2 pair
+ * stands for both; the caller mirrors the counters.
+ * cfg: slots 0-8 as above.  out: 0 l1_hits, 1 l2_hits, 2 l2_misses,
+ * per-cache stats at 24 (L1) and 34 (L2). */
+int repro_replay_baseline(int64_t n, const int64_t *addr,
+                          const int8_t *is_write, const int64_t *cfg,
+                          int64_t *out) {
+    Cache l1, l2;
+    memset(out, 0, 64 * sizeof(int64_t));
+    if (cache_init(&l1, cfg[0], cfg[1], cfg[2], cfg[3], cfg[8]) ||
+        cache_init(&l2, cfg[4], cfg[5], cfg[6], cfg[7], cfg[8])) {
+        cache_free(&l1);
+        cache_free(&l2);
+        return 1;
+    }
+    int64_t l1_hits = 0, l2_hits = 0, l2_misses = 0;
+    int64_t dump;
+    int dummy_h, dummy_u;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t address = addr[i];
+        if (cache_access(&l1, address, is_write[i], &dump, &dummy_h, &dummy_u))
+            l1_hits++;
+        else if (cache_access(&l2, address, 0, &dump, &dummy_h, &dummy_u))
+            l2_hits++;
+        else
+            l2_misses++;
+    }
+    out[0] = l1_hits;
+    out[1] = l2_hits;
+    out[2] = l2_misses;
+    cache_dump_stats(&l1, out + 24);
+    cache_dump_stats(&l2, out + 34);
+    cache_free(&l1);
+    cache_free(&l2);
+    return 0;
+}
+"""
+
+
+class VectorKernel:
+    """ctypes handle over the compiled replay kernels."""
+
+    def __init__(self, library: ctypes.CDLL) -> None:
+        self.library = library
+        i64 = ctypes.c_longlong
+        ptr = ctypes.c_void_p
+        self.replay_dbcp = library.repro_replay_dbcp
+        self.replay_dbcp.argtypes = [i64, ptr, ptr, ptr, ptr, ptr]
+        self.replay_dbcp.restype = ctypes.c_int
+        self.replay_baseline = library.repro_replay_baseline
+        self.replay_baseline.argtypes = [i64, ptr, ptr, ptr, ptr]
+        self.replay_baseline.restype = ctypes.c_int
+
+
+def kernel_cache_dir() -> str:
+    """Directory holding compiled kernel shared objects."""
+    env = os.environ.get("REPRO_KERNEL_CACHE")
+    if env:
+        return env
+    home = os.path.expanduser("~")
+    if home and home != "~":
+        return os.path.join(home, ".cache", "repro", "kernels")
+    return os.path.join(tempfile.gettempdir(), "repro-kernels")
+
+
+def _find_compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _compile_kernel(so_path: str) -> bool:
+    """Compile the embedded source to ``so_path``; ``False`` on any failure."""
+    compiler = _find_compiler()
+    if compiler is None:
+        return False
+    directory = os.path.dirname(so_path)
+    try:
+        os.makedirs(directory, exist_ok=True)
+        fd, c_path = tempfile.mkstemp(suffix=".c", dir=directory)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(KERNEL_SOURCE)
+        tmp_so = c_path[:-2] + ".so"
+        try:
+            proc = subprocess.run(
+                [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_so, c_path],
+                capture_output=True,
+                timeout=120,
+            )
+            if proc.returncode != 0:
+                return False
+            # Atomic publish: concurrent compiles race benignly.
+            os.replace(tmp_so, so_path)
+            return True
+        finally:
+            for leftover in (c_path, tmp_so):
+                try:
+                    os.unlink(leftover)
+                except OSError:
+                    pass
+    except (OSError, subprocess.SubprocessError):
+        return False
+
+
+_KERNEL: Optional[VectorKernel] = None
+_KERNEL_FAILED = False
+
+
+def load_kernel() -> Optional[VectorKernel]:
+    """The compiled kernel, building it on first use; ``None`` if unavailable.
+
+    Failures (no compiler, failed compile, unloadable object, or the
+    ``REPRO_NO_VECTOR_KERNEL`` kill-switch) are remembered for the
+    process, so the fallback decision is paid once.
+    """
+    global _KERNEL, _KERNEL_FAILED
+    if _KERNEL is not None:
+        return _KERNEL
+    if _KERNEL_FAILED:
+        return None
+    if os.environ.get("REPRO_NO_VECTOR_KERNEL"):
+        _KERNEL_FAILED = True
+        return None
+    digest = hashlib.sha256(KERNEL_SOURCE.encode("utf-8")).hexdigest()[:16]
+    so_path = os.path.join(kernel_cache_dir(), f"repro_vector_{digest}.so")
+    if not os.path.exists(so_path) and not _compile_kernel(so_path):
+        _KERNEL_FAILED = True
+        return None
+    try:
+        library = ctypes.CDLL(so_path)
+        _KERNEL = VectorKernel(library)
+    except OSError:
+        _KERNEL_FAILED = True
+        return None
+    return _KERNEL

@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.campaign.configs import decode_config, encode_config
 from repro.cache.hierarchy import HierarchyConfig
+from repro.engines import DEFAULT_ENGINE, FAST_EQUIVALENT_ENGINES, validate_engine
 from repro.trace.store import TRACE_FORMAT_VERSION
 from repro.version import __version__
 
@@ -55,12 +56,13 @@ class PointSpec:
     quantum_instructions: int = 20_000
     max_switches: int = 60
     label: Optional[str] = None
-    #: Simulation engine for trace points: "fast" (default) or "legacy".
-    #: Both produce bit-identical results (the equivalence suite enforces
-    #: it), so the engine is excluded from the content key when it is the
-    #: default; "legacy" points are keyed separately for cross-checking
-    #: campaigns.
-    engine: str = "fast"
+    #: Simulation engine for trace points: "fast" (default), "legacy", or
+    #: "vector".  Every engine produces bit-identical results (the
+    #: equivalence suites enforce it), so engines pinned identical to the
+    #: default (see :data:`repro.engines.FAST_EQUIVALENT_ENGINES`) are
+    #: excluded from the content key and share one cache entry; "legacy"
+    #: points are keyed separately for cross-checking campaigns.
+    engine: str = DEFAULT_ENGINE
 
     def __post_init__(self) -> None:
         if self.sim not in SIM_KINDS:
@@ -69,18 +71,18 @@ class PointSpec:
             raise ValueError("multiprogram points need a secondary benchmark")
         if self.num_accesses <= 0:
             raise ValueError("num_accesses must be positive")
-        if self.engine not in ("fast", "legacy"):
-            raise ValueError(f"engine must be 'fast' or 'legacy', got {self.engine!r}")
-        if self.engine != "fast" and self.sim != "trace":
-            raise ValueError("only trace points support the legacy engine")
+        validate_engine(self.engine)
+        if self.engine != DEFAULT_ENGINE and self.sim != "trace":
+            raise ValueError("only trace points support a non-default engine")
 
     # ------------------------------------------------------------------ serialisation
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe encoding (excludes ``label``; see class docstring).
 
-        ``engine`` is encoded only when it differs from the default, so
-        existing cache keys remain valid (both engines produce identical
-        results anyway).
+        ``engine`` is encoded only for engines not pinned bit-identical
+        to the default, so existing cache keys remain valid and a result
+        cached under one fast-equivalent engine (``"fast"``/``"vector"``)
+        is served verbatim to the others.
         """
         payload = {
             "benchmark": self.benchmark,
@@ -95,7 +97,7 @@ class PointSpec:
             "quantum_instructions": self.quantum_instructions,
             "max_switches": self.max_switches,
         }
-        if self.engine != "fast":
+        if self.engine not in FAST_EQUIVALENT_ENGINES:
             payload["engine"] = self.engine
         return payload
 

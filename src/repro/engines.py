@@ -1,0 +1,46 @@
+"""The single source of truth for simulation engine names.
+
+Every engine validator, CLI choice list, and error message in the
+package imports from here.  Before this module existed the engine names
+were defined in four places (``cache/hierarchy.py``, ``registry.py``,
+and hardcoded tuples in ``campaign/spec.py`` and ``registry.py``), so a
+new engine could be half-registered — accepted by
+:class:`~repro.cache.hierarchy.CacheHierarchy` but rejected by
+:class:`~repro.campaign.spec.PointSpec`.  The regression suite asserts
+that the literal tuple below is the only engine-name tuple left in the
+source tree.
+
+The module is deliberately dependency-free (stdlib ``typing`` only) so
+that every layer — cache, registry, campaign, multicore, CLI — can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Every simulation engine, in documentation order:
+#:
+#: * ``"fast"``   — flat-array caches + fast per-access predictor protocol
+#:   (the default);
+#: * ``"legacy"`` — the original object-per-access reference models, kept
+#:   for equivalence testing and benchmarking;
+#: * ``"vector"`` — batch replay through the compiled/NumPy kernel of
+#:   :mod:`repro.sim.vector_replay`, with a pure-python fallback.
+ENGINES: Tuple[str, ...] = ("fast", "legacy", "vector")
+
+#: The engine applied when a spec or simulator does not choose one.
+DEFAULT_ENGINE = "fast"
+
+#: Engines pinned bit-identical to the default by the equivalence suites.
+#: Specs exclude these from their content keys so the result cache never
+#: splits across engines that produce byte-for-byte equal results
+#: ("legacy" is keyed separately for cross-checking campaigns).
+FAST_EQUIVALENT_ENGINES = frozenset({"fast", "vector"})
+
+
+def validate_engine(engine: str) -> str:
+    """Return ``engine`` if known, else raise the canonical ``ValueError``."""
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine

@@ -31,12 +31,15 @@ closures iterate column slices with locals hoisted, drive the caches
 through ``access_fast``, use the predictors' fast per-access protocol
 when available (reused-outcome fallback otherwise), take the
 single-command queue bypass, and settle hierarchy/breakdown/bus counters
-in bulk.  ``engine="legacy"`` is the clear object-per-access reference
-loop over the same chunk schedule.  Both engines produce bit-identical
-``MulticoreResult.to_dict`` output (the multicore equivalence matrix
-asserts this for every benchmark), and a one-core run of either engine
-is bit-identical to the matching single-core simulator (the collapse
-suite asserts this for every predictor x engine pair).
+in bulk.  ``engine="vector"`` reuses those fast closures unchanged (the
+chunked interleaving already replays in blocks, so there is no separate
+multicore vector loop to diverge).  ``engine="legacy"`` is the clear
+object-per-access reference loop over the same chunk schedule.  Every
+engine produces bit-identical ``MulticoreResult.to_dict`` output (the
+multicore equivalence matrix asserts this for every benchmark), and a
+one-core run of any engine is bit-identical to the matching single-core
+simulator (the collapse suite asserts this for every predictor x engine
+pair).
 
 Cross-core interference
 -----------------------
@@ -52,8 +55,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cache.hierarchy import ENGINES, HierarchyConfig, ServiceLevel, SharedL2Hierarchy
+from repro.cache.hierarchy import HierarchyConfig, ServiceLevel, SharedL2Hierarchy
 from repro.core.interface import AccessOutcome, Prefetcher
+from repro.engines import validate_engine
 from repro.memory.bus import BusModel, TrafficCategory
 from repro.memory.request_queue import PrefetchRequestQueue
 from repro.multicore.result import MulticoreResult
@@ -126,8 +130,7 @@ class MulticoreSimulator:
         interleave: str = "rr",
         quantum_accesses: int = DEFAULT_QUANTUM_ACCESSES,
     ) -> None:
-        if engine not in ENGINES:
-            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        validate_engine(engine)
         if not prefetchers:
             raise ValueError("need at least one per-core prefetcher")
         self.engine = engine
@@ -209,10 +212,13 @@ class MulticoreSimulator:
         chunks = schedule_chunks(
             [column.icount for column in columns], self.interleave, self.quantum_accesses
         )
-        if self.engine == "fast":
-            cores = [self._make_fast_core(core, columns[core]) for core in range(self.num_cores)]
-        else:
+        if self.engine == "legacy":
             cores = [self._make_legacy_core(core, traces[core]) for core in range(self.num_cores)]
+        else:
+            # "fast" and "vector" share the per-core fast closures: the
+            # chunked interleaving means vector co-runs are already driven
+            # in blocks, so there is no separate vector loop to diverge.
+            cores = [self._make_fast_core(core, columns[core]) for core in range(self.num_cores)]
         for core, start, stop in chunks:
             cores[core][0](start, stop)
         for run_chunk, settle in cores:

@@ -20,7 +20,8 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 
 from repro.campaign.configs import decode_config, encode_config
 from repro.campaign.spec import DEFAULT_NUM_ACCESSES
-from repro.cache.hierarchy import ENGINES, HierarchyConfig
+from repro.cache.hierarchy import HierarchyConfig
+from repro.engines import FAST_EQUIVALENT_ENGINES, validate_engine
 from repro.trace.store import TRACE_FORMAT_VERSION
 from repro.version import __version__
 
@@ -89,8 +90,7 @@ class MulticoreSpec:
             raise ValueError(
                 f"interleave must be one of {INTERLEAVE_POLICIES}, got {self.interleave!r}"
             )
-        if self.engine not in ENGINES:
-            raise ValueError(f"engine must be one of {ENGINES}, got {self.engine!r}")
+        validate_engine(self.engine)
 
     # ------------------------------------------------------------------ views
     @property
@@ -131,7 +131,7 @@ class MulticoreSpec:
             "quantum_accesses": self.quantum_accesses,
             "address_shift": self.address_shift,
         }
-        if self.engine != "fast":
+        if self.engine not in FAST_EQUIVALENT_ENGINES:
             payload["engine"] = self.engine
         return payload
 

@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
 
 from repro.core.interface import Prefetcher
 from repro.core.ltcords import FastLTCordsPrefetcher, LTCordsConfig, LTCordsPrefetcher
+from repro.engines import ENGINES, validate_engine
 from repro.core.sequence_storage import SequenceStorageConfig
 from repro.core.signature_cache import SignatureCacheConfig
 from repro.core.signatures import SignatureConfig
@@ -49,8 +50,11 @@ from repro.prefetchers.ghb import FastGHBPrefetcher, GHBConfig, GHBPrefetcher
 from repro.prefetchers.null import NullPrefetcher
 from repro.prefetchers.stride import FastStridePrefetcher, StrideConfig, StridePrefetcher
 
-#: Implementation families every predictor entry provides.
-ENGINE_NAMES: Tuple[str, ...] = ("fast", "legacy")
+#: Implementation families a predictor entry may provide, re-exported
+#: from :mod:`repro.engines` (the single source of truth).  Entries
+#: without a dedicated class for an engine fall back to their ``fast``
+#: class — see :meth:`PredictorEntry.build`.
+ENGINE_NAMES: Tuple[str, ...] = ENGINES
 
 # ---------------------------------------------------------------------------
 # Config classes (campaign serialisation).
@@ -97,8 +101,15 @@ class PredictorEntry:
     metadata: Mapping[str, Any] = field(default_factory=dict)
 
     def build(self, config: Optional[object] = None, engine: str = "fast") -> Prefetcher:
-        """Instantiate the predictor for ``engine`` with ``config`` (or the default)."""
-        cls = self.engines[engine]
+        """Instantiate the predictor for ``engine`` with ``config`` (or the default).
+
+        Engines without a dedicated class fall back to the ``fast`` class:
+        the fast per-access protocol is the contract every non-legacy
+        engine consumes, so a plugin registered with only a fast class
+        keeps working under ``engine="vector"`` (and any future engine
+        that speaks the same protocol).
+        """
+        cls = self.engines.get(engine) or self.engines["fast"]
         if self.config_class is None:
             # Config-free predictors (e.g. "none") ignore a passed config,
             # matching the historical build_predictor behaviour.
@@ -116,6 +127,7 @@ def register_predictor(
     fast: Optional[Type[Prefetcher]] = None,
     *,
     legacy: Optional[Type[Prefetcher]] = None,
+    vector: Optional[Type[Prefetcher]] = None,
     config_class: Optional[Type[Any]] = None,
     default_config: Optional[Callable[[], Any]] = None,
     description: str = "",
@@ -126,10 +138,15 @@ def register_predictor(
     Called with classes (``register_predictor("dbcp", fast=..., legacy=...)``)
     it registers immediately and returns the :class:`PredictorEntry`.
     Called with only keyword metadata it returns a class decorator that
-    registers the decorated class for both engines::
+    registers the decorated class for every engine::
 
         @register_predictor("markov", config_class=MarkovConfig)
         class MarkovPrefetcher(Prefetcher): ...
+
+    Per-engine classes are optional beyond ``fast``: ``legacy`` defaults
+    to the fast class, and any engine without a dedicated class (e.g.
+    ``vector``) falls back to the fast class at build time, so plugins
+    registered before an engine existed keep working under it.
 
     ``config_class`` is also added to :data:`CONFIG_CLASSES` so specs
     carrying the predictor's configuration serialise through campaigns;
@@ -142,9 +159,12 @@ def register_predictor(
             raise ValueError(f"predictor {name!r} is already registered")
         if config_class is not None:
             register_config_class(config_class)
+        engines = {"fast": fast_cls, "legacy": legacy_cls if legacy_cls is not None else fast_cls}
+        if vector is not None:
+            engines["vector"] = vector
         entry = PredictorEntry(
             name=name,
-            engines={"fast": fast_cls, "legacy": legacy_cls if legacy_cls is not None else fast_cls},
+            engines=engines,
             config_class=config_class,
             default_config=default_config if default_config is not None else config_class,
             description=description,
@@ -197,11 +217,13 @@ def build_predictor(name: str, config: Optional[object] = None, engine: str = "f
 
     ``engine`` selects the implementation family: ``"fast"`` (flat-state
     predictors implementing the allocation-free per-access protocol, the
-    default) or ``"legacy"`` (the original object-based models).  Both
-    produce bit-identical simulation results.
+    default), ``"legacy"`` (the original object-based models), or
+    ``"vector"`` (batch replay; predictors without a dedicated vector
+    class fall back to their fast class, which the vector engine drives
+    through the same per-access protocol).  All engines produce
+    bit-identical simulation results.
     """
-    if engine not in ENGINE_NAMES:
-        raise ValueError(f"engine must be 'fast' or 'legacy', got {engine!r}")
+    validate_engine(engine)
     return predictor_entry(name).build(config, engine)
 
 

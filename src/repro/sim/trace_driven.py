@@ -24,10 +24,14 @@ entry points, reuses one :class:`MemoryAccess`/:class:`AccessOutcome`
 pair for predictor callbacks, and takes a dedicated no-prefetcher
 baseline path when the predictor is the :class:`NullPrefetcher`.
 ``engine="legacy"`` replays through the original object-per-access loop
-and the :class:`LegacySetAssociativeCache` model.  Both engines produce
-bit-identical :meth:`SimulationResult.to_dict` output — the equivalence
-suite asserts this for every (benchmark × predictor) pair — and
-``repro.bench`` measures the speedup between them.
+and the :class:`LegacySetAssociativeCache` model.  ``engine="vector"``
+hands the whole trace to :mod:`repro.sim.vector_replay`, which replays
+it in batch — through a compiled kernel over the trace's NumPy-viewable
+columns when available, a fused pure-python loop otherwise — and settles
+the identical counters in bulk.  Every engine produces bit-identical
+:meth:`SimulationResult.to_dict` output — the equivalence suites assert
+this for every (benchmark × predictor) pair — and ``repro.bench``
+measures the speedups between them.
 
 Because the fast engine mutates the shared outcome object in place,
 custom predictors must read the fields they need during ``on_access``
@@ -40,8 +44,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
-from repro.cache.hierarchy import ENGINES, CacheHierarchy, HierarchyConfig, ServiceLevel
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig, ServiceLevel
 from repro.core.interface import AccessOutcome, Prefetcher
+from repro.engines import validate_engine
 from repro.memory.bus import BusModel, TrafficCategory
 from repro.memory.request_queue import PrefetchRequestQueue
 from repro.obs.metrics import REGISTRY
@@ -220,8 +225,7 @@ class TraceDrivenSimulator:
         request_queue_size: int = 128,
         engine: str = "fast",
     ) -> None:
-        if engine not in ENGINES:
-            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        validate_engine(engine)
         self.engine = engine
         self.prefetcher = prefetcher if prefetcher is not None else NullPrefetcher()
         self.hierarchy_config = hierarchy_config or HierarchyConfig()
@@ -265,7 +269,7 @@ class TraceDrivenSimulator:
         self.prefetcher.on_prefetch_installed(block, l1_last.evicted_address, tag=tag)
 
     def _execute_prefetches(self) -> None:
-        if self.engine != "fast":
+        if self.engine == "legacy":
             self._execute_prefetches_legacy()
             return
         requests = self.request_queue.pop_all()
@@ -300,15 +304,18 @@ class TraceDrivenSimulator:
         time the replay and settle phases separately; :meth:`run` is the
         unchanged one-call form.
         """
-        if self.engine == "fast":
-            if type(self.prefetcher) is NullPrefetcher:
-                self._run_fast_baseline(trace)
-            elif self.prefetcher.on_access_fast is not None:
-                self._run_fast_direct(trace)
-            else:
-                self._run_fast(trace)
-        else:
+        if self.engine == "legacy":
             self._run_legacy(trace)
+        elif self.engine == "vector":
+            from repro.sim.vector_replay import replay_vector
+
+            replay_vector(self, trace)
+        elif type(self.prefetcher) is NullPrefetcher:
+            self._run_fast_baseline(trace)
+        elif self.prefetcher.on_access_fast is not None:
+            self._run_fast_direct(trace)
+        else:
+            self._run_fast(trace)
 
     def _settle_hierarchy_stats(
         self,

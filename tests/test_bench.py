@@ -61,6 +61,10 @@ class TestScenarios:
         assert "sim.dbcp.mcf" in names
         assert "sim.dbcp.mcf.legacy" in names
         assert get_scenario("sim.dbcp.mcf.legacy").speedup_of == "sim.dbcp.mcf"
+        # The vector twin chains onto the fast scenario: the derived
+        # ratio for "sim.dbcp.mcf.vector" is the vector engine's speedup.
+        assert "sim.dbcp.mcf.vector" in names
+        assert get_scenario("sim.dbcp.mcf").speedup_of == "sim.dbcp.mcf.vector"
 
     def test_quick_set_is_a_subset_and_has_calibration(self):
         quick = scenario_names(quick_only=True)
@@ -89,6 +93,14 @@ class TestScenarios:
         speedups = derive_speedups(results)
         assert "sim.dbcp.mcf" in speedups
         assert speedups["sim.dbcp.mcf"] > 0
+
+    def test_vector_twin_speedup_derivation(self):
+        results = run_scenarios(
+            ["sim.dbcp.mcf", "sim.dbcp.mcf.vector"], scale=0.01, repeats=1
+        )
+        speedups = derive_speedups(results)
+        assert "sim.dbcp.mcf.vector" in speedups
+        assert speedups["sim.dbcp.mcf.vector"] > 0
 
     def test_multicore_scenarios_run_and_pair(self):
         results = run_scenarios(

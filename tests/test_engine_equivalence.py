@@ -53,6 +53,29 @@ def test_engines_bit_identical(workload, predictor):
     assert fast.to_dict() == legacy.to_dict()
 
 
+@pytest.mark.parametrize("workload,predictor", _pairs())
+def test_vector_engine_bit_identical(workload, predictor):
+    """The batch vector engine matches fast on the full grid.
+
+    Covers every tier the vector engine dispatches to: the compiled
+    kernel for dbcp/none (when a compiler is present), and the
+    fast-fallback for the other predictors.
+    """
+    fast = simulate_benchmark(
+        workload,
+        build_predictor(predictor, engine="fast"),
+        num_accesses=NUM_ACCESSES,
+        engine="fast",
+    )
+    vector = simulate_benchmark(
+        workload,
+        build_predictor(predictor, engine="vector"),
+        num_accesses=NUM_ACCESSES,
+        engine="vector",
+    )
+    assert fast.to_dict() == vector.to_dict()
+
+
 @pytest.mark.parametrize("predictor", ["dbcp", "ltcords"])
 def test_engines_agree_on_longer_shared_trace(predictor):
     """One deeper run per heavyweight predictor, replaying one shared trace."""
@@ -63,7 +86,11 @@ def test_engines_agree_on_longer_shared_trace(predictor):
     legacy = TraceDrivenSimulator(
         prefetcher=build_predictor(predictor, engine="legacy"), engine="legacy"
     ).run(trace)
+    vector = TraceDrivenSimulator(
+        prefetcher=build_predictor(predictor, engine="vector"), engine="vector"
+    ).run(trace)
     assert fast.to_dict() == legacy.to_dict()
+    assert fast.to_dict() == vector.to_dict()
 
 
 @pytest.mark.parametrize("predictor", ["dbcp", "ghb", "ltcords", "stride"])

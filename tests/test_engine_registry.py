@@ -1,0 +1,207 @@
+"""The engine registry is single-sourced and uniformly honoured.
+
+Engine names used to be defined in four places; a new engine could be
+half-registered — accepted by the cache hierarchy but rejected by the
+campaign spec layer.  These tests pin the fix: :mod:`repro.engines` is
+the one source of truth (a source scan proves the tuple literal exists
+nowhere else), every consumer accepts every registered engine, and
+engines pinned bit-identical to the default share one result-cache
+entry in both directions.
+"""
+
+import dataclasses
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.engines as engines_mod
+from repro.engines import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    FAST_EQUIVALENT_ENGINES,
+    validate_engine,
+)
+
+SRC_ROOT = Path(__file__).parent.parent / "src"
+
+
+# ---------------------------------------------------------------------------
+# Single-sourcing: one constant, re-exported everywhere, one literal.
+# ---------------------------------------------------------------------------
+
+
+def test_engine_constants_are_the_same_object_everywhere():
+    import repro.cache.hierarchy as hierarchy
+    import repro.registry as registry
+
+    assert hierarchy.ENGINES is engines_mod.ENGINES
+    assert registry.ENGINE_NAMES is engines_mod.ENGINES
+
+
+def test_engine_tuple_literal_appears_only_in_engines_module():
+    """Drift regression: the engine-name tuple exists in exactly one file.
+
+    Any module that needs the engine list must import it; a second
+    literal is how the pre-refactor half-registered-engine bug starts.
+    """
+    literal = re.compile(r"""['"]fast['"]\s*,\s*['"]legacy['"]""")
+    offenders = [
+        path.relative_to(SRC_ROOT)
+        for path in sorted(SRC_ROOT.rglob("*.py"))
+        if literal.search(path.read_text(encoding="utf-8"))
+    ]
+    assert offenders == [Path("repro/engines.py")], (
+        f"engine-name tuple literal found outside repro/engines.py: {offenders}"
+    )
+
+
+def test_registry_contents():
+    assert ENGINES == ("fast", "legacy", "vector")
+    assert DEFAULT_ENGINE in ENGINES
+    assert FAST_EQUIVALENT_ENGINES <= set(ENGINES)
+    assert DEFAULT_ENGINE in FAST_EQUIVALENT_ENGINES
+    assert "legacy" not in FAST_EQUIVALENT_ENGINES
+
+
+def test_validate_engine():
+    for engine in ENGINES:
+        assert validate_engine(engine) == engine
+    with pytest.raises(ValueError, match="warp"):
+        validate_engine("warp")
+
+
+# ---------------------------------------------------------------------------
+# Every consumer accepts every registered engine.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_every_engine_is_accepted_by_every_consumer(engine):
+    from repro.campaign.spec import PointSpec
+    from repro.multicore import MulticoreSpec
+    from repro.registry import build_predictor
+    from repro.sim.trace_driven import TraceDrivenSimulator
+
+    assert TraceDrivenSimulator(engine=engine).engine == engine
+    assert PointSpec(benchmark="mcf", engine=engine).engine == engine
+    assert MulticoreSpec(benchmarks=("mcf",), engine=engine).engine == engine
+    build_predictor("dbcp", engine=engine)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_unknown_engine_is_rejected_by_every_consumer(engine):
+    # The canonical error message names the registry tuple, whatever the
+    # consumer: nobody carries a private copy of the choice list.
+    from repro.campaign.spec import PointSpec
+    from repro.multicore import MulticoreSpec
+    from repro.registry import build_predictor
+    from repro.sim.trace_driven import TraceDrivenSimulator
+
+    for make in (
+        lambda: TraceDrivenSimulator(engine="warp"),
+        lambda: PointSpec(benchmark="mcf", engine="warp"),
+        lambda: MulticoreSpec(benchmarks=("mcf",), engine="warp"),
+        lambda: build_predictor("dbcp", engine="warp"),
+    ):
+        with pytest.raises(ValueError, match=re.escape(repr(ENGINES))):
+            make()
+
+
+# ---------------------------------------------------------------------------
+# build_predictor: engines without a dedicated class fall back to fast.
+# ---------------------------------------------------------------------------
+
+
+def test_build_predictor_falls_back_to_fast_class():
+    from repro.prefetchers.null import NullPrefetcher
+    from repro.registry import build_predictor, register_predictor, unregister_predictor
+
+    class FastOnly(NullPrefetcher):
+        pass
+
+    register_predictor("_test_fast_only", FastOnly)
+    try:
+        for engine in ENGINES:
+            assert type(build_predictor("_test_fast_only", engine=engine)) is FastOnly
+    finally:
+        unregister_predictor("_test_fast_only")
+
+
+def test_build_predictor_prefers_dedicated_vector_class():
+    from repro.prefetchers.null import NullPrefetcher
+    from repro.registry import build_predictor, register_predictor, unregister_predictor
+
+    class Fast(NullPrefetcher):
+        pass
+
+    class Vector(NullPrefetcher):
+        pass
+
+    register_predictor("_test_vector_cls", Fast, vector=Vector)
+    try:
+        assert type(build_predictor("_test_vector_cls", engine="fast")) is Fast
+        assert type(build_predictor("_test_vector_cls", engine="legacy")) is Fast
+        assert type(build_predictor("_test_vector_cls", engine="vector")) is Vector
+    finally:
+        unregister_predictor("_test_vector_cls")
+
+
+# ---------------------------------------------------------------------------
+# Cache-key invariance: fast and vector share one cache entry.
+# ---------------------------------------------------------------------------
+
+
+def _spec(**overrides):
+    from repro.run import RunSpec
+
+    fields = dict(benchmark="mcf", predictor="dbcp", num_accesses=2000)
+    fields.update(overrides)
+    return RunSpec(**fields)
+
+
+def test_fast_equivalent_engines_share_one_spec_key():
+    fast, legacy, vector = (_spec(engine=e) for e in ("fast", "legacy", "vector"))
+    assert fast.key() == vector.key()
+    assert fast.to_dict() == vector.to_dict()
+    assert "engine" not in fast.to_dict()
+    # Legacy stays separately keyed so cross-checking campaigns can pin it.
+    assert legacy.key() != fast.key()
+    assert legacy.to_dict()["engine"] == "legacy"
+
+
+def test_multicore_spec_key_is_engine_invariant_for_fast_equivalents():
+    from repro.multicore import MulticoreSpec
+
+    def make(engine):
+        return MulticoreSpec(
+            benchmarks=("mcf", "gcc"), predictors=("dbcp",),
+            num_accesses=2000, engine=engine,
+        )
+
+    assert make("fast").key() == make("vector").key()
+    assert make("fast").key() != make("legacy").key()
+
+
+@pytest.mark.parametrize(
+    "first,second", [("fast", "vector"), ("vector", "fast")], ids=["fast_then_vector", "vector_then_fast"]
+)
+def test_result_cache_is_shared_across_fast_and_vector(first, second):
+    """A result computed under one fast-equivalent engine serves the other.
+
+    Both directions matter: the bug this guards against is an engine
+    field leaking into the content key, which would silently split the
+    cache and recompute every point per engine.
+    """
+    from repro.run import Session
+
+    session = Session(jobs=1)
+    spec_first = _spec(engine=first)
+    spec_second = _spec(engine=second)
+    assert session.cache.get(spec_second) is None
+    computed = session.run(spec_first)
+    served = session.cache.get(spec_second)
+    assert served is not None, f"{second} spec missed the cache after a {first} run"
+    assert served.to_dict() == computed.to_dict()
+    # And the facade path agrees end to end.
+    assert session.run(spec_second).to_dict() == computed.to_dict()

@@ -16,8 +16,9 @@ from repro.multicore import MulticoreSpec, simulate_multicore
 from repro.registry import build_predictor
 from repro.sim.trace_driven import simulate_benchmark
 
+from repro.engines import ENGINES
+
 PREDICTORS = ("ltcords", "dbcp", "ghb", "stride")
-ENGINES = ("fast", "legacy")
 NUM_ACCESSES = 4000
 
 

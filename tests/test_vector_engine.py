@@ -1,0 +1,239 @@
+"""Behavioural contract of the ``engine="vector"`` batch replay path.
+
+The equivalence suites pin vector == fast on the full benchmark grid;
+this file pins everything *around* that equality: which tier the
+dispatcher picks (``sim.last_vector_path``), the pure-python fallbacks
+(no NumPy, no compiler, kill-switch), per-cache statistics fidelity,
+the stale-state guard after a compiled batch run, and the kernel
+compilation cache plumbing.
+"""
+
+import json
+import sys
+
+import pytest
+
+import repro.cache.vector as vector_mod
+from repro.api import build_predictor
+from repro.cache.config import CacheConfig
+from repro.cache.hierarchy import HierarchyConfig
+from repro.cache.vector import kernel_cache_dir, load_kernel
+from repro.core.signatures import SignatureConfig
+from repro.prefetchers.dbcp import DBCPConfig
+from repro.sim.trace_driven import TraceDrivenSimulator
+from repro.workloads.base import WorkloadConfig
+from repro.workloads.registry import get_workload
+
+NUM_ACCESSES = 6000
+
+
+def _trace(benchmark="mcf", num_accesses=NUM_ACCESSES, seed=11):
+    return get_workload(benchmark, WorkloadConfig(num_accesses=num_accesses, seed=seed)).generate()
+
+
+def _run(engine, predictor="dbcp", config=None, trace=None, hierarchy_config=None):
+    sim = TraceDrivenSimulator(
+        prefetcher=build_predictor(predictor, config, engine=engine),
+        hierarchy_config=hierarchy_config,
+        engine=engine,
+    )
+    result = sim.run(trace if trace is not None else _trace())
+    return sim, result
+
+
+def _numpy_usable():
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _expected_dbcp_path():
+    return "kernel-dbcp" if _numpy_usable() and load_kernel() is not None else "python-dbcp"
+
+
+def _expected_baseline_path():
+    return (
+        "kernel-baseline" if _numpy_usable() and load_kernel() is not None else "fast-fallback"
+    )
+
+
+@pytest.fixture
+def no_kernel(monkeypatch):
+    """Force the no-compiled-kernel world, restoring the memo afterwards."""
+    monkeypatch.setenv("REPRO_NO_VECTOR_KERNEL", "1")
+    monkeypatch.setattr(vector_mod, "_KERNEL", None)
+    monkeypatch.setattr(vector_mod, "_KERNEL_FAILED", False)
+
+
+# ---------------------------------------------------------------------------
+# Tier selection + equivalence per tier.
+# ---------------------------------------------------------------------------
+
+
+def test_dbcp_takes_the_kernel_tier_and_matches_fast():
+    trace = _trace()
+    _, fast = _run("fast", trace=trace)
+    sim, vector = _run("vector", trace=trace)
+    assert sim.last_vector_path == _expected_dbcp_path()
+    assert vector.to_dict() == fast.to_dict()
+
+
+def test_null_predictor_takes_the_baseline_kernel_tier():
+    trace = _trace("swim")
+    _, fast = _run("fast", predictor="none", trace=trace)
+    sim, vector = _run("vector", predictor="none", trace=trace)
+    assert sim.last_vector_path == _expected_baseline_path()
+    assert vector.to_dict() == fast.to_dict()
+
+
+def test_non_dbcp_predictors_take_the_fast_fallback_tier():
+    trace = _trace("gcc", num_accesses=3000)
+    _, fast = _run("fast", predictor="ltcords", trace=trace)
+    sim, vector = _run("vector", predictor="ltcords", trace=trace)
+    assert sim.last_vector_path == "fast-fallback"
+    assert vector.to_dict() == fast.to_dict()
+
+
+@pytest.mark.parametrize("table_entries", [64, 1])
+def test_small_correlation_tables_exercise_kernel_lru_eviction(table_entries):
+    # Tiny tables evict on nearly every record: the kernel's intrusive
+    # LRU list and backward-shift hash deletion run constantly.
+    config = DBCPConfig(table_entries=table_entries)
+    trace = _trace()
+    _, fast = _run("fast", config=config, trace=trace)
+    sim, vector = _run("vector", config=config, trace=trace)
+    assert sim.last_vector_path == _expected_dbcp_path()
+    assert vector.to_dict() == fast.to_dict()
+
+
+def test_custom_geometry_and_mismatched_dbcp_block_size_match():
+    # Direct-mapped 32B-block hierarchy while DBCP folds 64B blocks:
+    # the kernel carries two distinct block masks.
+    hierarchy = HierarchyConfig(
+        l1=CacheConfig(name="L1-dm", size_bytes=2048, block_size=32, associativity=1),
+        l2=CacheConfig(name="L2-sm", size_bytes=16384, block_size=32, associativity=4),
+    )
+    config = DBCPConfig(
+        cache_config=CacheConfig(name="dbcp", size_bytes=4096, block_size=64, associativity=2),
+        table_entries=256,
+    )
+    trace = _trace()
+    _, fast = _run("fast", config=config, trace=trace, hierarchy_config=hierarchy)
+    sim, vector = _run("vector", config=config, trace=trace, hierarchy_config=hierarchy)
+    assert sim.last_vector_path == _expected_dbcp_path()
+    assert vector.to_dict() == fast.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Pure-python fallbacks: no NumPy, kill-switch.
+# ---------------------------------------------------------------------------
+
+
+def test_without_numpy_the_python_tier_is_bit_identical(monkeypatch):
+    # ``None`` in sys.modules makes ``import numpy`` raise ImportError
+    # even though the real module is importable: the documented CPython
+    # idiom for simulating an absent dependency in-process.
+    trace = _trace()
+    _, fast = _run("fast", trace=trace)
+    monkeypatch.setitem(sys.modules, "numpy", None)
+    sim, vector = _run("vector", trace=trace)
+    assert sim.last_vector_path == "python-dbcp"
+    assert vector.to_dict() == fast.to_dict()
+
+
+def test_kill_switch_forces_python_tier(no_kernel):
+    trace = _trace()
+    _, fast = _run("fast", trace=trace)
+    sim, vector = _run("vector", trace=trace)
+    assert sim.last_vector_path == "python-dbcp"
+    assert vector.to_dict() == fast.to_dict()
+    assert load_kernel() is None
+
+
+def test_open_fold_dbcp_uses_fast_fallback():
+    # Open-fold signatures are outside the fused tiers' contract.
+    config = DBCPConfig(signature_config=SignatureConfig(trace_hash_bits=16))
+    trace = _trace(num_accesses=2500)
+    _, fast = _run("fast", config=config, trace=trace)
+    sim, vector = _run("vector", config=config, trace=trace)
+    assert sim.last_vector_path == "fast-fallback"
+    assert vector.to_dict() == fast.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Statistics fidelity beyond the aggregate result.
+# ---------------------------------------------------------------------------
+
+
+def test_per_cache_statistics_match_fast_engine_exactly():
+    trace = _trace()
+    fast_sim, _ = _run("fast", trace=trace)
+    vec_sim, _ = _run("vector", trace=trace)
+    for attr in ("hierarchy", "baseline"):
+        for level in ("l1", "l2"):
+            fast_cache = getattr(getattr(fast_sim, attr), level)
+            vec_cache = getattr(getattr(vec_sim, attr), level)
+            assert vec_cache.stats == fast_cache.stats, f"{attr}.{level} stats diverge"
+
+
+def test_kernel_counters_are_plain_python_ints():
+    sim, result = _run("vector")
+    if not sim.last_vector_path.startswith("kernel"):
+        pytest.skip("no compiled kernel available")
+    stats = sim.hierarchy.l1.stats
+    assert type(stats.hits) is int and type(stats.misses) is int
+    # And the payload survives strict JSON round-tripping.
+    json.dumps(result.to_dict(), allow_nan=False)
+
+
+# ---------------------------------------------------------------------------
+# Stale-state guard and python-tier continuation.
+# ---------------------------------------------------------------------------
+
+
+def test_second_replay_after_kernel_batch_is_rejected():
+    sim = TraceDrivenSimulator(prefetcher=build_predictor("dbcp"), engine="vector")
+    sim.replay(_trace())
+    if not sim.last_vector_path.startswith("kernel"):
+        pytest.skip("no compiled kernel available")
+    with pytest.raises(RuntimeError, match="fresh TraceDrivenSimulator"):
+        sim.replay(_trace(seed=12))
+
+
+def test_python_tier_supports_continued_replay(no_kernel):
+    # The python tiers mutate the real cache/predictor objects, so a
+    # second replay on the same simulator must keep matching fast.
+    first, second = _trace(seed=11), _trace("gcc", seed=12)
+    fast_sim = TraceDrivenSimulator(prefetcher=build_predictor("dbcp"), engine="fast")
+    vec_sim = TraceDrivenSimulator(prefetcher=build_predictor("dbcp"), engine="vector")
+    for sim in (fast_sim, vec_sim):
+        sim.replay(first)
+        sim.replay(second)
+    assert vec_sim.last_vector_path == "fast-fallback"  # warm sim: no batch tier
+    for attr in ("hierarchy", "baseline"):
+        for level in ("l1", "l2"):
+            assert getattr(getattr(vec_sim, attr), level).stats == getattr(
+                getattr(fast_sim, attr), level
+            ).stats
+
+
+# ---------------------------------------------------------------------------
+# Kernel compilation cache plumbing.
+# ---------------------------------------------------------------------------
+
+
+def test_kernel_cache_dir_honours_environment(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path))
+    assert kernel_cache_dir() == str(tmp_path)
+    monkeypatch.delenv("REPRO_KERNEL_CACHE")
+    assert "repro" in kernel_cache_dir()
+
+
+def test_kernel_failure_memo_is_process_wide(no_kernel, monkeypatch):
+    assert load_kernel() is None
+    # Clearing the env after the first failure does not retry: the
+    # decision is memoised for the process.
+    monkeypatch.delenv("REPRO_NO_VECTOR_KERNEL")
+    assert load_kernel() is None
